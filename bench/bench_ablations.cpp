@@ -1,0 +1,197 @@
+// Ablations over the design choices DESIGN.md calls out:
+//   1. AMP unit on/off for dense matmul -- why Linear is so hard to beat on
+//      the IPU (the paper attributes this to the AMP, Section 4.1).
+//   2. PopTorch-parity vs custom butterfly vertices -- the optimisation
+//      opportunity the paper's discussion points at.
+//   3. Pixelfly block size vs exchange/compute balance on the IPU vs GPU
+//      tile alignment -- the dense-vs-sparse-processor story.
+//   4. Compute-set count vs memory -- what fusing butterfly stages would
+//      save (Fig. 5/7 mechanism).
+#include <cmath>
+#include <cstdio>
+
+#include "core/device_time.h"
+#include "core/block_butterfly.h"
+#include "core/ipu_lowering.h"
+#include "gpusim/gemm_model.h"
+#include "ipusim/engine.h"
+#include "ipusim/matmul.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace repro;
+
+namespace {
+
+double MatmulSeconds(const ipu::IpuArch& arch, std::size_t n,
+                     ipu::MatMulImpl impl) {
+  ipu::Graph g(arch);
+  auto plan = ipu::BuildMatMul(g, n, n, n, impl);
+  if (!plan.ok()) return -1.0;
+  auto exe = ipu::Compile(g, plan.value().prog);
+  if (!exe.ok()) return -1.0;
+  ipu::Engine e(g, exe.take(),
+                ipu::EngineOptions{.execute = false, .fast_repeat = true});
+  return e.run().seconds(arch);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::size_t n = cli.Fast() ? 512 : 1024;
+
+  PrintBanner("Ablation 1: AMP on vs off for dense matmul (IPU)");
+  {
+    const ipu::IpuArch arch = ipu::Gc200();
+    Table t({"N", "AMP (poplin) [ms]", "scalar (naive) [ms]", "AMP advantage"});
+    for (std::size_t sz : {n / 4, n / 2, n}) {
+      const double amp = MatmulSeconds(arch, sz, ipu::MatMulImpl::kPoplin);
+      const double scalar = MatmulSeconds(arch, sz, ipu::MatMulImpl::kNaive);
+      t.AddRow({Table::Int(static_cast<long long>(sz)),
+                Table::Num(amp * 1e3, 3), Table::Num(scalar * 1e3, 3),
+                Table::Num(scalar / amp, 1)});
+    }
+    t.Print();
+    std::printf(
+        "  The AMP accelerates only dense streaming matmul; butterfly's tiny\n"
+        "  blocks cannot use it. This is why torch.nn.Linear is hard to beat\n"
+        "  on the IPU (paper Section 4.1).\n");
+  }
+
+  PrintBanner("Ablation 2: PopTorch-parity vs custom butterfly vertices");
+  {
+    const ipu::IpuArch arch = ipu::Gc200();
+    Table t({"N", "PopTorch parity [ms]", "custom vertices [ms]", "speedup"});
+    for (std::size_t sz : {n, 2 * n, 4 * n}) {
+      const double parity =
+          core::TimeButterflyIpu(arch, sz, sz,
+                                 core::IpuLoweringOptions{.poptorch_parity = true})
+              .fwd_seconds;
+      const double custom =
+          core::TimeButterflyIpu(arch, sz, sz,
+                                 core::IpuLoweringOptions{.poptorch_parity = false})
+              .fwd_seconds;
+      t.AddRow({Table::Int(static_cast<long long>(sz)),
+                Table::Num(parity * 1e3, 3), Table::Num(custom * 1e3, 3),
+                Table::Num(parity / custom, 1)});
+    }
+    t.Print();
+    std::printf(
+        "  Hand-written vertices (fused stages, no per-stage materialisation)\n"
+        "  recover the butterfly's asymptotic advantage -- the optimisation\n"
+        "  direction the paper's conclusion suggests for IPU butterfly.\n");
+  }
+
+  PrintBanner("Ablation 3: pixelfly block size, IPU vs GPU sensitivity");
+  {
+    const ipu::IpuArch iarch = ipu::Gc200();
+    const gpu::GpuArch garch = gpu::A30();
+    Table t({"block b", "IPU fwd [us]", "GPU TC fwd [us]",
+             "GPU block-align util"});
+    for (std::size_t b : {4, 8, 16, 32}) {
+      core::PixelflyConfig pf;
+      pf.n = 1024;
+      pf.block_size = b;
+      pf.butterfly_size = 16;
+      pf.low_rank = 16;
+      const double ipu_s =
+          core::TimePixelflyIpu(iarch, 1024, pf).fwd_seconds * 1e6;
+      const auto gpu_e = gpu::EstimateBlockSparseGemm(
+          garch, true, 2 * (1024 / b) * 4, b, 1024);
+      const double align = static_cast<double>(b) /
+                           static_cast<double>((b + 15) / 16 * 16);
+      t.AddRow({Table::Int(static_cast<long long>(b)), Table::Num(ipu_s, 1),
+                Table::Num(gpu_e.seconds * 1e6, 1), Table::Num(align, 2)});
+    }
+    t.Print();
+    std::printf(
+        "  The GPU needs b aligned to tensor-core tiles (b=16 is the sweet\n"
+        "  spot); the IPU gains nothing from alignment and only sees the\n"
+        "  extra compute -- the paper's dense vs sparse processor contrast.\n");
+  }
+
+  PrintBanner("Ablation 4: flat (sum) vs product block butterfly");
+  {
+    // Pixelfly's flattening replaces the product of block-butterfly factors
+    // by identity + their sum. Same parameter budget, different structure:
+    // the product reaches every block within the butterfly group (full
+    // mixing after log2(s) hops) while the flat pattern only reaches the
+    // 1-hop neighbours -- expressivity traded for parallelism.
+    Rng rng(7);
+    Table t({"form", "params", "seq. stages", "reachable blocks/row",
+             "nonzero frac of dense"});
+    const std::size_t bn = 64, bb = 8, bs = 8;
+    core::BlockButterfly prod(bn, bb, bs, rng);
+    core::PixelflyConfig pfc;
+    pfc.n = bn;
+    pfc.block_size = bb;
+    pfc.butterfly_size = bs;
+    pfc.low_rank = 0;
+    pfc.residual = false;
+    core::Pixelfly flat(pfc, rng);
+    auto reach = [&](const Matrix& d) {
+      // Count reachable block columns from block-row 0.
+      std::size_t blocks = 0;
+      for (std::size_t bj = 0; bj < bn / bb; ++bj) {
+        double mass = 0.0;
+        for (std::size_t i = 0; i < bb; ++i) {
+          for (std::size_t j = 0; j < bb; ++j) {
+            mass += std::abs(d(i, bj * bb + j));
+          }
+        }
+        if (mass > 1e-5) ++blocks;
+      }
+      return blocks;
+    };
+    auto nnz_frac = [&](const Matrix& d) {
+      std::size_t nz = 0;
+      for (std::size_t i = 0; i < d.size(); ++i) {
+        if (std::abs(d.data()[i]) > 1e-7) ++nz;
+      }
+      return static_cast<double>(nz) / static_cast<double>(d.size());
+    };
+    Matrix dp = prod.ToDense();
+    Matrix df = flat.ToDense();
+    t.AddRow({"product (block butterfly)",
+              Table::Int(static_cast<long long>(prod.paramCount())),
+              Table::Int(static_cast<long long>(prod.numFactors())),
+              Table::Int(static_cast<long long>(reach(dp))),
+              Table::Num(nnz_frac(dp), 2)});
+    t.AddRow({"flat sum (pixelfly)",
+              Table::Int(static_cast<long long>(flat.paramCount())),
+              "1",
+              Table::Int(static_cast<long long>(reach(df))),
+              Table::Num(nnz_frac(df), 2)});
+    t.Print();
+    std::printf(
+        "  Flattening keeps the parameter count but shrinks the receptive\n"
+        "  field to 1-hop block neighbours; pixelfly compensates with the\n"
+        "  low-rank term (Chen et al.'s design, paper Section 2.3.2).\n");
+  }
+
+  PrintBanner("Ablation 5: compute sets vs memory (stage fusion)");
+  {
+    const ipu::IpuArch arch = ipu::Gc200();
+    const core::IpuLayerTiming bf = core::TimeButterflyIpu(arch, n, n);
+    const core::IpuLayerTiming pf =
+        core::TimePixelflyIpu(arch, n, core::ScaledPixelflyConfig(n));
+    Table t({"lowering", "compute sets", "edges", "total mem [MB]",
+             "fwd [ms]"});
+    t.AddRow({"butterfly (1 CS per factor)",
+              Table::Int(static_cast<long long>(bf.counts.compute_sets)),
+              Table::Int(static_cast<long long>(bf.counts.edges)),
+              Table::Num(static_cast<double>(bf.counts.total_bytes) / 1e6, 1),
+              Table::Num(bf.fwd_seconds * 1e3, 3)});
+    t.AddRow({"pixelfly (flattened)",
+              Table::Int(static_cast<long long>(pf.counts.compute_sets)),
+              Table::Int(static_cast<long long>(pf.counts.edges)),
+              Table::Num(static_cast<double>(pf.counts.total_bytes) / 1e6, 1),
+              Table::Num(pf.fwd_seconds * 1e3, 3)});
+    t.Print();
+    std::printf(
+        "  Flattening trades compute sets (and their control/exchange\n"
+        "  overhead) for extra arithmetic -- the Fig. 5/7 memory mechanism.\n");
+  }
+  return 0;
+}

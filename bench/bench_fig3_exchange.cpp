@@ -1,0 +1,76 @@
+// Fig. 3: Latency and bandwidth within a GC200 IPU for different physical
+// proximity. The paper copies data between the neighbouring tile pair (0,1)
+// and the distant pair (0,644), over a range of message sizes, and finds
+// both metrics tightly coupled with data size but independent of location
+// (Observation 1).
+#include <cstdio>
+#include <vector>
+
+#include "ipusim/engine.h"
+#include "ipusim/graph.h"
+#include "ipusim/program.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace {
+
+struct Sample {
+  double latency_us;
+  double bandwidth_gbs;
+};
+
+Sample MeasureCopy(std::size_t bytes, std::size_t src_tile,
+                   std::size_t dst_tile) {
+  using namespace repro::ipu;
+  const IpuArch arch = Gc200();
+  Graph g(arch);
+  const std::size_t elems = bytes / sizeof(float);
+  Tensor a = g.addVariable("a", elems);
+  Tensor b = g.addVariable("b", elems);
+  g.setTileMapping(a, src_tile);
+  g.setTileMapping(b, dst_tile);
+  auto exe = Compile(g, Program::Copy(a, b));
+  REPRO_REQUIRE(exe.ok(), "exchange bench compile failed: %s",
+                exe.status().message().c_str());
+  Engine e(g, exe.take(), EngineOptions{.execute = false, .fast_repeat = true});
+  const RunReport r = e.run();
+  const double seconds = r.seconds(arch);
+  return {seconds * 1e6, static_cast<double>(bytes) / seconds / 1e9};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using repro::Table;
+  repro::Cli cli(argc, argv);
+  repro::PrintBanner(
+      "Fig 3: exchange latency/bandwidth vs size, neighbouring (0,1) vs "
+      "distant (0,644) tile pair");
+
+  Table t({"size [B]", "lat (0,1) [us]", "lat (0,644) [us]", "BW (0,1) [GB/s]",
+           "BW (0,644) [GB/s]", "identical?"});
+  bool all_identical = true;
+  for (std::size_t bytes = 8; bytes <= (cli.Fast() ? 64u * 1024 : 1024u * 1024);
+       bytes *= 4) {
+    const Sample near = MeasureCopy(bytes, 0, 1);
+    const Sample far = MeasureCopy(bytes, 0, 644);
+    const bool same = near.latency_us == far.latency_us;
+    all_identical = all_identical && same;
+    t.AddRow({Table::Int(static_cast<long long>(bytes)),
+              Table::Num(near.latency_us, 3), Table::Num(far.latency_us, 3),
+              Table::Num(near.bandwidth_gbs, 2),
+              Table::Num(far.bandwidth_gbs, 2), same ? "yes" : "NO"});
+  }
+  t.Print();
+  std::printf(
+      "\nObservation 1 (paper): latency/bandwidth are tightly coupled with "
+      "data size\nbut independent of tile distance. Reproduced: %s.\n",
+      all_identical ? "YES (all rows identical across pairs)" : "NO");
+  std::printf(
+      "Bandwidth saturates toward the per-tile exchange limit (%.1f GB/s)\n"
+      "as the fixed sync cost amortises, matching the paper's saturating "
+      "curve shape.\n",
+      repro::ipu::Gc200().exchange_bytes_per_cycle *
+          repro::ipu::Gc200().clock_hz / 1e9);
+  return 0;
+}

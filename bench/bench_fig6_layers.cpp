@@ -1,0 +1,75 @@
+// Fig. 6: execution time of torch.nn.Linear vs butterfly vs pixelfly for
+// square problems of dimension N, on the GPU with tensor cores off (left),
+// on (middle), and on the IPU via PopTorch (right).
+//
+// Paper's reference points:
+//   GPU: speedup < 1 for N < 2^11; worst degradation 14.45x (butterfly) and
+//        8.8x (pixelfly).
+//   IPU: break-even at N = 2^10; worst degradation 1.4x (butterfly) and
+//        1.03x (pixelfly); max speedup 1.6x (butterfly) and 1.3x (pixelfly).
+#include <algorithm>
+#include <cstdio>
+
+#include "core/device_time.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace repro;
+using core::Device;
+using core::Method;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const unsigned max_pow = cli.Fast() ? 11 : 13;
+
+  for (Device dev : {Device::kGpuNoTc, Device::kGpuTc, Device::kIpu}) {
+    PrintBanner(std::string("Fig 6 (") + core::DeviceName(dev) +
+                "): layer forward time vs N, batch = N");
+    Table t({"N", "Linear [ms]", "Butterfly [ms]", "Pixelfly [ms]",
+             "bfly speedup", "pixelfly speedup"});
+    double worst_bf = 1e9, worst_pf = 1e9, best_bf = 0.0, best_pf = 0.0;
+    std::size_t breakeven_bf = 0;
+    for (unsigned p = 7; p <= max_pow; ++p) {
+      const std::size_t n = std::size_t{1} << p;
+      const core::MethodTime lin =
+          core::ForwardSeconds(dev, Method::kBaseline, n, n);
+      const core::MethodTime bf =
+          core::ForwardSeconds(dev, Method::kButterfly, n, n);
+      const core::MethodTime pf =
+          core::ForwardSeconds(dev, Method::kPixelfly, n, n);
+      const double su_bf = lin.seconds / bf.seconds;
+      const double su_pf = lin.seconds / pf.seconds;
+      worst_bf = std::min(worst_bf, su_bf);
+      worst_pf = std::min(worst_pf, su_pf);
+      best_bf = std::max(best_bf, su_bf);
+      best_pf = std::max(best_pf, su_pf);
+      if (breakeven_bf == 0 && su_bf >= 1.0) breakeven_bf = n;
+      std::string tag = lin.streamed || bf.streamed || pf.streamed ? " (st)" : "";
+      t.AddRow({Table::Int(static_cast<long long>(n)) + tag,
+                Table::Num(lin.seconds * 1e3, 4),
+                Table::Num(bf.seconds * 1e3, 4),
+                Table::Num(pf.seconds * 1e3, 4), Table::Num(su_bf, 2),
+                Table::Num(su_pf, 2)});
+    }
+    t.Print();
+    std::printf(
+        "  butterfly: worst degradation %.2fx, best speedup %.2fx, "
+        "break-even at N=%zu\n"
+        "  pixelfly:  worst degradation %.2fx, best speedup %.2fx\n",
+        1.0 / worst_bf, best_bf, breakeven_bf, 1.0 / worst_pf, best_pf);
+    switch (dev) {
+      case Device::kGpuNoTc:
+        std::printf("  paper (GPU w/o TC): worst ~14x butterfly, crossover ~2^11\n");
+        break;
+      case Device::kGpuTc:
+        std::printf("  paper (GPU w/ TC): worst 14.45x butterfly / 8.8x pixelfly\n");
+        break;
+      case Device::kIpu:
+        std::printf(
+            "  paper (IPU): worst 1.4x butterfly / 1.03x pixelfly, break-even "
+            "2^10,\n  max speedup 1.6x butterfly / 1.3x pixelfly\n");
+        break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Host-kernel microbenchmarks (google-benchmark): the numeric substrate the
+// training experiments run on. Useful for validating that the Table 4 runs
+// are not bottlenecked by an accidentally slow host kernel.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/butterfly.h"
+#include "core/fft.h"
+#include "core/fwht.h"
+#include "core/pixelfly.h"
+#include "linalg/gemm.h"
+#include "linalg/spmm.h"
+
+namespace {
+
+using namespace repro;
+
+void BM_GemmBlocked(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Matrix a = Matrix::RandomNormal(n, n, rng);
+  Matrix b = Matrix::RandomNormal(n, n, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    GemmBlocked(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmBlocked)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmNaive(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  Matrix a = Matrix::RandomNormal(n, n, rng);
+  Matrix b = Matrix::RandomNormal(n, n, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    GemmNaive(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNaive)->Arg(128)->Arg(256);
+
+void BM_SpmmCsr(benchmark::State& state) {
+  const std::size_t n = 1024;
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  Rng rng(3);
+  Csr s = RandomCsr(n, n, density, rng);
+  Matrix b = Matrix::RandomNormal(n, 64, rng);
+  Matrix c(n, 64);
+  for (auto _ : state) {
+    SpmmCsr(s, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * s.nnz() * 64);
+}
+BENCHMARK(BM_SpmmCsr)->Arg(1)->Arg(10);
+
+void BM_ButterflyForward(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  core::Butterfly bf(n, core::ButterflyParam::kGivens, true, rng);
+  Matrix x = Matrix::RandomNormal(50, n, rng);
+  Matrix y(50, n);
+  for (auto _ : state) {
+    bf.Forward(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 50 * 4 * (n / 2) *
+                          static_cast<long>(std::log2(n)));
+}
+BENCHMARK(BM_ButterflyForward)->Arg(256)->Arg(1024);
+
+void BM_PixelflyForward(benchmark::State& state) {
+  Rng rng(5);
+  core::PixelflyConfig cfg;  // paper defaults (n=1024, b=16, s=64, r=96)
+  core::Pixelfly pf(cfg, rng);
+  Matrix x = Matrix::RandomNormal(50, cfg.n, rng);
+  Matrix y(50, cfg.n);
+  for (auto _ : state) {
+    pf.Forward(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_PixelflyForward);
+
+void BM_Fwht(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  Matrix x = Matrix::RandomNormal(50, n, rng);
+  for (auto _ : state) {
+    core::FwhtRows(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_Fwht)->Arg(1024);
+
+void BM_Fft(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<core::Cpx> v(n);
+  for (auto& c : v) c = core::Cpx(rng.Normal(), rng.Normal());
+  for (auto _ : state) {
+    core::Fft(v);
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+BENCHMARK(BM_Fft)->Arg(1024);
+
+void BM_CircularConvolve(benchmark::State& state) {
+  const std::size_t n = 1024;
+  Rng rng(8);
+  std::vector<float> c(n), x(n), out(n);
+  rng.FillNormal(c.data(), n, 1.0f);
+  rng.FillNormal(x.data(), n, 1.0f);
+  for (auto _ : state) {
+    core::CircularConvolve(c, x, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_CircularConvolve);
+
+}  // namespace

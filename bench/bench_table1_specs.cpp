@@ -1,0 +1,57 @@
+// Table 1: Comparison of Graphcore GC200 and NVIDIA A30.
+//
+// Prints the architectural parameters the two device models are built from,
+// next to the paper's Table 1 values. This is the ground truth every other
+// bench's cost model derives from.
+#include <cstdio>
+
+#include "gpusim/arch.h"
+#include "ipusim/arch.h"
+#include "util/table.h"
+
+int main() {
+  using namespace repro;
+  const ipu::IpuArch ipu = ipu::Gc200();
+  const gpu::GpuArch gpu = gpu::A30();
+
+  PrintBanner("Table 1: GC200 vs A30 specification (paper | this model)");
+  Table t({"Spec", "A30 (paper)", "A30 (model)", "GC200 (paper)",
+           "GC200 (model)"});
+  t.AddRow({"Number of cores", "3584", "3584 (56 SMs x 64)", "1472",
+            Table::Int(static_cast<long long>(ipu.num_tiles))});
+  t.AddRow({"On-chip memory", "10.75 MB", "n/a (modelled via BW)", "900 MB",
+            Table::Num(static_cast<double>(ipu.total_memory_bytes()) / 1e6, 1) +
+                " MB"});
+  t.AddRow({"On-chip mem BW", "5.5 TB/s", "n/a", "47.5 TB/s",
+            "feeds AMP cycle model"});
+  t.AddRow({"Off-chip memory", "24 GB",
+            Table::Num(static_cast<double>(gpu.dram_bytes) / 1e9, 0) + " GB",
+            "64 GB",
+            Table::Num(static_cast<double>(ipu.streaming_memory_bytes) / 1e9, 0) +
+                " GB"});
+  t.AddRow({"Off-chip mem BW", "933 GB/s",
+            Table::Num(gpu.dram_bytes_per_sec / 1e9, 0) + " GB/s", "20 GB/s",
+            Table::Num(ipu.host_bandwidth_bytes_per_sec / 1e9, 0) + " GB/s"});
+  t.AddRow({"FP32 peak", "10.3 TFLOPS",
+            Table::Num(gpu.fp32_peak_flops / 1e12, 1) + " TF", "62.5 TFLOPS",
+            Table::Num(ipu.peak_fp32_flops() / 1e12, 1) + " TF"});
+  t.AddRow({"TF32 peak", "82 TFLOPS",
+            Table::Num(gpu.tf32_peak_flops / 1e12, 0) + " TF", "-", "-"});
+  t.AddRow({"Clock", "1.44 GHz", Table::Num(gpu.clock_hz / 1e9, 2) + " GHz",
+            "1.33 GHz", Table::Num(ipu.clock_hz / 1e9, 2) + " GHz"});
+  t.AddRow({"Per-tile memory", "-", "-", "624 KiB (900MB/1472)",
+            Table::Num(static_cast<double>(ipu.tile_memory_bytes) / 1024.0, 0) +
+                " KiB"});
+  t.Print();
+
+  std::printf(
+      "\nDerived model quantities:\n"
+      "  IPU AMP: %.0f MACs/cycle/tile -> %.1f TFLOP/s FP32 peak\n"
+      "  IPU exchange: %.0f B/cycle/tile receive -> %.1f TB/s aggregate\n"
+      "  GPU kernel launch overhead: %.1f us (drives small-N behaviour)\n",
+      ipu.amp_macs_per_cycle, ipu.peak_fp32_flops() / 1e12,
+      ipu.exchange_bytes_per_cycle,
+      ipu.exchange_aggregate_bytes_per_sec() / 1e12,
+      gpu.launch_overhead_sec * 1e6);
+  return 0;
+}

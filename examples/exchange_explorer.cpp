@@ -1,0 +1,48 @@
+// Exchange explorer: probe the simulated IPU-Exchange the way the paper's
+// Section 3.1 does -- copy buffers between arbitrary tile pairs and watch
+// latency/bandwidth depend on size but not distance (Observation 1).
+//
+//   $ ./exchange_explorer [--src 0] [--dst 644] [--max_kb 256]
+#include <cstdio>
+
+#include "ipusim/engine.h"
+#include "ipusim/graph.h"
+#include "ipusim/program.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  using namespace repro::ipu;
+  Cli cli(argc, argv);
+  const std::size_t src = cli.GetInt("src", 0);
+  const std::size_t dst = cli.GetInt("dst", 644);
+  const std::size_t max_kb = cli.GetInt("max_kb", 256);
+  const IpuArch arch = Gc200();
+
+  std::printf("IPU-Exchange probe: tile %zu -> tile %zu (of %zu tiles)\n\n",
+              src, dst, arch.num_tiles);
+  std::printf("%12s %14s %14s\n", "size", "latency [us]", "bandwidth [GB/s]");
+  for (std::size_t bytes = 8; bytes <= max_kb * 1024; bytes *= 2) {
+    Graph g(arch);
+    const std::size_t elems = bytes / sizeof(float);
+    Tensor a = g.addVariable("a", elems);
+    Tensor b = g.addVariable("b", elems);
+    g.setTileMapping(a, src);
+    g.setTileMapping(b, dst);
+    auto exe = Compile(g, Program::Copy(a, b));
+    if (!exe.ok()) {
+      std::printf("%12zu  does not fit: %s\n", bytes,
+                  exe.status().message().c_str());
+      continue;
+    }
+    Engine e(g, exe.take(),
+             EngineOptions{.execute = false, .fast_repeat = true});
+    const double seconds = e.run().seconds(arch);
+    std::printf("%12zu %14.3f %14.2f\n", bytes, seconds * 1e6,
+                static_cast<double>(bytes) / seconds / 1e9);
+  }
+  std::printf(
+      "\nTry different --dst values: the numbers do not change. On this\n"
+      "architecture data locality between tiles does not matter, only fit.\n");
+  return 0;
+}

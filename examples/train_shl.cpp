@@ -1,0 +1,67 @@
+// End-to-end SHL training (the paper's Section 4.2 workload) with any of
+// the six hidden-layer methods, on the synthetic CIFAR-10 stand-in, with
+// simulated device time for all three device configurations.
+//
+//   $ ./train_shl --method butterfly --epochs 6 --samples 3000 --lr 0.001
+//   methods: baseline butterfly fastfood circulant lowrank pixelfly
+#include <cstdio>
+#include <string>
+
+#include "core/device_time.h"
+#include "data/synthetic.h"
+#include "nn/trainer.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  Cli cli(argc, argv);
+  const std::string name = cli.GetString("method", "butterfly");
+  core::Method method = core::Method::kButterfly;
+  if (name == "baseline") method = core::Method::kBaseline;
+  else if (name == "butterfly") method = core::Method::kButterfly;
+  else if (name == "fastfood") method = core::Method::kFastfood;
+  else if (name == "circulant") method = core::Method::kCirculant;
+  else if (name == "lowrank") method = core::Method::kLowRank;
+  else if (name == "pixelfly") method = core::Method::kPixelfly;
+  else {
+    std::fprintf(stderr, "unknown --method '%s'\n", name.c_str());
+    return 1;
+  }
+
+  data::SyntheticConfig dcfg;
+  dcfg.num_samples = cli.GetInt("samples", 3000);
+  data::Dataset train = data::SyntheticCifar10(dcfg);
+  dcfg.sample_seed = 99;
+  dcfg.num_samples = 1000;
+  data::Dataset test = data::SyntheticCifar10(dcfg);
+  data::StandardizeTogether(train, {&test});
+
+  nn::TrainConfig tcfg;
+  tcfg.epochs = cli.GetInt("epochs", 6);
+  tcfg.lr = cli.GetDouble("lr", 0.001);
+
+  Rng rng(cli.GetInt("seed", 42));
+  core::ShlShape shape;
+  nn::Sequential model = nn::BuildShl(method, shape, rng);
+  std::printf("SHL(%zu -> %zu -> %zu) with %s hidden layer: %zu parameters\n",
+              shape.input, shape.hidden, shape.classes,
+              core::MethodName(method), model.paramCount());
+
+  nn::TrainResult res = nn::Train(model, train, test, tcfg);
+  std::printf("trained %zu steps (%zu epochs)\n", res.steps, tcfg.epochs);
+  for (std::size_t e = 0; e < res.epoch_val_accuracy.size(); ++e) {
+    std::printf("  epoch %2zu: val accuracy %.1f%%\n", e + 1,
+                res.epoch_val_accuracy[e]);
+  }
+  std::printf("test accuracy: %.2f%%  (final train loss %.3f)\n",
+              res.test_accuracy, res.final_train_loss);
+
+  std::printf("\nsimulated training time for these %zu steps:\n", res.steps);
+  for (core::Device d : core::kAllDevices) {
+    const core::MethodTime t = core::TrainStepSeconds(d, method, shape);
+    std::printf("  %-10s %.2f s%s\n", core::DeviceName(d),
+                t.seconds * static_cast<double>(res.steps),
+                t.streamed ? " (streaming memory)" : "");
+  }
+  return 0;
+}

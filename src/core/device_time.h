@@ -1,0 +1,66 @@
+// Unified per-method device timing: one entry point that answers "how long
+// does a forward pass / training step of method M take on device D", where
+// D is the A30 with tensor cores, the A30 without, or the GC200 IPU. This
+// is the timing backbone of Fig. 6, Table 4 and Table 5.
+#pragma once
+
+#include <cstddef>
+
+#include "core/method.h"
+#include "core/pixelfly.h"
+#include "gpusim/arch.h"
+#include "ipusim/arch.h"
+
+namespace repro::core {
+
+enum class Device { kGpuTc, kGpuNoTc, kIpu };
+
+constexpr const char* DeviceName(Device d) {
+  switch (d) {
+    case Device::kGpuTc: return "GPU w/ TC";
+    case Device::kGpuNoTc: return "GPU w/o TC";
+    case Device::kIpu: return "IPU";
+  }
+  return "?";
+}
+
+inline constexpr Device kAllDevices[] = {Device::kGpuTc, Device::kGpuNoTc,
+                                         Device::kIpu};
+
+// Shape of the single-hidden-layer experiment (Section 4.2): grayscale
+// 32x32 CIFAR -> 1024-dim input, structured square 1024x1024 hidden layer,
+// 10-way classifier. These dimensions reproduce the paper's Table 4
+// parameter counts exactly (baseline 1,059,850).
+struct ShlShape {
+  std::size_t input = 1024;
+  std::size_t hidden = 1024;
+  std::size_t classes = 10;
+  std::size_t batch = 50;
+  std::size_t low_rank_rank = 1;  // Table 4's low-rank baseline is rank 1
+  PixelflyConfig pixelfly{};      // defaults: b=16, s=64, r=96
+};
+
+struct MethodTime {
+  double seconds = 0.0;
+  bool streamed = false;  // IPU fell back to streaming memory
+};
+
+// Forward pass of a square n -> n layer of the given method at batch size
+// `batch` (the Fig. 6 microbenchmark; pixelfly uses a config scaled with n).
+MethodTime ForwardSeconds(Device device, Method method, std::size_t batch,
+                          std::size_t n);
+
+// Pixelfly config used by the Fig. 6 sweep at size n (paper-faithful scaling
+// of the Table 4 config: b=16, s=n/16 capped at 64, r = 3n/32).
+PixelflyConfig ScaledPixelflyConfig(std::size_t n);
+
+// One SGD step (forward + backward + update) of the SHL model with the given
+// hidden-layer method.
+MethodTime TrainStepSeconds(Device device, Method method,
+                            const ShlShape& shape);
+
+// Forward pass of a specific pixelfly configuration (Table 5 sweep).
+MethodTime PixelflyForwardSeconds(Device device, const PixelflyConfig& config,
+                                  std::size_t batch);
+
+}  // namespace repro::core

@@ -1,0 +1,169 @@
+#include "core/fft.h"
+
+#include <cmath>
+
+#include "util/bitops.h"
+#include "util/error.h"
+
+namespace repro::core {
+
+void Fft(std::span<Cpx> v, bool inverse) {
+  const std::size_t n = v.size();
+  REPRO_REQUIRE(IsPow2(n), "FFT needs power-of-two length, got %zu", n);
+  const unsigned bits = Log2(n);
+  // Bit-reversal permutation.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = BitReverse(static_cast<std::uint32_t>(i), bits);
+    if (i < j) std::swap(v[i], v[j]);
+  }
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * M_PI / static_cast<double>(len);
+    const Cpx wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t base = 0; base < n; base += len) {
+      Cpx w(1.0, 0.0);
+      for (std::size_t i = 0; i < len / 2; ++i) {
+        const Cpx u = v[base + i];
+        const Cpx t = w * v[base + i + len / 2];
+        v[base + i] = u + t;
+        v[base + i + len / 2] = u - t;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : v) x /= static_cast<double>(n);
+  }
+}
+
+std::vector<Cpx> DftNaive(std::span<const Cpx> v, bool inverse) {
+  const std::size_t n = v.size();
+  const double sign = inverse ? 1.0 : -1.0;
+  std::vector<Cpx> out(n, Cpx(0.0, 0.0));
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = sign * 2.0 * M_PI * static_cast<double>(k * j) /
+                           static_cast<double>(n);
+      out[k] += v[j] * Cpx(std::cos(angle), std::sin(angle));
+    }
+  }
+  if (inverse) {
+    for (auto& x : out) x /= static_cast<double>(n);
+  }
+  return out;
+}
+
+ComplexButterfly ComplexButterfly::Dft(std::size_t n) {
+  REPRO_REQUIRE(IsPow2(n), "DFT butterfly needs power-of-two size");
+  ComplexButterfly b;
+  b.n_ = n;
+  const unsigned bits = Log2(n);
+  b.perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.perm_[i] = BitReverse(static_cast<std::uint32_t>(i), bits);
+  }
+  // Stage with half-size `stride` merges DFTs of length `stride` into
+  // length 2*stride: D1 = D3 = I, D2 = Omega, D4 = -Omega (paper eq. 1).
+  for (std::size_t stride = 1; stride < n; stride <<= 1) {
+    Factor f;
+    f.stride = stride;
+    const std::size_t pairs = n / 2;
+    f.a.resize(pairs);
+    f.b.resize(pairs);
+    f.c.resize(pairs);
+    f.d.resize(pairs);
+    std::size_t p = 0;
+    for (std::size_t base = 0; base < n; base += 2 * stride) {
+      for (std::size_t i = 0; i < stride; ++i, ++p) {
+        const double angle = -2.0 * M_PI * static_cast<double>(i) /
+                             static_cast<double>(2 * stride);
+        const Cpx omega(std::cos(angle), std::sin(angle));
+        f.a[p] = Cpx(1.0, 0.0);
+        f.b[p] = omega;
+        f.c[p] = Cpx(1.0, 0.0);
+        f.d[p] = -omega;
+      }
+    }
+    b.factors_.push_back(std::move(f));
+  }
+  return b;
+}
+
+std::vector<Cpx> ComplexButterfly::Apply(std::span<const Cpx> x) const {
+  REPRO_REQUIRE(x.size() == n_, "ComplexButterfly apply size mismatch");
+  std::vector<Cpx> v(n_);
+  for (std::size_t i = 0; i < n_; ++i) v[i] = x[perm_[i]];
+  for (const Factor& f : factors_) {
+    std::size_t p = 0;
+    for (std::size_t base = 0; base < n_; base += 2 * f.stride) {
+      for (std::size_t i = 0; i < f.stride; ++i, ++p) {
+        const Cpx top = v[base + i];
+        const Cpx bot = v[base + f.stride + i];
+        v[base + i] = f.a[p] * top + f.b[p] * bot;
+        v[base + f.stride + i] = f.c[p] * top + f.d[p] * bot;
+      }
+    }
+  }
+  return v;
+}
+
+void CircularConvolve(std::span<const float> c, std::span<const float> x,
+                      std::span<float> out) {
+  const std::size_t n = c.size();
+  REPRO_REQUIRE(x.size() == n && out.size() == n,
+                "circular convolve size mismatch");
+  if (IsPow2(n) && n >= 32) {
+    std::vector<Cpx> fc(n), fx(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      fc[i] = Cpx(c[i], 0.0);
+      fx[i] = Cpx(x[i], 0.0);
+    }
+    Fft(fc);
+    Fft(fx);
+    for (std::size_t i = 0; i < n; ++i) fc[i] *= fx[i];
+    Fft(fc, /*inverse=*/true);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<float>(fc[i].real());
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      acc += static_cast<double>(c[j]) * x[(i + n - j) % n];
+    }
+    out[i] = static_cast<float>(acc);
+  }
+}
+
+void CircularCorrelate(std::span<const float> x, std::span<const float> y,
+                       std::span<float> out) {
+  const std::size_t n = x.size();
+  REPRO_REQUIRE(y.size() == n && out.size() == n,
+                "circular correlate size mismatch");
+  if (IsPow2(n) && n >= 32) {
+    // out = IFFT(conj(FFT(x)) * FFT(y))
+    std::vector<Cpx> fx(n), fy(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      fx[i] = Cpx(x[i], 0.0);
+      fy[i] = Cpx(y[i], 0.0);
+    }
+    Fft(fx);
+    Fft(fy);
+    for (std::size_t i = 0; i < n; ++i) fx[i] = std::conj(fx[i]) * fy[i];
+    Fft(fx, /*inverse=*/true);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<float>(fx[i].real());
+    }
+    return;
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += static_cast<double>(x[i]) * y[(i + j) % n];
+    }
+    out[j] = static_cast<float>(acc);
+  }
+}
+
+}  // namespace repro::core

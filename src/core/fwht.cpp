@@ -1,0 +1,51 @@
+#include "core/fwht.h"
+
+#include <cmath>
+
+#include "util/bitops.h"
+#include "util/error.h"
+
+namespace repro::core {
+
+void Fwht(std::span<float> v) {
+  REPRO_REQUIRE(IsPow2(v.size()), "FWHT needs power-of-two length, got %zu",
+                v.size());
+  for (std::size_t h = 1; h < v.size(); h <<= 1) {
+    for (std::size_t base = 0; base < v.size(); base += 2 * h) {
+      for (std::size_t i = base; i < base + h; ++i) {
+        const float a = v[i];
+        const float b = v[i + h];
+        v[i] = a + b;
+        v[i + h] = a - b;
+      }
+    }
+  }
+}
+
+void FwhtRows(Matrix& x, bool normalize) {
+  const float scale =
+      normalize ? 1.0f / std::sqrt(static_cast<float>(x.cols())) : 1.0f;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    Fwht(x.row(r));
+    if (normalize) {
+      for (float& v : x.row(r)) v *= scale;
+    }
+  }
+}
+
+Matrix HadamardDense(std::size_t n, bool normalize) {
+  REPRO_REQUIRE(IsPow2(n), "Hadamard needs power-of-two size");
+  Matrix h(n, n);
+  const float scale =
+      normalize ? 1.0f / std::sqrt(static_cast<float>(n)) : 1.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      // (-1)^(popcount(i & j))
+      const int sign = __builtin_popcountll(i & j) % 2 == 0 ? 1 : -1;
+      h(i, j) = static_cast<float>(sign) * scale;
+    }
+  }
+  return h;
+}
+
+}  // namespace repro::core

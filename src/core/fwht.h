@@ -1,0 +1,21 @@
+// Fast Walsh-Hadamard transform: the H in the Fastfood layer (S H G Pi H B)
+// and the all-(+1/-1) special case of a butterfly factorization.
+#pragma once
+
+#include <span>
+
+#include "linalg/matrix.h"
+
+namespace repro::core {
+
+// In-place unnormalised FWHT of a length-n (power-of-two) vector.
+void Fwht(std::span<float> v);
+
+// Applies the FWHT to every row of the batch matrix, scaled by 1/sqrt(n)
+// so the transform is orthonormal.
+void FwhtRows(Matrix& x, bool normalize = true);
+
+// Dense Hadamard matrix (for validation), entries +-1/sqrt(n) if normalised.
+Matrix HadamardDense(std::size_t n, bool normalize = true);
+
+}  // namespace repro::core

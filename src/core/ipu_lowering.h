@@ -1,0 +1,63 @@
+// Lowers each layer type onto the IPU simulator: builds the Poplar-style
+// graph, compiles it (per-tile memory checked), and runs a timing-only
+// engine pass. These timings drive Fig. 6 (right), Fig. 7, Table 4 (IPU
+// column) and Table 5.
+//
+// The butterfly/fastfood lowerings use the transposed activation layout
+// (features x batch) so each 2x2 pair touches two contiguous rows, exactly
+// how a feature-parallel lowering lays tensors out on the real device.
+#pragma once
+
+#include "core/pixelfly.h"
+#include "ipusim/arch.h"
+#include "ipusim/profiler.h"
+#include "util/error.h"
+
+namespace repro::core {
+
+struct IpuLayerTiming {
+  double fwd_seconds = 0.0;
+  double flops = 0.0;
+  ipu::GraphCounts counts;
+  // True when the graph did not fit on-chip and the time is the streaming
+  // fallback estimate (PopTorch-style spilling to streaming memory).
+  bool streamed = false;
+};
+
+struct IpuLoweringOptions {
+  // PopTorch parity (default): butterfly stages run as the framework lowers
+  // them -- generic gather + tiny-matmul vertices whose per-MAC cost grows
+  // with tensor size (rearrangement buffers and gather lists degrade SRAM
+  // locality). Turning this off models hand-written custom vertices, the
+  // optimisation opportunity the paper's Section 5 discussion points at.
+  bool poptorch_parity = true;
+};
+
+// torch.nn.Linear equivalent: poplin matmul (batch x in) * (in x out).
+IpuLayerTiming TimeLinearIpu(const ipu::IpuArch& arch, std::size_t batch,
+                             std::size_t in, std::size_t out);
+
+// Butterfly: log2(n) compute sets of Butterfly2x2 vertices.
+IpuLayerTiming TimeButterflyIpu(const ipu::IpuArch& arch, std::size_t batch,
+                                std::size_t n,
+                                const IpuLoweringOptions& opts = {});
+
+// Pixelfly: one BlockGemmAmp compute set over the flat pattern + two skinny
+// poplin matmuls for the low-rank term + residual add.
+IpuLayerTiming TimePixelflyIpu(const ipu::IpuArch& arch, std::size_t batch,
+                               const PixelflyConfig& config);
+
+// Fastfood: 2 x log2(n) Hadamard stages + 3 diagonal scalings + permutation.
+IpuLayerTiming TimeFastfoodIpu(const ipu::IpuArch& arch, std::size_t batch,
+                               std::size_t n);
+
+// Circulant: materialised circulant matrix + poplin matmul.
+IpuLayerTiming TimeCirculantIpu(const ipu::IpuArch& arch, std::size_t batch,
+                                std::size_t n);
+
+// Low rank: two skinny poplin matmuls.
+IpuLayerTiming TimeLowRankIpu(const ipu::IpuArch& arch, std::size_t batch,
+                              std::size_t in, std::size_t out,
+                              std::size_t rank);
+
+}  // namespace repro::core

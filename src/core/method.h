@@ -1,0 +1,34 @@
+// The structured-matrix methods compared throughout the paper (Table 4):
+// a shared enum used by the NN layers, the device-time models and the
+// benchmark harnesses.
+#pragma once
+
+namespace repro::core {
+
+enum class Method {
+  kBaseline,   // dense torch.nn.Linear
+  kButterfly,  // Dao et al. butterfly factorization
+  kFastfood,   // S H G Pi H B
+  kCirculant,  // circulant weight matrix
+  kLowRank,    // W = U V^T, rank 1 in the paper's Table 4
+  kPixelfly,   // flat block butterfly + low rank + residual
+};
+
+constexpr const char* MethodName(Method m) {
+  switch (m) {
+    case Method::kBaseline: return "Baseline";
+    case Method::kButterfly: return "Butterfly";
+    case Method::kFastfood: return "Fastfood";
+    case Method::kCirculant: return "Circulant";
+    case Method::kLowRank: return "Low-rank";
+    case Method::kPixelfly: return "Pixelfly";
+  }
+  return "?";
+}
+
+inline constexpr Method kAllMethods[] = {
+    Method::kBaseline, Method::kButterfly, Method::kFastfood,
+    Method::kCirculant, Method::kLowRank,  Method::kPixelfly,
+};
+
+}  // namespace repro::core

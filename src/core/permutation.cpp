@@ -1,0 +1,98 @@
+#include "core/permutation.h"
+
+#include <algorithm>
+
+#include "util/bitops.h"
+#include "util/error.h"
+
+namespace repro::core {
+
+Permutation::Permutation(std::vector<std::uint32_t> indices)
+    : perm_(std::move(indices)) {
+  std::vector<bool> seen(perm_.size(), false);
+  for (auto i : perm_) {
+    REPRO_REQUIRE(i < perm_.size() && !seen[i], "invalid permutation");
+    seen[i] = true;
+  }
+}
+
+Permutation Permutation::Identity(std::size_t n) {
+  std::vector<std::uint32_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = static_cast<std::uint32_t>(i);
+  return Permutation(std::move(p));
+}
+
+Permutation Permutation::BitReversal(std::size_t n) {
+  REPRO_REQUIRE(IsPow2(n), "bit reversal needs power-of-two size, got %zu", n);
+  const unsigned bits = Log2(n);
+  std::vector<std::uint32_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = BitReverse(static_cast<std::uint32_t>(i), bits);
+  }
+  return Permutation(std::move(p));
+}
+
+Permutation Permutation::EvenOdd(std::size_t n) {
+  REPRO_REQUIRE(n % 2 == 0, "even/odd split needs even size");
+  std::vector<std::uint32_t> p(n);
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    p[i] = static_cast<std::uint32_t>(2 * i);
+    p[n / 2 + i] = static_cast<std::uint32_t>(2 * i + 1);
+  }
+  return Permutation(std::move(p));
+}
+
+Permutation Permutation::Random(std::size_t n, Rng& rng) {
+  auto idx = rng.Permutation(n);
+  std::vector<std::uint32_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = static_cast<std::uint32_t>(idx[i]);
+  return Permutation(std::move(p));
+}
+
+Permutation Permutation::Inverse() const {
+  std::vector<std::uint32_t> inv(perm_.size());
+  for (std::size_t i = 0; i < perm_.size(); ++i) {
+    inv[perm_[i]] = static_cast<std::uint32_t>(i);
+  }
+  return Permutation(std::move(inv));
+}
+
+Permutation Permutation::Compose(const Permutation& other) const {
+  REPRO_REQUIRE(size() == other.size(), "compose size mismatch");
+  std::vector<std::uint32_t> p(size());
+  for (std::size_t i = 0; i < size(); ++i) p[i] = perm_[other.perm_[i]];
+  return Permutation(std::move(p));
+}
+
+void Permutation::ApplyToColumns(const Matrix& x, Matrix& y) const {
+  REPRO_REQUIRE(x.cols() == size() && y.rows() == x.rows() &&
+                    y.cols() == x.cols(),
+                "permutation apply shape mismatch");
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const float* src = x.data() + r * x.cols();
+    float* dst = y.data() + r * y.cols();
+    for (std::size_t c = 0; c < size(); ++c) dst[c] = src[perm_[c]];
+  }
+}
+
+void Permutation::Apply(std::vector<float>& v) const {
+  REPRO_REQUIRE(v.size() == size(), "permutation apply size mismatch");
+  std::vector<float> tmp(v.size());
+  for (std::size_t i = 0; i < size(); ++i) tmp[i] = v[perm_[i]];
+  v = std::move(tmp);
+}
+
+Matrix Permutation::ToDense() const {
+  Matrix m(size(), size());
+  for (std::size_t i = 0; i < size(); ++i) m(i, perm_[i]) = 1.0f;
+  return m;
+}
+
+bool Permutation::IsIdentity() const {
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (perm_[i] != i) return false;
+  }
+  return true;
+}
+
+}  // namespace repro::core

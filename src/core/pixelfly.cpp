@@ -1,0 +1,193 @@
+#include "core/pixelfly.h"
+
+#include <cmath>
+
+#include "util/bitops.h"
+#include "util/error.h"
+
+namespace repro::core {
+
+std::size_t PixelflyConfig::paramCount() const {
+  const std::size_t levels = Log2(butterfly_size);
+  return 2 * grid() * levels * block_size * block_size + 2 * n * low_rank;
+}
+
+std::vector<BlockCoord> FlatButterflyPattern(std::size_t n, std::size_t block,
+                                             std::size_t butterfly_size) {
+  REPRO_REQUIRE(block > 0 && n % block == 0,
+                "block size %zu must divide n %zu", block, n);
+  const std::size_t grid = n / block;
+  REPRO_REQUIRE(IsPow2(butterfly_size) && butterfly_size >= 2 &&
+                    butterfly_size <= grid,
+                "butterfly size %zu must be a power of two in [2, %zu]",
+                butterfly_size, grid);
+  const std::size_t levels = Log2(butterfly_size);
+  std::vector<BlockCoord> coords;
+  coords.reserve(2 * grid * levels);
+  for (std::size_t k = 0; k < levels; ++k) {
+    const std::uint32_t bit = 1u << k;
+    for (std::uint32_t i = 0; i < grid; ++i) {
+      coords.push_back({i, i});
+      coords.push_back({i, i ^ bit});  // stays inside the s-group: bit < s
+    }
+  }
+  return coords;
+}
+
+Pixelfly::Pixelfly(const PixelflyConfig& config, Rng& rng) : config_(config) {
+  pattern_ = FlatButterflyPattern(config.n, config.block_size,
+                                  config.butterfly_size);
+  const std::size_t b2 = config.block_size * config.block_size;
+  blocks_.resize(pattern_.size() * b2);
+  block_grads_.assign(blocks_.size(), 0.0f);
+  // Flat butterfly is a perturbation around the residual identity: blocks
+  // start small so I + S + UV^T is near identity.
+  const float bscale = 1.0f / std::sqrt(static_cast<float>(config.n));
+  rng.FillNormal(blocks_.data(), blocks_.size(), bscale);
+  const std::size_t nr = config.n * config.low_rank;
+  u_.resize(nr);
+  v_.resize(nr);
+  u_grads_.assign(nr, 0.0f);
+  v_grads_.assign(nr, 0.0f);
+  if (nr > 0) {
+    const float lrscale =
+        1.0f / std::sqrt(static_cast<float>(std::max<std::size_t>(
+                  1, config.low_rank)) * config.n);
+    rng.FillNormal(u_.data(), nr, lrscale);
+    rng.FillNormal(v_.data(), nr, lrscale);
+  }
+}
+
+void Pixelfly::Forward(const Matrix& x, Matrix& y, Workspace* ws) const {
+  const std::size_t n = config_.n;
+  const std::size_t b = config_.block_size;
+  const std::size_t r = config_.low_rank;
+  REPRO_REQUIRE(x.cols() == n && y.rows() == x.rows() && y.cols() == n,
+                "pixelfly forward shape mismatch");
+  const std::size_t batch = x.rows();
+  if (config_.residual) {
+    y = x;
+  } else {
+    y.Zero();
+  }
+  // Block-sparse term: y[bi*b + i] += sum_q W_q[i, p] x[bj*b + p].
+  const std::size_t b2 = b * b;
+  for (std::size_t row = 0; row < batch; ++row) {
+    const float* xr = x.data() + row * n;
+    float* yr = y.data() + row * n;
+    for (std::size_t q = 0; q < pattern_.size(); ++q) {
+      const float* w = blocks_.data() + q * b2;
+      const float* xb = xr + pattern_[q].bj * b;
+      float* yb = yr + pattern_[q].bi * b;
+      for (std::size_t i = 0; i < b; ++i) {
+        float acc = 0.0f;
+        const float* wrow = w + i * b;
+        for (std::size_t p = 0; p < b; ++p) acc += wrow[p] * xb[p];
+        yb[i] += acc;
+      }
+    }
+  }
+  // Low-rank term: t = x V (batch x r), y += t U^T.
+  Matrix t(batch, std::max<std::size_t>(r, 1));
+  if (r > 0) {
+    for (std::size_t row = 0; row < batch; ++row) {
+      const float* xr = x.data() + row * n;
+      float* tr = t.data() + row * t.cols();
+      for (std::size_t j = 0; j < r; ++j) tr[j] = 0.0f;
+      for (std::size_t i = 0; i < n; ++i) {
+        const float xv = xr[i];
+        if (xv == 0.0f) continue;
+        const float* vrow = v_.data() + i * r;
+        for (std::size_t j = 0; j < r; ++j) tr[j] += xv * vrow[j];
+      }
+      float* yr = y.data() + row * n;
+      for (std::size_t i = 0; i < n; ++i) {
+        const float* urow = u_.data() + i * r;
+        float acc = 0.0f;
+        for (std::size_t j = 0; j < r; ++j) acc += urow[j] * tr[j];
+        yr[i] += acc;
+      }
+    }
+  }
+  if (ws != nullptr) {
+    ws->x = x;
+    ws->t = std::move(t);
+  }
+}
+
+void Pixelfly::Backward(const Workspace& ws, const Matrix& dy, Matrix& dx) {
+  const std::size_t n = config_.n;
+  const std::size_t b = config_.block_size;
+  const std::size_t r = config_.low_rank;
+  const std::size_t batch = dy.rows();
+  REPRO_REQUIRE(ws.x.rows() == batch && dy.cols() == n,
+                "pixelfly backward shape mismatch");
+  dx = Matrix(batch, n);
+  if (config_.residual) dx = dy;
+
+  const std::size_t b2 = b * b;
+  for (std::size_t row = 0; row < batch; ++row) {
+    const float* xr = ws.x.data() + row * n;
+    const float* gy = dy.data() + row * n;
+    float* gx = dx.data() + row * n;
+    for (std::size_t q = 0; q < pattern_.size(); ++q) {
+      const float* w = blocks_.data() + q * b2;
+      float* gw = block_grads_.data() + q * b2;
+      const float* xb = xr + pattern_[q].bj * b;
+      const float* gyb = gy + pattern_[q].bi * b;
+      float* gxb = gx + pattern_[q].bj * b;
+      for (std::size_t i = 0; i < b; ++i) {
+        const float g = gyb[i];
+        if (g == 0.0f) continue;
+        const float* wrow = w + i * b;
+        float* gwrow = gw + i * b;
+        for (std::size_t p = 0; p < b; ++p) {
+          gwrow[p] += g * xb[p];
+          gxb[p] += wrow[p] * g;
+        }
+      }
+    }
+    if (r > 0) {
+      const float* tr = ws.t.data() + row * ws.t.cols();
+      // dt = U^T dy ; dU += dy t^T ; dV += x dt^T ; dx += V dt.
+      std::vector<float> dt(r, 0.0f);
+      for (std::size_t i = 0; i < n; ++i) {
+        const float g = gy[i];
+        if (g == 0.0f) continue;
+        const float* urow = u_.data() + i * r;
+        float* gurow = u_grads_.data() + i * r;
+        for (std::size_t j = 0; j < r; ++j) {
+          dt[j] += urow[j] * g;
+          gurow[j] += g * tr[j];
+        }
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const float xv = xr[i];
+        const float* vrow = v_.data() + i * r;
+        float* gvrow = v_grads_.data() + i * r;
+        float acc = 0.0f;
+        for (std::size_t j = 0; j < r; ++j) {
+          gvrow[j] += xv * dt[j];
+          acc += vrow[j] * dt[j];
+        }
+        gx[i] += acc;
+      }
+    }
+  }
+}
+
+Matrix Pixelfly::ToDense() const {
+  const std::size_t n = config_.n;
+  Matrix basis = Matrix::Identity(n);
+  Matrix out(n, n);
+  Forward(basis, out);
+  return out.Transposed();
+}
+
+void Pixelfly::zeroGrad() {
+  block_grads_.assign(block_grads_.size(), 0.0f);
+  u_grads_.assign(u_grads_.size(), 0.0f);
+  v_grads_.assign(v_grads_.size(), 0.0f);
+}
+
+}  // namespace repro::core

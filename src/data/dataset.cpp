@@ -1,0 +1,107 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace repro::data {
+
+Split SplitValidation(const Dataset& d, double fraction) {
+  REPRO_REQUIRE(fraction > 0.0 && fraction < 1.0, "bad validation fraction");
+  const std::size_t val_n =
+      static_cast<std::size_t>(std::llround(fraction * d.size()));
+  const std::size_t train_n = d.size() - val_n;
+  Split s;
+  s.train.num_classes = s.val.num_classes = d.num_classes;
+  s.train.images = Matrix(train_n, d.dim());
+  s.val.images = Matrix(val_n, d.dim());
+  for (std::size_t i = 0; i < train_n; ++i) {
+    std::copy(d.images.row(i).begin(), d.images.row(i).end(),
+              s.train.images.row(i).begin());
+    s.train.labels.push_back(d.labels[i]);
+  }
+  for (std::size_t i = 0; i < val_n; ++i) {
+    std::copy(d.images.row(train_n + i).begin(),
+              d.images.row(train_n + i).end(), s.val.images.row(i).begin());
+    s.val.labels.push_back(d.labels[train_n + i]);
+  }
+  return s;
+}
+
+void StandardizeTogether(Dataset& train, std::vector<Dataset*> others) {
+  const std::size_t dim = train.dim();
+  std::vector<double> mean(dim, 0.0), var(dim, 0.0);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    auto row = train.images.row(i);
+    for (std::size_t j = 0; j < dim; ++j) mean[j] += row[j];
+  }
+  for (auto& m : mean) m /= static_cast<double>(train.size());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    auto row = train.images.row(i);
+    for (std::size_t j = 0; j < dim; ++j) {
+      const double d = row[j] - mean[j];
+      var[j] += d * d;
+    }
+  }
+  for (auto& v : var) v = std::sqrt(v / static_cast<double>(train.size()) + 1e-6);
+  auto apply = [&](Dataset& d) {
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      auto row = d.images.row(i);
+      for (std::size_t j = 0; j < dim; ++j) {
+        row[j] = static_cast<float>((row[j] - mean[j]) / var[j]);
+      }
+    }
+  };
+  apply(train);
+  for (auto* d : others) apply(*d);
+}
+
+Dataset PadFeatures(const Dataset& d, std::size_t dim) {
+  REPRO_REQUIRE(dim >= d.dim(), "cannot pad %zu features down to %zu", d.dim(),
+                dim);
+  Dataset out;
+  out.num_classes = d.num_classes;
+  out.labels = d.labels;
+  out.images = Matrix(d.size(), dim);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    std::copy(d.images.row(i).begin(), d.images.row(i).end(),
+              out.images.row(i).begin());
+  }
+  return out;
+}
+
+BatchIterator::BatchIterator(const Dataset& d, std::size_t batch_size,
+                             Rng& rng, bool shuffle)
+    : d_(d), batch_(batch_size), rng_(&rng), shuffle_(shuffle) {
+  REPRO_REQUIRE(batch_ > 0 && batch_ <= d.size(), "bad batch size %zu", batch_);
+  order_.resize(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) order_[i] = i;
+  Reset();
+}
+
+void BatchIterator::Reset() {
+  cursor_ = 0;
+  if (shuffle_) {
+    for (std::size_t i = order_.size(); i > 1; --i) {
+      std::swap(order_[i - 1], order_[rng_->Below(i)]);
+    }
+  }
+}
+
+bool BatchIterator::Next(Matrix& x, std::vector<std::uint8_t>& y) {
+  if (cursor_ + batch_ > order_.size()) return false;
+  if (x.rows() != batch_ || x.cols() != d_.dim()) {
+    x = Matrix(batch_, d_.dim());
+  }
+  y.resize(batch_);
+  for (std::size_t i = 0; i < batch_; ++i) {
+    const std::size_t src = order_[cursor_ + i];
+    std::copy(d_.images.row(src).begin(), d_.images.row(src).end(),
+              x.row(i).begin());
+    y[i] = d_.labels[src];
+  }
+  cursor_ += batch_;
+  return true;
+}
+
+}  // namespace repro::data

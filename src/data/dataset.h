@@ -1,0 +1,60 @@
+// In-memory labelled dataset + deterministic batching.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace repro::data {
+
+struct Dataset {
+  Matrix images;                 // num_samples x dim, row per sample
+  std::vector<std::uint8_t> labels;
+  std::size_t num_classes = 10;
+
+  std::size_t size() const { return labels.size(); }
+  std::size_t dim() const { return images.cols(); }
+};
+
+// Deterministically splits off the last `fraction` of samples as validation
+// (samples are already shuffled at generation time).
+struct Split {
+  Dataset train;
+  Dataset val;
+};
+Split SplitValidation(const Dataset& d, double fraction);
+
+// Standardises features to zero mean / unit variance using the *train*
+// statistics; applies the same transform to every dataset passed.
+void StandardizeTogether(Dataset& train, std::vector<Dataset*> others);
+
+// Zero-pads every sample to `dim` features. Butterfly layers need a
+// power-of-two width, so MNIST-like 784-dim inputs get padded to 1024 (the
+// paper instead reports that pixelfly could not run on MNIST at all).
+Dataset PadFeatures(const Dataset& d, std::size_t dim);
+
+// Batch iterator: yields row ranges of a shuffled index list.
+class BatchIterator {
+ public:
+  BatchIterator(const Dataset& d, std::size_t batch_size, Rng& rng,
+                bool shuffle = true);
+
+  // Returns false when the epoch is exhausted; otherwise fills x (batch x dim)
+  // and y (labels). The final partial batch is dropped (as the paper's
+  // fixed-batch training does).
+  bool Next(Matrix& x, std::vector<std::uint8_t>& y);
+  void Reset();
+  std::size_t batchesPerEpoch() const { return d_.size() / batch_; }
+
+ private:
+  const Dataset& d_;
+  std::size_t batch_;
+  std::size_t cursor_ = 0;
+  std::vector<std::size_t> order_;
+  Rng* rng_;
+  bool shuffle_;
+};
+
+}  // namespace repro::data

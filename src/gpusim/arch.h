@@ -1,0 +1,33 @@
+// Architectural description of the comparator GPU (NVIDIA A30, Table 1).
+//
+// The GPU only ever serves as a baseline in the paper, so it is modelled
+// analytically: a roofline (compute peak vs DRAM bandwidth) with kernel
+// launch overhead, occupancy, tile-utilisation and tensor-core alignment
+// terms. Per-kernel base efficiencies are calibrated against the paper's
+// measured Table 2 numbers and noted at their definitions.
+#pragma once
+
+#include <cstddef>
+
+namespace repro::gpu {
+
+struct GpuArch {
+  double fp32_peak_flops = 10.3e12;   // CUDA cores
+  double tf32_peak_flops = 82.0e12;   // Tensor Cores
+  double dram_bytes_per_sec = 933e9;
+  std::size_t dram_bytes = 24ull * 1000 * 1000 * 1000;  // 24 GB
+  double l2_bytes_per_sec = 2.8e12;
+  std::size_t num_sms = 56;
+  std::size_t max_resident_blocks = 224;  // ~4 CTAs per SM for GEMM kernels
+  // Kernel launch + driver overhead per kernel; dominates tiny problem
+  // sizes and is the mechanism behind the paper's small-N factorization
+  // penalty on the GPU (Fig. 6 worst case 14.45x for butterfly).
+  double launch_overhead_sec = 4.5e-6;
+  // Framework (PyTorch) per-op dispatch overhead on top of the raw kernel.
+  double framework_overhead_sec = 2.0e-6;
+  double clock_hz = 1.44e9;
+};
+
+inline constexpr GpuArch A30() { return GpuArch{}; }
+
+}  // namespace repro::gpu

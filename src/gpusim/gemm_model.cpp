@@ -1,0 +1,141 @@
+#include "gpusim/gemm_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bitops.h"
+
+namespace repro::gpu {
+namespace {
+
+// Base efficiencies at large square sizes, calibrated to Table 2:
+//   naive 1091 GF / 10.3 TF = 0.106, shmem 2076 / 10.3 TF = 0.202,
+//   cublas FP32 9722 / 10.3 TF = 0.944, cublas TF32 59312 / 82 TF = 0.723.
+struct KernelParams {
+  double base_eff;
+  std::size_t tile_m;
+  std::size_t tile_n;
+};
+
+KernelParams ParamsFor(GemmKernel k) {
+  switch (k) {
+    case GemmKernel::kNaive: return {0.106, 16, 16};
+    case GemmKernel::kShmem: return {0.202, 64, 64};
+    case GemmKernel::kCublasFp32: return {0.944, 128, 128};
+    case GemmKernel::kCublasTf32: return {0.723, 256, 128};
+  }
+  return {0.1, 16, 16};
+}
+
+// One resident CTA per SM is enough to saturate a GEMM kernel's math
+// pipelines; fewer blocks than SMs leaves hardware idle.
+double Occupancy(const GpuArch& arch, std::size_t blocks) {
+  return std::min(1.0, static_cast<double>(blocks) /
+                           static_cast<double>(arch.num_sms));
+}
+
+}  // namespace
+
+KernelEstimate EstimateGemm(const GpuArch& arch, GemmKernel kernel,
+                            std::size_t m, std::size_t k, std::size_t n) {
+  const KernelParams p = ParamsFor(kernel);
+  const bool tc = kernel == GemmKernel::kCublasTf32;
+  const double peak = tc ? arch.tf32_peak_flops : arch.fp32_peak_flops;
+
+  KernelEstimate e;
+  e.flops = 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+            static_cast<double>(n);
+  const std::size_t bytes = (m * k + k * n + m * n) * sizeof(float);
+  e.fits_memory = bytes <= arch.dram_bytes;
+
+  // Tile utilisation: partially filled output tiles waste lanes. Tensor
+  // cores additionally waste lanes up to the 16-granularity of their MMA
+  // shapes, which is why TC performance collapses fastest under skew.
+  double util = std::min(1.0, static_cast<double>(m) / p.tile_m) *
+                std::min(1.0, static_cast<double>(n) / p.tile_n);
+  util = std::sqrt(util);  // tiles overlap m and n losses only partially
+  if (tc) {
+    util *= static_cast<double>(m) / static_cast<double>(CeilDiv(m, 16) * 16);
+    util *= static_cast<double>(n) / static_cast<double>(CeilDiv(n, 16) * 16);
+    util *= static_cast<double>(k) / static_cast<double>(CeilDiv(k, 16) * 16);
+  }
+  // Short inner dimension: the k-loop cannot hide latency.
+  util *= std::min(1.0, std::sqrt(static_cast<double>(k) / 64.0));
+
+  const std::size_t blocks = CeilDiv(m, p.tile_m) * CeilDiv(n, p.tile_n);
+  const double occ = Occupancy(arch, blocks);
+  const double eff = p.base_eff * util * (0.12 + 0.88 * occ);
+
+  const double compute_s = e.flops / (peak * std::max(eff, 1e-4));
+  // DRAM traffic: operands + result (cuBLAS streams with high reuse).
+  const double mem_s =
+      static_cast<double>(bytes) / arch.dram_bytes_per_sec;
+  e.seconds = std::max(compute_s, mem_s) + arch.launch_overhead_sec;
+  return e;
+}
+
+KernelEstimate EstimateBatchedSmallGemm(const GpuArch& arch, bool tensor_cores,
+                                        std::size_t batches, std::size_t bm,
+                                        std::size_t bk, std::size_t bn,
+                                        std::size_t stride_elems) {
+  KernelEstimate e;
+  e.flops = 2.0 * static_cast<double>(batches) * static_cast<double>(bm) *
+            static_cast<double>(bk) * static_cast<double>(bn);
+  // Strided tiny matmuls are memory-bound with poor coalescing: effective
+  // bandwidth halves once the stride exceeds a 128-byte transaction.
+  const double traffic = static_cast<double>(batches) *
+                         static_cast<double>(bm * bk + bk * bn + bm * bn) *
+                         sizeof(float);
+  const double coalesce =
+      stride_elems * sizeof(float) > 128 ? 0.45 : 0.9;
+  const double mem_s = traffic / (arch.dram_bytes_per_sec * coalesce);
+  // Tensor cores pad each operand tile to 16: a 2x2 butterfly block uses
+  // 2/16 of the MMA in each dimension, so TC rarely helps here.
+  double peak = tensor_cores ? arch.tf32_peak_flops : arch.fp32_peak_flops;
+  double util = 0.35;
+  if (tensor_cores) {
+    util *= (static_cast<double>(bm) / static_cast<double>(CeilDiv(bm, 16) * 16)) *
+            (static_cast<double>(bk) / static_cast<double>(CeilDiv(bk, 16) * 16));
+  }
+  const double compute_s = e.flops / (peak * std::max(util, 1e-4));
+  e.seconds = std::max(compute_s, mem_s) + arch.launch_overhead_sec;
+  return e;
+}
+
+KernelEstimate EstimateBlockSparseGemm(const GpuArch& arch, bool tensor_cores,
+                                       std::size_t nblocks, std::size_t b,
+                                       std::size_t batch) {
+  KernelEstimate e;
+  e.flops = 2.0 * static_cast<double>(nblocks) * static_cast<double>(b) *
+            static_cast<double>(b) * static_cast<double>(batch);
+  // Aligned block tiles keep accesses coalesced; with tensor cores the
+  // blocks map straight onto MMA shapes (pixelfly's design point). Base
+  // efficiencies calibrated to keep pixelfly ~at parity with dense Linear
+  // on the GPU (paper Fig. 6, left/middle).
+  double eff = tensor_cores ? 0.45 : 0.25;
+  const double align =
+      static_cast<double>(b) / static_cast<double>(CeilDiv(b, 16) * 16);
+  eff *= tensor_cores ? align : (0.6 + 0.4 * align);
+  const double peak =
+      tensor_cores ? arch.tf32_peak_flops : arch.fp32_peak_flops;
+  const double traffic =
+      (static_cast<double>(nblocks) * b * b +
+       2.0 * static_cast<double>(nblocks) * b * batch) *
+      sizeof(float);
+  const double mem_s = traffic / (arch.dram_bytes_per_sec * 0.8);
+  const double compute_s = e.flops / (peak * std::max(eff, 1e-4));
+  e.seconds = std::max(compute_s, mem_s) + arch.launch_overhead_sec;
+  return e;
+}
+
+KernelEstimate EstimateElementwise(const GpuArch& arch, std::size_t n,
+                                   std::size_t bytes_per_elem) {
+  KernelEstimate e;
+  e.flops = static_cast<double>(n);
+  e.seconds = static_cast<double>(n * bytes_per_elem) /
+                  arch.dram_bytes_per_sec +
+              arch.launch_overhead_sec;
+  return e;
+}
+
+}  // namespace repro::gpu

@@ -1,0 +1,55 @@
+// Analytic GEMM timing for the A30: the four dense kernels of Table 2
+// (naive, shared-memory tiled, cuBLAS FP32, cuBLAS TF32/tensor cores) with
+// shape-dependent efficiency, reproducing the skewed-matrix behaviour of
+// Fig. 4 (tensor cores degrade fastest under skew).
+#pragma once
+
+#include <cstddef>
+
+#include "gpusim/arch.h"
+
+namespace repro::gpu {
+
+enum class GemmKernel { kNaive, kShmem, kCublasFp32, kCublasTf32 };
+
+constexpr const char* GemmKernelName(GemmKernel k) {
+  switch (k) {
+    case GemmKernel::kNaive: return "naive";
+    case GemmKernel::kShmem: return "shmem";
+    case GemmKernel::kCublasFp32: return "cublas(FP32)";
+    case GemmKernel::kCublasTf32: return "cublas(TF32)";
+  }
+  return "?";
+}
+
+struct KernelEstimate {
+  double seconds = 0.0;
+  double flops = 0.0;
+  bool fits_memory = true;
+
+  double gflops() const { return seconds > 0 ? flops / seconds / 1e9 : 0.0; }
+};
+
+// C(m x n) = A(m x k) * B(k x n) on the device, one kernel launch.
+KernelEstimate EstimateGemm(const GpuArch& arch, GemmKernel kernel,
+                            std::size_t m, std::size_t k, std::size_t n);
+
+// Batched strided small-block GEMM (the butterfly building block):
+// `batches` independent (bm x bk) x (bk x bn) products in one launch, with
+// non-coalesced access (stride `stride_elems` between consumed elements).
+KernelEstimate EstimateBatchedSmallGemm(const GpuArch& arch, bool tensor_cores,
+                                        std::size_t batches, std::size_t bm,
+                                        std::size_t bk, std::size_t bn,
+                                        std::size_t stride_elems);
+
+// Block-sparse GEMM over `nblocks` b x b tiles against a (n x batch) dense
+// operand; the aligned-block kernel pixelfly relies on (TC-friendly).
+KernelEstimate EstimateBlockSparseGemm(const GpuArch& arch, bool tensor_cores,
+                                       std::size_t nblocks, std::size_t b,
+                                       std::size_t batch);
+
+// Elementwise kernel over n elements (bias add, relu, residual add...).
+KernelEstimate EstimateElementwise(const GpuArch& arch, std::size_t n,
+                                   std::size_t bytes_per_elem = 12);
+
+}  // namespace repro::gpu

@@ -1,0 +1,122 @@
+#include "gpusim/layer_cost.h"
+
+#include "util/bitops.h"
+
+namespace repro::gpu {
+namespace {
+
+KernelEstimate Gemm(const GpuArch& arch, bool tc, std::size_t m, std::size_t k,
+                    std::size_t n) {
+  return EstimateGemm(arch, tc ? GemmKernel::kCublasTf32 : GemmKernel::kCublasFp32,
+                      m, k, n);
+}
+
+void AddFrameworkOverhead(const GpuArch& arch, LayerCost& c) {
+  c.seconds += static_cast<double>(c.kernels) * arch.framework_overhead_sec;
+}
+
+}  // namespace
+
+LayerCost LinearForward(const GpuArch& arch, std::size_t batch, std::size_t in,
+                        std::size_t out, bool tensor_cores) {
+  LayerCost c;
+  c += Gemm(arch, tensor_cores, batch, in, out);
+  c += EstimateElementwise(arch, batch * out);  // bias add
+  AddFrameworkOverhead(arch, c);
+  return c;
+}
+
+LayerCost ButterflyForward(const GpuArch& arch, std::size_t batch,
+                           std::size_t n, bool tensor_cores) {
+  LayerCost c;
+  const unsigned stages = Log2(NextPow2(n));
+  for (unsigned s = 0; s < stages; ++s) {
+    const std::size_t stride = std::size_t{1} << s;
+    // reshape/gather kernel + batched 2x2 matmul kernel per stage.
+    c += EstimateElementwise(arch, batch * n, 8);
+    c += EstimateBatchedSmallGemm(arch, tensor_cores, (n / 2) * 1, 2, 2, batch,
+                                  stride * batch);
+  }
+  AddFrameworkOverhead(arch, c);
+  return c;
+}
+
+LayerCost PixelflyForward(const GpuArch& arch, std::size_t batch,
+                          std::size_t n, std::size_t block_size,
+                          std::size_t butterfly_size, std::size_t low_rank,
+                          bool tensor_cores) {
+  LayerCost c;
+  const std::size_t grid = n / block_size;  // block rows in the grid
+  const std::size_t nblocks = 2 * grid * Log2(butterfly_size);
+  c += EstimateBlockSparseGemm(arch, tensor_cores, nblocks, block_size, batch);
+  if (low_rank > 0) {
+    c += Gemm(arch, tensor_cores, batch, n, low_rank);
+    c += Gemm(arch, tensor_cores, batch, low_rank, n);
+  }
+  c += EstimateElementwise(arch, batch * n);  // residual add
+  AddFrameworkOverhead(arch, c);
+  return c;
+}
+
+LayerCost FastfoodForward(const GpuArch& arch, std::size_t batch,
+                          std::size_t n, bool /*tensor_cores*/) {
+  // On the GPU the Walsh-Hadamard transforms run as single fused kernels
+  // (the reference implementation ships a batched FWHT kernel), so the
+  // whole pipeline is ~6 launches: 2 FWHT + 3 diagonals + 1 gather. Each
+  // FWHT kernel makes log2(n) passes over the data in shared memory, so
+  // its traffic is ~2 global passes.
+  LayerCost c;
+  const unsigned stages = Log2(NextPow2(n));
+  c += EstimateElementwise(arch, batch * n, 8 * stages / 4);  // FWHT 1
+  c += EstimateElementwise(arch, batch * n, 8 * stages / 4);  // FWHT 2
+  for (int d = 0; d < 3; ++d) {  // B, G, S diagonal scalings
+    c += EstimateElementwise(arch, batch * n, 12);
+  }
+  c += EstimateElementwise(arch, batch * n, 12);  // permutation gather
+  AddFrameworkOverhead(arch, c);
+  return c;
+}
+
+LayerCost CirculantForward(const GpuArch& arch, std::size_t batch,
+                           std::size_t n, bool tensor_cores) {
+  LayerCost c;
+  c += EstimateElementwise(arch, n * n, 8);  // materialise circulant matrix
+  c += Gemm(arch, tensor_cores, batch, n, n);
+  AddFrameworkOverhead(arch, c);
+  return c;
+}
+
+LayerCost LowRankForward(const GpuArch& arch, std::size_t batch,
+                         std::size_t in, std::size_t out, std::size_t rank,
+                         bool tensor_cores) {
+  LayerCost c;
+  c += Gemm(arch, tensor_cores, batch, in, rank);
+  c += Gemm(arch, tensor_cores, batch, rank, out);
+  AddFrameworkOverhead(arch, c);
+  return c;
+}
+
+double TrainingStepSeconds(const GpuArch& arch, const LayerCost& hidden_fwd,
+                           std::size_t batch, std::size_t hidden,
+                           std::size_t classes, std::size_t n_params,
+                           bool tensor_cores) {
+  LayerCost step;
+  // Hidden layer: forward once, backward ~ 2x forward (grad wrt input and
+  // wrt parameters re-run the same kernels).
+  step.seconds += 3.0 * hidden_fwd.seconds;
+  step.flops += 3.0 * hidden_fwd.flops;
+  step.kernels += 3 * hidden_fwd.kernels;
+  // Classifier: fwd GEMM + 2 bwd GEMMs.
+  step += Gemm(arch, tensor_cores, batch, hidden, classes);
+  step += Gemm(arch, tensor_cores, batch, classes, hidden);
+  step += Gemm(arch, tensor_cores, hidden, batch, classes);
+  // ReLU fwd/bwd, softmax + loss, and the SGD update over every parameter.
+  step += EstimateElementwise(arch, batch * hidden);
+  step += EstimateElementwise(arch, batch * hidden);
+  step += EstimateElementwise(arch, batch * classes);
+  step += EstimateElementwise(arch, n_params, 16);
+  AddFrameworkOverhead(arch, step);
+  return step.seconds;
+}
+
+}  // namespace repro::gpu

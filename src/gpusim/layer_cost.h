@@ -1,0 +1,72 @@
+// GPU-side forward-pass costs for every layer type in the paper's Fig. 6 and
+// Table 4, composed from the kernel models in gemm_model.h. All layers are
+// evaluated as PyTorch would launch them (one or more kernels per op, with
+// framework dispatch overhead), because that is what the paper measures.
+#pragma once
+
+#include <cstddef>
+
+#include "gpusim/gemm_model.h"
+
+namespace repro::gpu {
+
+struct LayerCost {
+  double seconds = 0.0;
+  double flops = 0.0;
+  std::size_t kernels = 0;
+
+  LayerCost& operator+=(const KernelEstimate& e) {
+    seconds += e.seconds;
+    flops += e.flops;
+    kernels += 1;
+    return *this;
+  }
+  LayerCost& operator+=(const LayerCost& other) {
+    seconds += other.seconds;
+    flops += other.flops;
+    kernels += other.kernels;
+    return *this;
+  }
+};
+
+// torch.nn.Linear: GEMM + bias kernel.
+LayerCost LinearForward(const GpuArch& arch, std::size_t batch, std::size_t in,
+                        std::size_t out, bool tensor_cores);
+
+// Butterfly (Dao et al.): log2(n) stages, each lowered by PyTorch as a
+// reshape + batched 2x2 matmul (2 kernels per stage, strided access).
+LayerCost ButterflyForward(const GpuArch& arch, std::size_t batch,
+                           std::size_t n, bool tensor_cores);
+
+// Pixelfly (flat block butterfly + low rank + residual): one block-sparse
+// GEMM over the summed factor pattern, two skinny GEMMs for the low-rank
+// term, and a residual add.
+LayerCost PixelflyForward(const GpuArch& arch, std::size_t batch,
+                          std::size_t n, std::size_t block_size,
+                          std::size_t butterfly_size, std::size_t low_rank,
+                          bool tensor_cores);
+
+// Fastfood: S H G Pi H B -- three diagonal kernels, a gather (permutation),
+// and two Walsh-Hadamard transforms of log2(n) stages each.
+LayerCost FastfoodForward(const GpuArch& arch, std::size_t batch,
+                          std::size_t n, bool tensor_cores);
+
+// Circulant: materialise the circulant matrix (gather kernel) + dense GEMM,
+// matching the plain-PyTorch implementation the paper falls back to.
+LayerCost CirculantForward(const GpuArch& arch, std::size_t batch,
+                           std::size_t n, bool tensor_cores);
+
+// Low-rank W = U V^T: two skinny GEMMs.
+LayerCost LowRankForward(const GpuArch& arch, std::size_t batch,
+                         std::size_t in, std::size_t out, std::size_t rank,
+                         bool tensor_cores);
+
+// One SGD training step given the hidden-layer forward cost: forward +
+// backward (~2x forward) for the hidden layer, plus the classifier GEMMs,
+// activation/loss kernels, and parameter updates.
+double TrainingStepSeconds(const GpuArch& arch, const LayerCost& hidden_fwd,
+                           std::size_t batch, std::size_t hidden,
+                           std::size_t classes, std::size_t n_params,
+                           bool tensor_cores);
+
+}  // namespace repro::gpu

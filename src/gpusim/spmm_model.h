@@ -1,0 +1,24 @@
+// cusparse-style unstructured SpMM timing (CSR and COO), for the sparse
+// columns of Table 2. Reported rates there are *dense-equivalent* GFLOP/s
+// (2*m*k*n / time), which is why the paper marks them as exceeding peak.
+#pragma once
+
+#include <cstddef>
+
+#include "gpusim/arch.h"
+#include "gpusim/gemm_model.h"
+
+namespace repro::gpu {
+
+enum class SparseFormat { kCsr, kCoo };
+
+// C(m x n) = S(m x k, nnz nonzeros) * B(k x n).
+KernelEstimate EstimateSpmm(const GpuArch& arch, SparseFormat format,
+                            std::size_t m, std::size_t k, std::size_t n,
+                            std::size_t nnz);
+
+// Dense-equivalent rate for a sparse estimate.
+double DenseEquivalentGflops(const KernelEstimate& e, std::size_t m,
+                             std::size_t k, std::size_t n);
+
+}  // namespace repro::gpu

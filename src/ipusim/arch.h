@@ -1,0 +1,103 @@
+// Architectural description of the simulated Graphcore GC200 IPU.
+//
+// Numbers follow Table 1 of the paper plus public GC200 documentation and
+// the microbenchmark literature (Jia et al., arXiv:1912.03413). Derived
+// quantities are written out explicitly so calibration is auditable:
+//
+//   FP32 peak 62.5 TFLOP/s = 1472 tiles * 1.33 GHz * 32 flop/cycle
+//     -> the AMP (Accumulating Matrix Product) unit does 16 MACs/cycle/tile.
+//   On-chip SRAM 900 MB ~= 1472 tiles * 624 KiB.
+//   Exchange: ~8 bytes/cycle receive bandwidth per tile, distance-independent
+//     latency (the paper's Observation 1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace repro::ipu {
+
+struct IpuArch {
+  // --- topology ---
+  std::size_t num_tiles = 1472;
+  std::size_t threads_per_tile = 6;
+  std::size_t tile_memory_bytes = 624 * 1024;  // 638976 B; 898.5 MiB total
+  double clock_hz = 1.33e9;
+
+  // --- compute throughput per tile ---
+  // AMP unit: fused dense matmul pipeline, 16 MACs/cycle when streaming.
+  double amp_macs_per_cycle = 16.0;
+  // Cycles needed to prime/drain an AMP pass (weight load + pipeline fill).
+  double amp_setup_cycles = 32.0;
+  // Scalar/irregular code (pointer-chasing MACs in C-like codelets): the
+  // paper's "IPU naive" (~525 GFLOP/s whole-chip), i.e. ~7 cycles per MAC.
+  double scalar_cycles_per_mac = 7.25;
+  // Vectorised elementwise float ops (relu, axpy): 2 lanes/cycle.
+  double simd_flops_per_cycle = 2.0;
+
+  // --- exchange fabric ---
+  // Per-tile receive bandwidth during an exchange phase.
+  double exchange_bytes_per_cycle = 8.0;
+  // Fixed cost of an exchange phase: BSP sync + exchange program dispatch
+  // (~225 ns at 1.33 GHz, in line with measured GC200 sync latency).
+  double exchange_sync_cycles = 300.0;
+  // Fixed cost of launching a compute set (supervisor dispatch).
+  double compute_sync_cycles = 100.0;
+  // Per-vertex dispatch overhead inside a compute set.
+  double vertex_dispatch_cycles = 12.0;
+
+  // --- off-chip ---
+  std::size_t streaming_memory_bytes = 64ull * 1000 * 1000 * 1000;  // 64 GB
+  double host_bandwidth_bytes_per_sec = 20e9;  // paper Table 1: 20 GB/s
+
+  // --- derived ---
+  std::size_t total_memory_bytes() const {
+    return num_tiles * tile_memory_bytes;
+  }
+  double peak_fp32_flops() const {
+    return static_cast<double>(num_tiles) * clock_hz * amp_macs_per_cycle * 2.0;
+  }
+  double exchange_aggregate_bytes_per_sec() const {
+    return static_cast<double>(num_tiles) * clock_hz * exchange_bytes_per_cycle;
+  }
+};
+
+// The device used throughout the paper's experiments.
+inline constexpr IpuArch Gc200() { return IpuArch{}; }
+
+// First-generation GC2, used by much of the related work; exposed so tests
+// and ablations can contrast generations (1216 tiles x 256 KiB).
+inline IpuArch Gc2() {
+  IpuArch a;
+  a.num_tiles = 1216;
+  a.tile_memory_bytes = 256 * 1024;
+  a.clock_hz = 1.6e9;
+  a.amp_macs_per_cycle = 8.0;
+  return a;
+}
+
+// Per-tile memory accounting categories, mirroring PopVision's breakdown.
+enum class MemCategory : std::uint8_t {
+  kVariables = 0,
+  kVertexState,
+  kVertexCode,
+  kEdgePointers,
+  kExchangeBuffers,
+  kControlCode,
+  kCount,
+};
+
+constexpr const char* MemCategoryName(MemCategory c) {
+  switch (c) {
+    case MemCategory::kVariables: return "variables";
+    case MemCategory::kVertexState: return "vertex state";
+    case MemCategory::kVertexCode: return "vertex code";
+    case MemCategory::kEdgePointers: return "edge pointers";
+    case MemCategory::kExchangeBuffers: return "exchange buffers";
+    case MemCategory::kControlCode: return "control code";
+    default: return "?";
+  }
+}
+
+}  // namespace repro::ipu

@@ -1,0 +1,122 @@
+// Codelets: the vertex programs that run on tiles.
+//
+// A codelet bundles real arithmetic (compute) with a cycle model (cycles)
+// and a useful-FLOP count (flops). The engine executes compute so results
+// are numerically real, and charges the cycle model so device time is
+// architecturally plausible. Cycle constants are calibrated against the
+// paper's measurements; each builtin documents its calibration.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ipusim/arch.h"
+#include "util/error.h"
+
+namespace repro::ipu {
+
+// Resolved vertex context handed to compute/cycle functions. Field edges are
+// resolved to spans into engine storage, in connection order.
+class VertexArgs {
+ public:
+  VertexArgs(const IpuArch* arch, const std::map<std::string, double>* imms,
+             const std::vector<float>* state)
+      : arch_(arch), imms_(imms), state_(state) {}
+
+  void addEdge(const std::string& field, std::span<float> data) {
+    fields_[field].push_back(data);
+    sizes_[field].push_back(data.size());
+  }
+  // Timing-only mode: record the edge size without backing storage. The
+  // cycle/flops estimators only consult sizes; compute() must not run.
+  void addEdgeSize(const std::string& field, std::size_t size) {
+    sizes_[field].push_back(size);
+  }
+
+  std::size_t fan(const std::string& field) const {
+    auto it = sizes_.find(field);
+    return it == sizes_.end() ? 0 : it->second.size();
+  }
+  std::span<const float> in(const std::string& field, std::size_t i = 0) const {
+    return edge(field, i);
+  }
+  std::span<float> out(const std::string& field, std::size_t i = 0) const {
+    return edge(field, i);
+  }
+  // Total element count across all edges of a field.
+  std::size_t totalElems(const std::string& field) const {
+    std::size_t n = 0;
+    auto it = sizes_.find(field);
+    if (it != sizes_.end()) {
+      for (auto s : it->second) n += s;
+    }
+    return n;
+  }
+
+  double imm(const std::string& name, double def = 0.0) const {
+    auto it = imms_->find(name);
+    return it == imms_->end() ? def : it->second;
+  }
+  std::span<const float> state() const { return {state_->data(), state_->size()}; }
+  const IpuArch& arch() const { return *arch_; }
+
+ private:
+  std::span<float> edge(const std::string& field, std::size_t i) const {
+    auto it = fields_.find(field);
+    REPRO_REQUIRE(it != fields_.end() && i < it->second.size(),
+                  "vertex field '%s'[%zu] not connected", field.c_str(), i);
+    return it->second[i];
+  }
+
+  const IpuArch* arch_;
+  const std::map<std::string, double>* imms_;
+  const std::vector<float>* state_;
+  std::map<std::string, std::vector<std::span<float>>> fields_;
+  std::map<std::string, std::vector<std::size_t>> sizes_;
+};
+
+struct Codelet {
+  std::string name;
+  // Per-tile code footprint, charged once per tile that hosts the codelet.
+  std::size_t code_bytes = 256;
+  // Fixed per-vertex descriptor bytes (on top of edge pointers and baked
+  // state, which the compiler adds separately).
+  std::size_t base_state_bytes = 32;
+  std::function<void(VertexArgs&)> compute;
+  std::function<double(const VertexArgs&)> cycles;
+  std::function<double(const VertexArgs&)> flops;
+};
+
+// Global codelet registry; builtins are registered on first access.
+class CodeletRegistry {
+ public:
+  static CodeletRegistry& Get();
+
+  void Register(Codelet codelet);
+  const Codelet& Lookup(const std::string& name) const;
+  bool Has(const std::string& name) const;
+
+ private:
+  CodeletRegistry();
+  std::map<std::string, Codelet> codelets_;
+};
+
+// Builtin codelet names.
+namespace codelets {
+inline constexpr const char* kScalarGemm = "ScalarGemm";
+inline constexpr const char* kAmpGemm = "AmpGemm";
+inline constexpr const char* kReduceAdd = "ReduceAdd";
+inline constexpr const char* kScaledAdd = "ScaledAdd";
+inline constexpr const char* kRelu = "Relu";
+inline constexpr const char* kDiagMul = "DiagMul";
+inline constexpr const char* kButterfly2x2 = "Butterfly2x2";
+inline constexpr const char* kHadamard2 = "Hadamard2";
+inline constexpr const char* kSparseRowsMac = "SparseRowsMac";
+inline constexpr const char* kSparseCooMac = "SparseCooMac";
+inline constexpr const char* kBlockGemmAmp = "BlockGemmAmp";
+}  // namespace codelets
+
+}  // namespace repro::ipu

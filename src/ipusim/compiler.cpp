@@ -1,0 +1,198 @@
+#include "ipusim/compiler.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "ipusim/codelet.h"
+
+namespace repro::ipu {
+namespace {
+
+// Bytes of an edge descriptor (pointer + size) in vertex state.
+constexpr std::size_t kEdgePointerBytes = 8;
+// Control code per tile that participates in a compute set.
+constexpr std::size_t kControlBytesPerCs = 64;
+// Base control/supervisor code per active tile.
+constexpr std::size_t kControlBaseBytes = 128;
+
+Status ValidateMappings(const Graph& graph) {
+  for (const auto& var : graph.variables()) {
+    if (var.numel == 0) continue;
+    std::size_t covered = 0;
+    std::size_t cursor = 0;
+    for (const auto& iv : var.mapping) {
+      if (iv.begin != cursor) {
+        return Status::InvalidArgument("variable '" + var.name +
+                                       "' has unmapped or misordered elements");
+      }
+      covered += iv.end - iv.begin;
+      cursor = iv.end;
+    }
+    if (covered != var.numel) {
+      return Status::InvalidArgument("variable '" + var.name +
+                                     "' is not fully tile-mapped");
+    }
+  }
+  return Status::Ok();
+}
+
+void CollectComputeSets(const Program& p, std::set<ComputeSetId>& out) {
+  if (p.kind == Program::Kind::kExecute) out.insert(p.cs);
+  for (const auto& child : p.children) CollectComputeSets(child, out);
+}
+
+}  // namespace
+
+void ForEachMappedRange(
+    const Graph& graph, const Tensor& view,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  const auto& mapping = graph.variables()[view.var].mapping;
+  const std::size_t begin = view.offset;
+  const std::size_t end = view.offset + view.numel;
+  // Binary search for the first interval containing `begin`.
+  auto it = std::upper_bound(mapping.begin(), mapping.end(), begin,
+                             [](std::size_t v, const MappedInterval& iv) {
+                               return v < iv.end;
+                             });
+  std::size_t cursor = begin;
+  for (; it != mapping.end() && cursor < end; ++it) {
+    REPRO_REQUIRE(it->begin <= cursor,
+                  "unmapped element %zu in variable '%s'", cursor,
+                  graph.variables()[view.var].name.c_str());
+    const std::size_t stop = std::min(it->end, end);
+    fn(it->tile, cursor, stop - cursor);
+    cursor = stop;
+  }
+  REPRO_REQUIRE(cursor == end, "unmapped tail of variable '%s'",
+                graph.variables()[view.var].name.c_str());
+}
+
+StatusOr<Executable> Compile(const Graph& graph, Program program,
+                             const CompileOptions& options) {
+  if (Status s = ValidateMappings(graph); !s.ok()) return s;
+
+  const IpuArch& arch = graph.arch();
+  Executable exe;
+  exe.graph = &graph;
+  exe.program = std::move(program);
+  exe.tiles.assign(arch.num_tiles, TileLedger{});
+  exe.cs_exchange.assign(graph.computeSets().size(), ExchangePlan{});
+
+  auto& registry = CodeletRegistry::Get();
+
+  // --- variables ---
+  for (const auto& var : graph.variables()) {
+    for (const auto& iv : var.mapping) {
+      exe.tiles[iv.tile][MemCategory::kVariables] +=
+          (iv.end - iv.begin) * sizeof(float);
+    }
+  }
+
+  // --- vertices: state, code, edge pointers, exchange ---
+  // Code is charged once per (tile, codelet); control once per (tile, cs).
+  std::vector<std::set<std::string>> tile_codelets(arch.num_tiles);
+  std::vector<std::set<ComputeSetId>> tile_cs(arch.num_tiles);
+  std::vector<std::size_t> incoming(arch.num_tiles, 0);
+  std::vector<std::size_t> touched;  // tiles with nonzero incoming, per CS
+  // Exchange buffers are live only for the duration of one compute set and
+  // reused across them (as Poplar's liveness analysis does), so each tile is
+  // charged the *maximum* buffer bytes over compute sets, not the sum.
+  std::vector<std::size_t> cs_buffer(arch.num_tiles, 0);
+  std::vector<std::size_t> buffer_touched;
+
+  for (ComputeSetId cs = 0; cs < graph.computeSets().size(); ++cs) {
+    touched.clear();
+    buffer_touched.clear();
+    for (VertexId vid : graph.verticesInCs(cs)) {
+      const Vertex& v = graph.vertices()[vid];
+      if (!registry.Has(v.codelet)) {
+        return Status::InvalidArgument("unknown codelet '" + v.codelet + "'");
+      }
+      const Codelet& codelet = registry.Lookup(v.codelet);
+      TileLedger& ledger = exe.tiles[v.tile];
+      ledger[MemCategory::kVertexState] +=
+          codelet.base_state_bytes + v.state.size() * sizeof(float);
+      tile_codelets[v.tile].insert(v.codelet);
+      tile_cs[v.tile].insert(cs);
+
+      for (const Edge& e : v.edges) {
+        std::size_t intervals = 0;
+        ForEachMappedRange(
+            graph, e.view,
+            [&](std::size_t tile, std::size_t /*begin*/, std::size_t len) {
+              ++intervals;
+              if (tile == v.tile) return;
+              const std::size_t bytes = len * sizeof(float);
+              // Inputs are gathered to the vertex tile before compute;
+              // outputs are staged on the vertex tile and scattered to the
+              // variable's home tiles afterwards. Both need a buffer on the
+              // vertex tile and receive bandwidth at the destination.
+              if (cs_buffer[v.tile] == 0) buffer_touched.push_back(v.tile);
+              // Gathered data streams through the exchange in chunks with
+              // double buffering, so the resident buffer is about half the
+              // transferred bytes.
+              cs_buffer[v.tile] += bytes / 2;
+              const std::size_t dest = e.is_output ? tile : v.tile;
+              if (incoming[dest] == 0) touched.push_back(dest);
+              incoming[dest] += bytes;
+              exe.cs_exchange[cs].total_bytes += bytes;
+            });
+        ledger[MemCategory::kEdgePointers] += intervals * kEdgePointerBytes;
+      }
+    }
+    std::size_t max_in = 0;
+    for (std::size_t t : touched) {
+      max_in = std::max(max_in, incoming[t]);
+      incoming[t] = 0;
+    }
+    exe.cs_exchange[cs].max_tile_incoming = max_in;
+    for (std::size_t t : buffer_touched) {
+      exe.tiles[t][MemCategory::kExchangeBuffers] =
+          std::max(exe.tiles[t][MemCategory::kExchangeBuffers], cs_buffer[t]);
+      cs_buffer[t] = 0;
+    }
+  }
+
+  for (std::size_t t = 0; t < arch.num_tiles; ++t) {
+    for (const auto& name : tile_codelets[t]) {
+      exe.tiles[t][MemCategory::kVertexCode] += registry.Lookup(name).code_bytes;
+    }
+    if (!tile_cs[t].empty() || exe.tiles[t][MemCategory::kVariables] > 0) {
+      exe.tiles[t][MemCategory::kControlCode] +=
+          kControlBaseBytes + tile_cs[t].size() * kControlBytesPerCs;
+    }
+  }
+
+  // --- stats ---
+  CompileStats& stats = exe.stats;
+  stats.num_variables = graph.variables().size();
+  stats.num_vertices = graph.vertices().size();
+  stats.num_edges = graph.numEdges();
+  std::set<ComputeSetId> used;
+  CollectComputeSets(exe.program, used);
+  stats.num_compute_sets = used.size();
+
+  for (std::size_t t = 0; t < arch.num_tiles; ++t) {
+    const std::size_t tile_total = exe.tiles[t].total();
+    stats.max_tile_bytes = std::max(stats.max_tile_bytes, tile_total);
+    stats.total_bytes += tile_total;
+    for (std::size_t c = 0; c < kNumMemCategories; ++c) {
+      stats.category_bytes[c] += exe.tiles[t].bytes[c];
+    }
+  }
+  stats.free_bytes = arch.total_memory_bytes() > stats.total_bytes
+                         ? arch.total_memory_bytes() - stats.total_bytes
+                         : 0;
+
+  if (!options.allow_oversubscription &&
+      stats.max_tile_bytes > arch.tile_memory_bytes) {
+    return Status::OutOfMemory(
+        "tile memory exceeded: " + std::to_string(stats.max_tile_bytes) +
+        " bytes needed on the fullest tile, " +
+        std::to_string(arch.tile_memory_bytes) + " available");
+  }
+  return exe;
+}
+
+}  // namespace repro::ipu

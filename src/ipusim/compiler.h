@@ -1,0 +1,86 @@
+// Graph compilation: validates tile mappings, builds per-compute-set
+// exchange plans, and produces the per-tile memory ledger that drives the
+// paper's Observation 3 (memory overhead scales with graph structure --
+// edges, vertices, compute sets -- not just data footprint).
+#pragma once
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "ipusim/graph.h"
+#include "ipusim/program.h"
+#include "util/error.h"
+
+namespace repro::ipu {
+
+inline constexpr std::size_t kNumMemCategories =
+    static_cast<std::size_t>(MemCategory::kCount);
+
+struct TileLedger {
+  std::array<std::size_t, kNumMemCategories> bytes{};
+
+  std::size_t total() const {
+    std::size_t t = 0;
+    for (auto b : bytes) t += b;
+    return t;
+  }
+  std::size_t& operator[](MemCategory c) {
+    return bytes[static_cast<std::size_t>(c)];
+  }
+  std::size_t operator[](MemCategory c) const {
+    return bytes[static_cast<std::size_t>(c)];
+  }
+};
+
+// Exchange cost summary for one compute set (or one copy).
+struct ExchangePlan {
+  std::size_t total_bytes = 0;        // bytes crossing tile boundaries
+  std::size_t max_tile_incoming = 0;  // bottleneck tile's receive bytes
+};
+
+struct CompileStats {
+  std::size_t num_variables = 0;
+  std::size_t num_vertices = 0;
+  std::size_t num_edges = 0;
+  std::size_t num_compute_sets = 0;  // compute sets reachable from program
+  std::array<std::size_t, kNumMemCategories> category_bytes{};
+  std::size_t total_bytes = 0;
+  std::size_t max_tile_bytes = 0;
+  std::size_t free_bytes = 0;  // device total minus allocated
+
+  std::size_t bytesFor(MemCategory c) const {
+    return category_bytes[static_cast<std::size_t>(c)];
+  }
+};
+
+struct Executable {
+  const Graph* graph = nullptr;
+  Program program;
+  CompileStats stats;
+  std::vector<TileLedger> tiles;
+  // Indexed by ComputeSetId; zero-filled entries for unused compute sets.
+  std::vector<ExchangePlan> cs_exchange;
+};
+
+struct CompileOptions {
+  // When true, a graph exceeding per-tile memory compiles anyway (ledgers
+  // still record the oversubscription). Used by memory-limit experiments
+  // that want to *report* the overflow rather than fail.
+  bool allow_oversubscription = false;
+};
+
+// Validates the graph + program and produces an Executable, or an
+// OutOfMemory/InvalidArgument status.
+StatusOr<Executable> Compile(const Graph& graph, Program program,
+                             const CompileOptions& options = {});
+
+// Invokes fn(tile, begin_element, length) for every mapped sub-range of the
+// view, in element order. Fatal on unmapped elements. Shared by the compiler
+// (exchange planning) and the engine (copy costing).
+void ForEachMappedRange(
+    const Graph& graph, const Tensor& view,
+    const std::function<void(std::size_t tile, std::size_t begin,
+                             std::size_t len)>& fn);
+
+}  // namespace repro::ipu

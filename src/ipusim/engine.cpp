@@ -1,0 +1,256 @@
+#include "ipusim/engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+namespace repro::ipu {
+
+Engine::Engine(const Graph& graph, Executable exe, Options opts)
+    : graph_(graph), exe_(std::move(exe)), opts_(opts) {
+  REPRO_REQUIRE(exe_.graph == &graph_, "executable compiled from another graph");
+  const auto& vars = graph_.variables();
+  if (opts_.execute) {
+    storage_.resize(vars.size());
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      storage_[i].assign(vars[i].numel, 0.0f);
+    }
+  }
+
+  // Resolve vertex arguments and precompute data-independent costs.
+  auto& registry = CodeletRegistry::Get();
+  const auto& vertices = graph_.vertices();
+  args_.reserve(vertices.size());
+  vertex_cycles_.resize(vertices.size());
+  vertex_flops_.resize(vertices.size());
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const Vertex& v = vertices[i];
+    VertexArgs a(&graph_.arch(), &v.immediates, &v.state);
+    for (const Edge& e : v.edges) {
+      if (opts_.execute) {
+        auto& buf = storage_[e.view.var];
+        a.addEdge(e.field, {buf.data() + e.view.offset, e.view.numel});
+      } else {
+        a.addEdgeSize(e.field, e.view.numel);
+      }
+    }
+    args_.push_back(std::move(a));
+    const Codelet& codelet = registry.Lookup(v.codelet);
+    vertex_cycles_[i] = codelet.cycles(args_[i]);
+    vertex_flops_[i] = codelet.flops(args_[i]);
+  }
+
+  // Per compute set: bottleneck tile's compute cycles.
+  const IpuArch& arch = graph_.arch();
+  cs_compute_cycles_.assign(graph_.computeSets().size(), 0.0);
+  std::map<std::size_t, double> tile_cycles;
+  for (std::size_t cs = 0; cs < graph_.computeSets().size(); ++cs) {
+    tile_cycles.clear();
+    for (VertexId vid : graph_.verticesInCs(static_cast<ComputeSetId>(cs))) {
+      tile_cycles[vertices[vid].tile] +=
+          vertex_cycles_[vid] + arch.vertex_dispatch_cycles;
+    }
+    double max_cycles = 0.0;
+    for (const auto& [tile, cycles] : tile_cycles) {
+      max_cycles = std::max(max_cycles, cycles);
+    }
+    cs_compute_cycles_[cs] = max_cycles;
+  }
+}
+
+void Engine::writeTensor(const Tensor& t, std::span<const float> data) {
+  REPRO_REQUIRE(opts_.execute, "writeTensor on a timing-only engine");
+  REPRO_REQUIRE(data.size() == t.numel, "writeTensor size mismatch: %zu vs %zu",
+                data.size(), t.numel);
+  std::memcpy(storage_[t.var].data() + t.offset, data.data(),
+              data.size() * sizeof(float));
+}
+
+void Engine::readTensor(const Tensor& t, std::span<float> out) const {
+  REPRO_REQUIRE(opts_.execute, "readTensor on a timing-only engine");
+  REPRO_REQUIRE(out.size() == t.numel, "readTensor size mismatch");
+  std::memcpy(out.data(), storage_[t.var].data() + t.offset,
+              out.size() * sizeof(float));
+}
+
+RunReport Engine::run() {
+  RunReport r;
+  runProgram(exe_.program, r);
+  return r;
+}
+
+void Engine::runProgram(const Program& p, RunReport& r) {
+  switch (p.kind) {
+    case Program::Kind::kSequence:
+      for (const auto& child : p.children) runProgram(child, r);
+      break;
+    case Program::Kind::kExecute:
+      execComputeSet(p.cs, r);
+      break;
+    case Program::Kind::kCopy:
+      execCopy(p, r);
+      break;
+    case Program::Kind::kCopyBundle:
+      execCopyBundle(p, r);
+      break;
+    case Program::Kind::kRepeat: {
+      if (p.repeat_count == 0) break;
+      const RunReport before = r;
+      runProgram(p.children.front(), r);
+      if (opts_.fast_repeat) {
+        const auto scale = static_cast<double>(p.repeat_count - 1);
+        r.total_cycles += static_cast<std::uint64_t>(
+            scale * static_cast<double>(r.total_cycles - before.total_cycles));
+        r.compute_cycles += static_cast<std::uint64_t>(
+            scale *
+            static_cast<double>(r.compute_cycles - before.compute_cycles));
+        r.exchange_cycles += static_cast<std::uint64_t>(
+            scale *
+            static_cast<double>(r.exchange_cycles - before.exchange_cycles));
+        r.sync_cycles += static_cast<std::uint64_t>(
+            scale * static_cast<double>(r.sync_cycles - before.sync_cycles));
+        r.host_seconds += scale * (r.host_seconds - before.host_seconds);
+        r.flops += scale * (r.flops - before.flops);
+        r.bytes_exchanged += static_cast<std::size_t>(
+            scale *
+            static_cast<double>(r.bytes_exchanged - before.bytes_exchanged));
+      } else {
+        for (std::size_t i = 1; i < p.repeat_count; ++i) {
+          runProgram(p.children.front(), r);
+        }
+      }
+      break;
+    }
+    case Program::Kind::kHostWrite:
+      chargeHostTransfer(p.dst.bytes(), r);
+      break;
+    case Program::Kind::kHostRead:
+      chargeHostTransfer(p.src.bytes(), r);
+      break;
+  }
+}
+
+void Engine::execComputeSet(ComputeSetId cs, RunReport& r) {
+  const IpuArch& arch = graph_.arch();
+  // Exchange phase: gather inputs / scatter previous outputs. The cost is
+  // the bottleneck tile's receive bytes -- independent of tile distance,
+  // which is the paper's Observation 1.
+  const ExchangePlan& plan = exe_.cs_exchange[cs];
+  if (plan.total_bytes > 0) {
+    const auto cycles = static_cast<std::uint64_t>(
+        arch.exchange_sync_cycles +
+        static_cast<double>(plan.max_tile_incoming) /
+            arch.exchange_bytes_per_cycle);
+    r.exchange_cycles += cycles;
+    r.total_cycles += cycles;
+    r.bytes_exchanged += plan.total_bytes;
+  }
+  // Compute phase: tiles run independently; superstep ends when the slowest
+  // tile finishes.
+  const auto sync = static_cast<std::uint64_t>(arch.compute_sync_cycles);
+  const auto compute = static_cast<std::uint64_t>(cs_compute_cycles_[cs]);
+  r.sync_cycles += sync;
+  r.compute_cycles += compute;
+  r.total_cycles += sync + compute;
+
+  for (VertexId vid : graph_.verticesInCs(cs)) {
+    r.flops += vertex_flops_[vid];
+  }
+  if (opts_.execute) {
+    auto& registry = CodeletRegistry::Get();
+    for (VertexId vid : graph_.verticesInCs(cs)) {
+      registry.Lookup(graph_.vertices()[vid].codelet).compute(args_[vid]);
+    }
+  }
+}
+
+void Engine::accumulateCopy(const Program& p,
+                            std::map<std::size_t, std::size_t>& incoming,
+                            std::size_t& total) {
+  // Walk src and dst mappings in lockstep to find cross-tile traffic.
+  struct Range {
+    std::size_t tile;
+    std::size_t begin;  // offset within the view
+    std::size_t len;
+  };
+  std::vector<Range> src_ranges, dst_ranges;
+  ForEachMappedRange(graph_, p.src,
+                     [&](std::size_t tile, std::size_t begin, std::size_t len) {
+                       src_ranges.push_back({tile, begin - p.src.offset, len});
+                     });
+  ForEachMappedRange(graph_, p.dst,
+                     [&](std::size_t tile, std::size_t begin, std::size_t len) {
+                       dst_ranges.push_back({tile, begin - p.dst.offset, len});
+                     });
+  std::size_t si = 0;
+  for (const Range& d : dst_ranges) {
+    std::size_t cursor = d.begin;
+    const std::size_t end = d.begin + d.len;
+    while (cursor < end) {
+      while (si < src_ranges.size() &&
+             src_ranges[si].begin + src_ranges[si].len <= cursor) {
+        ++si;
+      }
+      REPRO_REQUIRE(si < src_ranges.size(), "copy range walk out of sync");
+      const Range& s = src_ranges[si];
+      const std::size_t stop = std::min(end, s.begin + s.len);
+      if (s.tile != d.tile) {
+        const std::size_t bytes = (stop - cursor) * sizeof(float);
+        incoming[d.tile] += bytes;
+        total += bytes;
+      }
+      cursor = stop;
+    }
+  }
+  if (opts_.execute) {
+    auto& src_buf = storage_[p.src.var];
+    auto& dst_buf = storage_[p.dst.var];
+    std::memmove(dst_buf.data() + p.dst.offset, src_buf.data() + p.src.offset,
+                 p.src.numel * sizeof(float));
+  }
+}
+
+namespace {
+
+void ChargeExchange(const IpuArch& arch,
+                    const std::map<std::size_t, std::size_t>& incoming,
+                    std::size_t total, RunReport& r) {
+  if (total == 0) return;
+  std::size_t max_in = 0;
+  for (const auto& [tile, bytes] : incoming) max_in = std::max(max_in, bytes);
+  const auto cycles = static_cast<std::uint64_t>(
+      arch.exchange_sync_cycles +
+      static_cast<double>(max_in) / arch.exchange_bytes_per_cycle);
+  r.exchange_cycles += cycles;
+  r.total_cycles += cycles;
+  r.bytes_exchanged += total;
+}
+
+}  // namespace
+
+void Engine::execCopy(const Program& p, RunReport& r) {
+  std::map<std::size_t, std::size_t> incoming;
+  std::size_t total = 0;
+  accumulateCopy(p, incoming, total);
+  ChargeExchange(graph_.arch(), incoming, total, r);
+}
+
+void Engine::execCopyBundle(const Program& p, RunReport& r) {
+  // All child copies share one exchange phase: a single sync, bottlenecked
+  // by the busiest receiving tile across the whole bundle.
+  std::map<std::size_t, std::size_t> incoming;
+  std::size_t total = 0;
+  for (const Program& c : p.children) accumulateCopy(c, incoming, total);
+  ChargeExchange(graph_.arch(), incoming, total, r);
+}
+
+void Engine::chargeHostTransfer(std::size_t bytes, RunReport& r) {
+  const IpuArch& arch = graph_.arch();
+  r.host_seconds +=
+      static_cast<double>(bytes) / arch.host_bandwidth_bytes_per_sec;
+  const auto sync = static_cast<std::uint64_t>(arch.exchange_sync_cycles);
+  r.sync_cycles += sync;
+  r.total_cycles += sync;
+}
+
+}  // namespace repro::ipu

@@ -1,0 +1,83 @@
+// Execution engine: runs a compiled program under the BSP model, executing
+// vertex arithmetic for real (so results are numerically meaningful) while
+// charging a cycle model per superstep (so "execution time" is
+// architecturally plausible device time, never host wall clock).
+#pragma once
+
+#include <map>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ipusim/codelet.h"
+#include "ipusim/compiler.h"
+
+namespace repro::ipu {
+
+struct RunReport {
+  std::uint64_t total_cycles = 0;
+  std::uint64_t compute_cycles = 0;
+  std::uint64_t exchange_cycles = 0;
+  std::uint64_t sync_cycles = 0;
+  double host_seconds = 0.0;  // host-link streaming time (separate domain)
+  double flops = 0.0;         // useful flops executed
+  std::size_t bytes_exchanged = 0;
+
+  // End-to-end simulated time: on-chip cycles plus host streaming.
+  double seconds(const IpuArch& arch) const {
+    return static_cast<double>(total_cycles) / arch.clock_hz + host_seconds;
+  }
+  double gflops(const IpuArch& arch) const {
+    const double s = seconds(arch);
+    return s > 0.0 ? flops / s / 1e9 : 0.0;
+  }
+};
+
+struct EngineOptions {
+  // When false, vertex compute functions are skipped and no tensor storage
+  // is allocated: the run produces timing only. Used for large parameter
+  // sweeps where executing the arithmetic on the host would be infeasible.
+  bool execute = true;
+  // When true, Repeat(n, body) executes the body once and scales the cost
+  // delta by n. Cycle models are data-independent so timing is exact;
+  // only useful when the repeated numerics are not needed n times.
+  bool fast_repeat = true;
+};
+
+class Engine {
+ public:
+  using Options = EngineOptions;
+
+  Engine(const Graph& graph, Executable exe, Options opts = Options());
+
+  // Host data access (requires Options::execute).
+  void writeTensor(const Tensor& t, std::span<const float> data);
+  void readTensor(const Tensor& t, std::span<float> out) const;
+
+  // Runs the compiled program once and returns its cost report.
+  RunReport run();
+
+ private:
+  void runProgram(const Program& p, RunReport& r);
+  void execComputeSet(ComputeSetId cs, RunReport& r);
+  void execCopy(const Program& p, RunReport& r);
+  void execCopyBundle(const Program& p, RunReport& r);
+  // Accumulates one copy's cross-tile traffic into `incoming`/`total` and
+  // (in execute mode) performs the data movement.
+  void accumulateCopy(const Program& copy,
+                      std::map<std::size_t, std::size_t>& incoming,
+                      std::size_t& total);
+  void chargeHostTransfer(std::size_t bytes, RunReport& r);
+
+  const Graph& graph_;
+  Executable exe_;
+  Options opts_;
+  std::vector<std::vector<float>> storage_;  // per variable (execute mode)
+  std::vector<VertexArgs> args_;             // resolved per vertex
+  std::vector<double> vertex_cycles_;        // data-independent, precomputed
+  std::vector<double> vertex_flops_;
+  // Per compute set: bottleneck-tile compute cycles (incl. dispatch).
+  std::vector<double> cs_compute_cycles_;
+};
+
+}  // namespace repro::ipu

@@ -1,0 +1,376 @@
+#include "ipusim/matmul.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "ipusim/codelet.h"
+#include "util/bitops.h"
+
+namespace repro::ipu {
+namespace {
+
+// Cycles-per-MAC multiplier for the staged/blocked scalar kernel: the inner
+// loop round-trips through staging temporaries, roughly quintupling SRAM
+// traffic per MAC. Calibrated so whole-chip blocked matmul lands near the
+// paper's 93 GFLOP/s vs 525 GFLOP/s for straight naive (Table 2, note 3).
+constexpr double kBlockedCpmMult = 5.7;
+
+// Fraction of tile memory the planner may budget for operand blocks plus
+// exchange buffers; Fits() mirrors the compiler's ledger, so only a small
+// headroom for code/descriptors is reserved here.
+constexpr double kTileBudgetFraction = 0.92;
+
+std::vector<std::size_t> GridCandidates(std::size_t dim, std::size_t limit) {
+  std::vector<std::size_t> out;
+  for (std::size_t g = 1; g <= limit && g <= dim; g = g < 4 ? g + 1 : g + g / 3) {
+    out.push_back(g);
+  }
+  return out;
+}
+
+struct PlanCost {
+  double cycles = std::numeric_limits<double>::infinity();
+  Partition part;
+};
+
+// Analytic cost of one partition, mirroring the engine's charging model.
+double EstimateCycles(const IpuArch& arch, MatMulImpl impl, std::size_t mb,
+                      std::size_t kb, std::size_t nb, std::size_t gk) {
+  double compute = 0.0;
+  if (impl == MatMulImpl::kPoplin) {
+    const double mp = static_cast<double>(CeilDiv(mb, 16) * 16);
+    const double kp = static_cast<double>(CeilDiv(kb, 16) * 16);
+    compute = mp * kp * static_cast<double>(nb) / arch.amp_macs_per_cycle +
+              arch.amp_setup_cycles;
+  } else {
+    const double mult = impl == MatMulImpl::kBlocked ? kBlockedCpmMult : 1.0;
+    compute = static_cast<double>(mb) * static_cast<double>(kb) *
+              static_cast<double>(nb) * arch.scalar_cycles_per_mac * mult;
+  }
+  const double in_bytes = static_cast<double>(mb * kb + kb * nb) * 4.0;
+  double exchange =
+      in_bytes / arch.exchange_bytes_per_cycle + arch.exchange_sync_cycles;
+  if (impl == MatMulImpl::kBlocked) {
+    // One exchange + sync per temporal stage.
+    const std::size_t stages = std::max<std::size_t>(4, CeilDiv(kb, 256));
+    exchange +=
+        static_cast<double>(stages) *
+        (arch.exchange_sync_cycles + arch.compute_sync_cycles);
+  }
+  double reduce = 0.0;
+  if (gk > 1) {
+    // Balanced reduce: each member tile reduces an mb/gk row-slice of all
+    // gk partials, so per-tile work is mb * nb regardless of gk.
+    reduce = static_cast<double>(mb * nb) / arch.simd_flops_per_cycle +
+             static_cast<double>(mb * nb) * 4.0 /
+                 arch.exchange_bytes_per_cycle +
+             arch.exchange_sync_cycles;
+  }
+  return compute + exchange + reduce + arch.compute_sync_cycles;
+}
+
+bool Fits(const IpuArch& arch, MatMulImpl impl, std::size_t gm, std::size_t gn,
+          std::size_t gk, std::size_t mb, std::size_t kb, std::size_t nb) {
+  const std::size_t budget = static_cast<std::size_t>(
+      kTileBudgetFraction * static_cast<double>(arch.tile_memory_bytes));
+  std::size_t bytes = 0;
+  if (impl == MatMulImpl::kBlocked) {
+    // Stage-major storage spreads the A/B blocks over the grid row/column;
+    // each tile additionally holds the staging buffers and its C block.
+    const std::size_t stages = std::max<std::size_t>(4, CeilDiv(kb, 256));
+    const std::size_t kc = CeilDiv(kb, stages);
+    bytes = (CeilDiv(stages, gn) + 1) * mb * kc * sizeof(float) +
+            (CeilDiv(stages, gm) + 1) * kc * nb * sizeof(float) +
+            mb * nb * sizeof(float) +
+            2 * (mb * kc + kc * nb) * sizeof(float);  // stage + recv buffers
+  } else {
+    bytes = (mb * kb + kb * nb + mb * nb) * sizeof(float);
+    // Gathered operand blocks stream through half-size exchange buffers.
+    bytes += (mb * kb + kb * nb) * sizeof(float) / 2;
+    if (gk > 1) bytes += mb * nb * sizeof(float);  // own partial
+  }
+  return bytes <= budget;
+}
+
+PlanCost ChoosePartition(const IpuArch& arch, MatMulImpl impl, std::size_t m,
+                         std::size_t k, std::size_t n) {
+  PlanCost best;
+  const auto gms = GridCandidates(m, arch.num_tiles);
+  const auto gns = GridCandidates(n, arch.num_tiles);
+  // For naive/blocked the k dimension is not spatially split.
+  const auto gks = impl == MatMulImpl::kPoplin
+                       ? GridCandidates(k, 32)
+                       : std::vector<std::size_t>{1};
+  for (std::size_t gm : gms) {
+    for (std::size_t gn : gns) {
+      for (std::size_t gk : gks) {
+        if (gm * gn * gk > arch.num_tiles) continue;
+        const std::size_t mb = CeilDiv(m, gm);
+        const std::size_t nb = CeilDiv(n, gn);
+        const std::size_t kb = CeilDiv(k, gk);
+        if (!Fits(arch, impl, gm, gn, gk, mb, kb, nb)) continue;
+        // Supervisor scheduling and control-code overhead grow with the
+        // number of participating tiles; this tie-breaks small problems
+        // toward small grids (and makes graph-object counts scale with
+        // problem size, as PopVision shows in the paper's Fig. 5).
+        const double cycles = EstimateCycles(arch, impl, mb, kb, nb, gk) +
+                              0.75 * static_cast<double>(gm * gn * gk);
+        if (cycles < best.cycles) {
+          best.cycles = cycles;
+          best.part = Partition{gm, gn, gk, mb, kb, nb};
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::size_t TileOf(const Partition& p, std::size_t im, std::size_t in,
+                   std::size_t ik) {
+  return (im * p.gn + in) * p.gk + ik;
+}
+
+}  // namespace
+
+StatusOr<MatMulPlan> BuildMatMul(Graph& graph, std::size_t m, std::size_t k,
+                                 std::size_t n, MatMulImpl impl) {
+  REPRO_REQUIRE(m > 0 && k > 0 && n > 0, "empty matmul");
+  const IpuArch& arch = graph.arch();
+  const PlanCost chosen = ChoosePartition(arch, impl, m, k, n);
+  if (!std::isfinite(chosen.cycles)) {
+    return Status::OutOfMemory("no feasible matmul partition for " +
+                               std::to_string(m) + "x" + std::to_string(k) +
+                               "x" + std::to_string(n));
+  }
+  const Partition& p = chosen.part;
+
+  MatMulPlan plan;
+  plan.impl = impl;
+  plan.m = m;
+  plan.k = k;
+  plan.n = n;
+  plan.part = p;
+
+  if (impl == MatMulImpl::kBlocked) {
+    // Temporal k-staging: operands are stored stage-major (part.gk = number
+    // of stages) and copied into per-tile staging buffers before each
+    // accumulate step -- the "many copies / temporal data" of Table 2 note 3.
+    Partition& bp = plan.part;
+    const std::size_t stages = std::max<std::size_t>(4, CeilDiv(k, 256));
+    const std::size_t kc = CeilDiv(k, stages);
+    bp.gk = stages;
+    bp.kb = kc;
+    auto tile2 = [&](std::size_t im, std::size_t in) {
+      return im * bp.gn + in;
+    };
+    plan.a = graph.addVariable("mm_a", bp.gm * stages, bp.mb * kc);
+    plan.b = graph.addVariable("mm_b", stages * bp.gn, kc * bp.nb);
+    plan.c = graph.addVariable("mm_c", bp.gm * bp.gn, bp.mb * bp.nb);
+    Tensor a_stage = graph.addVariable("mm_a_stage", bp.gm * bp.gn, bp.mb * kc);
+    Tensor b_stage = graph.addVariable("mm_b_stage", bp.gm * bp.gn, kc * bp.nb);
+    for (std::size_t im = 0; im < bp.gm; ++im) {
+      for (std::size_t s = 0; s < stages; ++s) {
+        graph.setTileMapping(plan.a.row(im * stages + s), tile2(im, s % bp.gn));
+      }
+    }
+    for (std::size_t s = 0; s < stages; ++s) {
+      for (std::size_t in = 0; in < bp.gn; ++in) {
+        graph.setTileMapping(plan.b.row(s * bp.gn + in), tile2(s % bp.gm, in));
+      }
+    }
+    for (std::size_t im = 0; im < bp.gm; ++im) {
+      for (std::size_t in = 0; in < bp.gn; ++in) {
+        const std::size_t tile = tile2(im, in);
+        graph.setTileMapping(plan.c.row(im * bp.gn + in), tile);
+        graph.setTileMapping(a_stage.row(im * bp.gn + in), tile);
+        graph.setTileMapping(b_stage.row(im * bp.gn + in), tile);
+      }
+    }
+    ComputeSetId cs_first = graph.addComputeSet("mm_blocked_first");
+    ComputeSetId cs_acc = graph.addComputeSet("mm_blocked_acc");
+    // Vertices are created once per tile per phase and read the staging
+    // buffers, which the program refreshes before each Execute.
+    for (std::size_t phase = 0; phase < 2; ++phase) {
+      const ComputeSetId cs = phase == 0 ? cs_first : cs_acc;
+      for (std::size_t im = 0; im < bp.gm; ++im) {
+        for (std::size_t in = 0; in < bp.gn; ++in) {
+          VertexId v = graph.addVertex(cs, codelets::kScalarGemm, tile2(im, in));
+          graph.connect(v, "a", a_stage.row(im * bp.gn + in));
+          graph.connect(v, "b", b_stage.row(im * bp.gn + in));
+          graph.connect(v, "out", plan.c.row(im * bp.gn + in), true);
+          graph.setInitialValue(v, "m", static_cast<double>(bp.mb));
+          graph.setInitialValue(v, "k", static_cast<double>(kc));
+          graph.setInitialValue(v, "n", static_cast<double>(bp.nb));
+          graph.setInitialValue(v, "accumulate", phase == 0 ? 0.0 : 1.0);
+          graph.setInitialValue(v, "cpm_mult", kBlockedCpmMult);
+        }
+      }
+    }
+    Program seq = Program::Sequence({});
+    for (std::size_t s = 0; s < stages; ++s) {
+      std::vector<Program> stage_copies;
+      for (std::size_t im = 0; im < bp.gm; ++im) {
+        for (std::size_t in = 0; in < bp.gn; ++in) {
+          stage_copies.push_back(Program::Copy(
+              plan.a.row(im * stages + s), a_stage.row(im * bp.gn + in)));
+          stage_copies.push_back(Program::Copy(
+              plan.b.row(s * bp.gn + in), b_stage.row(im * bp.gn + in)));
+        }
+      }
+      seq.add(Program::CopyBundle(std::move(stage_copies)));
+      seq.add(Program::Execute(s == 0 ? cs_first : cs_acc));
+    }
+    plan.prog = std::move(seq);
+    return plan;
+  }
+
+  plan.a = graph.addVariable("mm_a", p.gm * p.gk, p.mb * p.kb);
+  plan.b = graph.addVariable("mm_b", p.gk * p.gn, p.kb * p.nb);
+  plan.c = graph.addVariable("mm_c", p.gm * p.gn, p.mb * p.nb);
+  for (std::size_t im = 0; im < p.gm; ++im) {
+    for (std::size_t ik = 0; ik < p.gk; ++ik) {
+      graph.setTileMapping(plan.a.row(im * p.gk + ik), TileOf(p, im, 0, ik));
+    }
+  }
+  for (std::size_t ik = 0; ik < p.gk; ++ik) {
+    for (std::size_t in = 0; in < p.gn; ++in) {
+      graph.setTileMapping(plan.b.row(ik * p.gn + in), TileOf(p, 0, in, ik));
+    }
+  }
+  for (std::size_t im = 0; im < p.gm; ++im) {
+    for (std::size_t in = 0; in < p.gn; ++in) {
+      graph.setTileMapping(plan.c.row(im * p.gn + in), TileOf(p, im, in, 0));
+    }
+  }
+
+  // kNaive / kPoplin: one multiply compute set (+ optional reduce).
+  const bool amp = impl == MatMulImpl::kPoplin;
+  ComputeSetId cs_mm = graph.addComputeSet("mm_multiply");
+  Tensor partials;
+  if (p.gk > 1) {
+    partials = graph.addVariable("mm_partials", p.gm * p.gn * p.gk,
+                                 p.mb * p.nb);
+  }
+  for (std::size_t im = 0; im < p.gm; ++im) {
+    for (std::size_t in = 0; in < p.gn; ++in) {
+      for (std::size_t ik = 0; ik < p.gk; ++ik) {
+        const std::size_t tile = TileOf(p, im, in, ik);
+        VertexId v = graph.addVertex(
+            cs_mm, amp ? codelets::kAmpGemm : codelets::kScalarGemm, tile);
+        graph.connect(v, "a", plan.a.row(im * p.gk + ik));
+        graph.connect(v, "b", plan.b.row(ik * p.gn + in));
+        Tensor out = p.gk > 1
+                         ? partials.row((im * p.gn + in) * p.gk + ik)
+                         : plan.c.row(im * p.gn + in);
+        if (p.gk > 1) graph.setTileMapping(out, tile);
+        graph.connect(v, "out", out, true);
+        graph.setInitialValue(v, "m", static_cast<double>(p.mb));
+        graph.setInitialValue(v, "k", static_cast<double>(p.kb));
+        graph.setInitialValue(v, "n", static_cast<double>(p.nb));
+      }
+    }
+  }
+  Program seq = Program::Sequence({Program::Execute(cs_mm)});
+  if (p.gk > 1) {
+    // Balanced reduce: the gk tiles of each (im, in) group each reduce a
+    // contiguous row-slice of all gk partials into the C block.
+    ComputeSetId cs_red = graph.addComputeSet("mm_reduce");
+    for (std::size_t im = 0; im < p.gm; ++im) {
+      for (std::size_t in = 0; in < p.gn; ++in) {
+        const std::size_t slices = std::min(p.gk, p.mb);
+        const std::size_t rows_per_slice = CeilDiv(p.mb, slices);
+        for (std::size_t sl = 0; sl < slices; ++sl) {
+          const std::size_t r0 = sl * rows_per_slice;
+          if (r0 >= p.mb) break;
+          const std::size_t rows = std::min(rows_per_slice, p.mb - r0);
+          VertexId v = graph.addVertex(cs_red, codelets::kReduceAdd,
+                                       TileOf(p, im, in, sl));
+          for (std::size_t ik = 0; ik < p.gk; ++ik) {
+            graph.connect(v, "partials",
+                          partials.row((im * p.gn + in) * p.gk + ik)
+                              .slice(r0 * p.nb, rows * p.nb));
+          }
+          graph.connect(v, "out",
+                        plan.c.row(im * p.gn + in).slice(r0 * p.nb, rows * p.nb),
+                        true);
+        }
+      }
+    }
+    seq.add(Program::Execute(cs_red));
+  }
+  plan.prog = std::move(seq);
+  return plan;
+}
+
+namespace {
+
+std::vector<float> PackBlocks(const Matrix& src, std::size_t grid_r,
+                              std::size_t grid_c, std::size_t rb,
+                              std::size_t cb) {
+  std::vector<float> out(grid_r * grid_c * rb * cb, 0.0f);
+  for (std::size_t gr = 0; gr < grid_r; ++gr) {
+    for (std::size_t gc = 0; gc < grid_c; ++gc) {
+      float* blk = out.data() + (gr * grid_c + gc) * rb * cb;
+      for (std::size_t r = 0; r < rb; ++r) {
+        const std::size_t sr = gr * rb + r;
+        if (sr >= src.rows()) break;
+        for (std::size_t c = 0; c < cb; ++c) {
+          const std::size_t sc = gc * cb + c;
+          if (sc >= src.cols()) break;
+          blk[r * cb + c] = src(sr, sc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<float> PackA(const MatMulPlan& plan, const Matrix& a) {
+  REPRO_REQUIRE(a.rows() == plan.m && a.cols() == plan.k, "PackA shape");
+  return PackBlocks(a, plan.part.gm, plan.part.gk, plan.part.mb, plan.part.kb);
+}
+
+std::vector<float> PackB(const MatMulPlan& plan, const Matrix& b) {
+  REPRO_REQUIRE(b.rows() == plan.k && b.cols() == plan.n, "PackB shape");
+  return PackBlocks(b, plan.part.gk, plan.part.gn, plan.part.kb, plan.part.nb);
+}
+
+Matrix UnpackC(const MatMulPlan& plan, std::span<const float> c_blocks) {
+  const Partition& p = plan.part;
+  REPRO_REQUIRE(c_blocks.size() == p.gm * p.gn * p.mb * p.nb, "UnpackC size");
+  Matrix c(plan.m, plan.n);
+  for (std::size_t gr = 0; gr < p.gm; ++gr) {
+    for (std::size_t gc = 0; gc < p.gn; ++gc) {
+      const float* blk = c_blocks.data() + (gr * p.gn + gc) * p.mb * p.nb;
+      for (std::size_t r = 0; r < p.mb; ++r) {
+        const std::size_t dr = gr * p.mb + r;
+        if (dr >= plan.m) break;
+        for (std::size_t col = 0; col < p.nb; ++col) {
+          const std::size_t dc = gc * p.nb + col;
+          if (dc >= plan.n) break;
+          c(dr, dc) = blk[r * p.nb + col];
+        }
+      }
+    }
+  }
+  return c;
+}
+
+Matrix RunMatMul(const MatMulPlan& plan, Engine& engine, const Matrix& a,
+                 const Matrix& b, RunReport* report) {
+  const auto a_packed = PackA(plan, a);
+  const auto b_packed = PackB(plan, b);
+  engine.writeTensor(plan.a, a_packed);
+  engine.writeTensor(plan.b, b_packed);
+  RunReport r = engine.run();
+  if (report != nullptr) *report = r;
+  std::vector<float> c_packed(plan.c.numel);
+  engine.readTensor(plan.c, c_packed);
+  return UnpackC(plan, c_packed);
+}
+
+}  // namespace repro::ipu

@@ -1,0 +1,69 @@
+// Dense matmul graph builders: the "IPU naive", "IPU blocked" and
+// "IPU poplin" variants of Table 2.
+//
+//  * kPoplin  -- 3-D (m,n,k) partition with AMP vertices and a reduce stage,
+//                like poplin's matMul. The fast path.
+//  * kNaive   -- 2-D partition (no k split) with scalar MAC vertices.
+//  * kBlocked -- 2-D spatial grid with a temporal k-staging loop that copies
+//                operand blocks into per-tile staging buffers each step; the
+//                paper observes this is dominated by temporary data and
+//                copies (Table 2, note 3).
+//
+// Operands live in block-major device layout; Pack/Unpack helpers convert
+// host row-major matrices (padding partial edge blocks with zeros).
+#pragma once
+
+#include "ipusim/engine.h"
+#include "ipusim/graph.h"
+#include "ipusim/program.h"
+#include "linalg/matrix.h"
+#include "util/error.h"
+
+namespace repro::ipu {
+
+enum class MatMulImpl { kNaive, kBlocked, kPoplin };
+
+constexpr const char* MatMulImplName(MatMulImpl impl) {
+  switch (impl) {
+    case MatMulImpl::kNaive: return "naive";
+    case MatMulImpl::kBlocked: return "blocked";
+    case MatMulImpl::kPoplin: return "poplin";
+  }
+  return "?";
+}
+
+struct Partition {
+  std::size_t gm = 1, gn = 1, gk = 1;  // grid
+  std::size_t mb = 0, kb = 0, nb = 0;  // block shape (ceil)
+};
+
+struct MatMulPlan {
+  MatMulImpl impl = MatMulImpl::kPoplin;
+  std::size_t m = 0, k = 0, n = 0;
+  Partition part;
+  Tensor a;  // (gm*gk) x (mb*kb) block-major
+  Tensor b;  // (gk*gn) x (kb*nb) block-major
+  Tensor c;  // (gm*gn) x (mb*nb) block-major
+  Program prog;
+
+  double flops() const {
+    return 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+           static_cast<double>(n);
+  }
+};
+
+// Builds the graph objects + program for C = A*B into `graph`. Fails with
+// OutOfMemory when no partition fits tile memory.
+StatusOr<MatMulPlan> BuildMatMul(Graph& graph, std::size_t m, std::size_t k,
+                                 std::size_t n, MatMulImpl impl);
+
+// Host <-> block-major layout conversion.
+std::vector<float> PackA(const MatMulPlan& plan, const Matrix& a);
+std::vector<float> PackB(const MatMulPlan& plan, const Matrix& b);
+Matrix UnpackC(const MatMulPlan& plan, std::span<const float> c_blocks);
+
+// Convenience: upload operands, run once, download the product.
+Matrix RunMatMul(const MatMulPlan& plan, Engine& engine, const Matrix& a,
+                 const Matrix& b, RunReport* report = nullptr);
+
+}  // namespace repro::ipu

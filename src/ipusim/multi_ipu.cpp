@@ -1,0 +1,41 @@
+#include "ipusim/multi_ipu.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace repro::ipu {
+
+double AllReduceSeconds(const M2000Arch& arch, std::size_t bytes) {
+  REPRO_REQUIRE(arch.num_ipus >= 1, "empty pod");
+  if (arch.num_ipus == 1 || bytes == 0) return 0.0;
+  const double p = static_cast<double>(arch.num_ipus);
+  const double volume = 2.0 * (p - 1.0) / p * static_cast<double>(bytes);
+  return volume / arch.inter_ipu_bytes_per_sec +
+         2.0 * (p - 1.0) * arch.link_latency_sec;
+}
+
+std::vector<ScalingPoint> DataParallelScaling(const M2000Arch& arch,
+                                              double single_step_seconds,
+                                              double min_step_seconds,
+                                              std::size_t n_params) {
+  REPRO_REQUIRE(single_step_seconds > 0.0, "non-positive step time");
+  std::vector<ScalingPoint> out;
+  const double compute_part =
+      std::max(0.0, single_step_seconds - min_step_seconds);
+  for (std::size_t p = 1; p <= arch.num_ipus; p *= 2) {
+    M2000Arch sub = arch;
+    sub.num_ipus = p;
+    ScalingPoint pt;
+    pt.ipus = p;
+    pt.step_seconds = min_step_seconds +
+                      compute_part / static_cast<double>(p) +
+                      AllReduceSeconds(sub, n_params * sizeof(float));
+    pt.speedup = single_step_seconds / pt.step_seconds;
+    pt.efficiency = pt.speedup / static_cast<double>(p);
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace repro::ipu

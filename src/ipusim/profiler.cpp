@@ -1,0 +1,74 @@
+#include "ipusim/profiler.h"
+
+#include <sstream>
+
+namespace repro::ipu {
+namespace {
+
+std::string HumanBytes(std::size_t bytes) {
+  char buf[32];
+  if (bytes >= 1024ull * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0));
+  } else if (bytes >= 1024ull * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB",
+                  static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zu B", bytes);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string MemoryReport(const Executable& exe) {
+  const CompileStats& s = exe.stats;
+  std::ostringstream out;
+  out << "Memory report\n";
+  out << "  variables:      " << s.num_variables << "\n";
+  out << "  vertices:       " << s.num_vertices << "\n";
+  out << "  edges:          " << s.num_edges << "\n";
+  out << "  compute sets:   " << s.num_compute_sets << "\n";
+  for (std::size_t c = 0; c < kNumMemCategories; ++c) {
+    out << "  " << MemCategoryName(static_cast<MemCategory>(c)) << ": "
+        << HumanBytes(s.category_bytes[c]) << "\n";
+  }
+  out << "  total:          " << HumanBytes(s.total_bytes) << "\n";
+  out << "  fullest tile:   " << HumanBytes(s.max_tile_bytes) << " / "
+      << HumanBytes(exe.graph->arch().tile_memory_bytes) << "\n";
+  out << "  free on device: " << HumanBytes(s.free_bytes) << "\n";
+  return out.str();
+}
+
+std::string ExecutionReport(const RunReport& r, const IpuArch& arch) {
+  std::ostringstream out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "Run report: %.3f ms (compute %.3f ms, exchange %.3f ms, "
+                "sync %.3f ms, host %.3f ms), %.2f GFLOP/s\n",
+                r.seconds(arch) * 1e3,
+                static_cast<double>(r.compute_cycles) / arch.clock_hz * 1e3,
+                static_cast<double>(r.exchange_cycles) / arch.clock_hz * 1e3,
+                static_cast<double>(r.sync_cycles) / arch.clock_hz * 1e3,
+                r.host_seconds * 1e3, r.gflops(arch));
+  out << buf;
+  return out.str();
+}
+
+GraphCounts CountsOf(const Executable& exe) {
+  GraphCounts c;
+  c.vertices = exe.stats.num_vertices;
+  c.edges = exe.stats.num_edges;
+  c.variables = exe.stats.num_variables;
+  c.compute_sets = exe.stats.num_compute_sets;
+  c.total_bytes = exe.stats.total_bytes;
+  c.free_bytes = exe.stats.free_bytes;
+  c.max_tile_bytes = exe.stats.max_tile_bytes;
+  c.exchange_buffer_bytes = exe.stats.bytesFor(MemCategory::kExchangeBuffers);
+  return c;
+}
+
+}  // namespace repro::ipu

@@ -1,0 +1,33 @@
+// PopVision-Graph-Analyzer-style reporting over compile and run artifacts.
+// Fig. 5 and Fig. 7 of the paper are read straight off these reports.
+#pragma once
+
+#include <string>
+
+#include "ipusim/compiler.h"
+#include "ipusim/engine.h"
+
+namespace repro::ipu {
+
+// Human-readable memory breakdown (per category, totals, fullest tile).
+std::string MemoryReport(const Executable& exe);
+
+// Human-readable cost breakdown of a run.
+std::string ExecutionReport(const RunReport& report, const IpuArch& arch);
+
+// One-line CSV-ish summary used by the figure benches:
+// n, vertices, edges, variables, compute_sets, total_bytes, free_bytes.
+struct GraphCounts {
+  std::size_t vertices = 0;
+  std::size_t edges = 0;
+  std::size_t variables = 0;
+  std::size_t compute_sets = 0;
+  std::size_t total_bytes = 0;
+  std::size_t free_bytes = 0;
+  std::size_t max_tile_bytes = 0;
+  std::size_t exchange_buffer_bytes = 0;
+};
+
+GraphCounts CountsOf(const Executable& exe);
+
+}  // namespace repro::ipu

@@ -1,0 +1,93 @@
+// Control programs: what the engine runs.
+//
+// Mirrors Poplar's program tree: Execute(cs) runs every vertex of a compute
+// set (one BSP superstep: exchange-in, compute, exchange-out), Copy moves
+// data between tensor views through the exchange, Repeat loops a body, and
+// HostWrite/HostRead stream over the host link (20 GB/s), which is how the
+// PopTorch-style "includes data copy" timings of Table 2 are modelled.
+#pragma once
+
+#include <vector>
+
+#include "ipusim/graph.h"
+
+namespace repro::ipu {
+
+struct Program {
+  enum class Kind {
+    kSequence,
+    kExecute,
+    kCopy,
+    kCopyBundle,  // many copies coalesced into one exchange phase
+    kRepeat,
+    kHostWrite,
+    kHostRead,
+  };
+
+  Kind kind = Kind::kSequence;
+  ComputeSetId cs = kInvalidId;
+  Tensor src;
+  Tensor dst;
+  std::size_t repeat_count = 0;
+  std::vector<Program> children;
+
+  static Program Execute(ComputeSetId cs) {
+    Program p;
+    p.kind = Kind::kExecute;
+    p.cs = cs;
+    return p;
+  }
+  static Program Copy(const Tensor& src, const Tensor& dst) {
+    REPRO_REQUIRE(src.numel == dst.numel, "Copy size mismatch: %zu vs %zu",
+                  src.numel, dst.numel);
+    Program p;
+    p.kind = Kind::kCopy;
+    p.src = src;
+    p.dst = dst;
+    return p;
+  }
+  // Coalesces many copies into a single exchange phase (one sync; the cost
+  // is the bottleneck tile's total receive bytes over all copies), the way
+  // Poplar schedules the copies of one program step.
+  static Program CopyBundle(std::vector<Program> copies) {
+    Program p;
+    p.kind = Kind::kCopyBundle;
+    for (auto& c : copies) {
+      REPRO_REQUIRE(c.kind == Kind::kCopy, "CopyBundle child must be a Copy");
+    }
+    p.children = std::move(copies);
+    return p;
+  }
+  static Program Sequence(std::vector<Program> steps) {
+    Program p;
+    p.kind = Kind::kSequence;
+    p.children = std::move(steps);
+    return p;
+  }
+  static Program Repeat(std::size_t count, Program body) {
+    Program p;
+    p.kind = Kind::kRepeat;
+    p.repeat_count = count;
+    p.children.push_back(std::move(body));
+    return p;
+  }
+  static Program HostWrite(const Tensor& dst) {
+    Program p;
+    p.kind = Kind::kHostWrite;
+    p.dst = dst;
+    return p;
+  }
+  static Program HostRead(const Tensor& src) {
+    Program p;
+    p.kind = Kind::kHostRead;
+    p.src = src;
+    return p;
+  }
+
+  void add(Program step) {
+    REPRO_REQUIRE(kind == Kind::kSequence, "add() on non-sequence program");
+    children.push_back(std::move(step));
+  }
+};
+
+}  // namespace repro::ipu

@@ -1,0 +1,295 @@
+#include "ipusim/sparse_mm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ipusim/codelet.h"
+#include "util/bitops.h"
+
+namespace repro::ipu {
+namespace {
+
+constexpr double kTileBudgetFraction = 0.72;
+
+// popsparse's static codelets get faster (per nonzero) as density rises:
+// longer runs per row amortise the per-entry control flow. Calibrated to the
+// Table 2 popsparse columns (2.28 real TFLOP/s at 90% sparsity, 0.76 real
+// TFLOP/s at 99%).
+double SparseCyclesPerMac(double density) {
+  return 1.1 + 0.022 / std::max(density, 1e-4);
+}
+
+std::vector<std::size_t> Candidates(std::size_t dim, std::size_t limit) {
+  std::vector<std::size_t> out;
+  for (std::size_t g = 1; g <= limit && g <= dim; g = g < 4 ? g + 1 : g + g / 3) {
+    out.push_back(g);
+  }
+  return out;
+}
+
+}  // namespace
+
+// Layout: the sparse operand S is partitioned spatially over a (gm x gk)
+// grid -- each tile owns a row-block x column-slice of S, baked into vertex
+// state. The dense operand B and the result C are processed in `stages`
+// temporal chunks of nb output columns each (popsparse-style streaming):
+// every stage copies the B chunk into per-tile staging buffers, runs the
+// multiply compute set, (optionally) reduces over gk, and copies the C
+// chunk back to its home distribution.
+StatusOr<SpmmPlan> BuildSparseMatMul(Graph& graph, const Csr& s,
+                                     std::size_t n, SparseLayout layout) {
+  const IpuArch& arch = graph.arch();
+  const double density = s.density();
+  const double spm = SparseCyclesPerMac(density);
+
+  SpmmPlan plan;
+  plan.m = s.rows;
+  plan.k = s.cols;
+  plan.n = n;
+  plan.nnz = s.nnz();
+
+  // --- partition search: spatial (gm, gk), temporal chunk nb -------------
+  double best_cycles = std::numeric_limits<double>::infinity();
+  SpmmPlan::Grid best;
+  std::size_t best_stages = 0;
+  const std::size_t budget = static_cast<std::size_t>(
+      kTileBudgetFraction * static_cast<double>(arch.tile_memory_bytes));
+  for (std::size_t gm : Candidates(plan.m, arch.num_tiles)) {
+    for (std::size_t gk : Candidates(plan.k, 64)) {
+      if (gm * gk > arch.num_tiles) continue;
+      const std::size_t mb = CeilDiv(plan.m, gm);
+      const std::size_t kb = CeilDiv(plan.k, gk);
+      const double nnz_blk =
+          static_cast<double>(plan.nnz) / static_cast<double>(gm * gk);
+      const std::size_t state_bytes =
+          static_cast<std::size_t>(nnz_blk * 2.0 + mb) * sizeof(float);
+      if (state_bytes + 256 > budget) continue;
+      // Choose the largest column chunk that fits beside the state:
+      // staging B chunk (kb x nb, plus its receive buffer) and the C/partial
+      // chunk (mb x nb, doubled when a reduce stage gathers gk partials).
+      const std::size_t per_col_bytes =
+          (2 * kb + (gk > 1 ? 3 * mb : mb)) * sizeof(float);
+      const std::size_t avail = budget - state_bytes - 256;
+      const std::size_t nb = std::min<std::size_t>(
+          n, std::max<std::size_t>(1, avail / std::max<std::size_t>(
+                                            1, per_col_bytes)));
+      const std::size_t stages = CeilDiv(n, nb);
+      // Cost: per stage, B-chunk exchange (broadcast to the gm row groups),
+      // compute, and fixed superstep costs.
+      const double exch =
+          static_cast<double>(kb * nb) * 4.0 / arch.exchange_bytes_per_cycle +
+          2.0 * arch.exchange_sync_cycles;
+      const double compute = nnz_blk * static_cast<double>(nb) * spm +
+                             arch.compute_sync_cycles;
+      double reduce = 0.0;
+      if (gk > 1) {
+        // Balanced: each of the gk tiles in a row group reduces an mb/gk
+        // row-slice of all gk partials, so per-tile work is mb * nb.
+        reduce = static_cast<double>(mb * nb) / arch.simd_flops_per_cycle +
+                 static_cast<double>(mb * nb) * 4.0 /
+                     arch.exchange_bytes_per_cycle +
+                 arch.exchange_sync_cycles;
+      }
+      const double cycles = static_cast<double>(stages) *
+                            (exch + compute + reduce);
+      if (cycles < best_cycles) {
+        best_cycles = cycles;
+        best = {gm, 1, gk, mb, kb, 0};
+        best.nb = nb;
+        best_stages = stages;
+      }
+    }
+  }
+  if (!std::isfinite(best_cycles)) {
+    return Status::OutOfMemory("no feasible sparse matmul partition");
+  }
+  plan.grid = best;
+  const auto& g = plan.grid;
+  const std::size_t nb = g.nb;
+  const std::size_t stages = best_stages;
+
+  auto tile_of = [&](std::size_t im, std::size_t ik) {
+    return im * g.gk + ik;
+  };
+
+  // Full operands in stage-chunk-major device layout.
+  plan.b = graph.addVariable("spmm_b", stages * g.gk, g.kb * nb);
+  plan.c = graph.addVariable("spmm_c", stages * g.gm, g.mb * nb);
+  for (std::size_t st = 0; st < stages; ++st) {
+    for (std::size_t ik = 0; ik < g.gk; ++ik) {
+      graph.setTileMapping(plan.b.row(st * g.gk + ik),
+                           tile_of(st % g.gm, ik));
+    }
+    for (std::size_t im = 0; im < g.gm; ++im) {
+      graph.setTileMapping(plan.c.row(st * g.gm + im), tile_of(im, st % g.gk));
+    }
+  }
+  // Staging buffers (one per tile, reused every stage).
+  Tensor b_stage = graph.addVariable("spmm_b_stage", g.gm * g.gk, g.kb * nb);
+  Tensor out_stage = graph.addVariable("spmm_out_stage", g.gm * g.gk,
+                                       g.mb * nb);
+  for (std::size_t im = 0; im < g.gm; ++im) {
+    for (std::size_t ik = 0; ik < g.gk; ++ik) {
+      graph.setTileMapping(b_stage.row(im * g.gk + ik), tile_of(im, ik));
+      graph.setTileMapping(out_stage.row(im * g.gk + ik), tile_of(im, ik));
+    }
+  }
+
+  // Multiply compute set: one vertex per tile, S block baked into state.
+  ComputeSetId cs_mm = graph.addComputeSet("spmm_multiply");
+  for (std::size_t im = 0; im < g.gm; ++im) {
+    const std::size_t row_lo = im * g.mb;
+    const std::size_t row_hi = std::min(plan.m, row_lo + g.mb);
+    for (std::size_t ik = 0; ik < g.gk; ++ik) {
+      const std::size_t col_lo = ik * g.kb;
+      const std::size_t col_hi = std::min(plan.k, col_lo + g.kb);
+      const bool coo = layout == SparseLayout::kCoo;
+      VertexId v = graph.addVertex(
+          cs_mm, coo ? codelets::kSparseCooMac : codelets::kSparseRowsMac,
+          tile_of(im, ik));
+      std::vector<float> state;
+      for (std::size_t r = row_lo; r < row_lo + g.mb; ++r) {
+        if (r >= row_hi) {
+          if (!coo) state.push_back(0.0f);
+          continue;
+        }
+        std::size_t count_pos = 0;
+        if (!coo) {
+          count_pos = state.size();
+          state.push_back(0.0f);
+        }
+        std::size_t count = 0;
+        for (std::uint32_t e = s.row_ptr[r]; e < s.row_ptr[r + 1]; ++e) {
+          const std::uint32_t col = s.col_idx[e];
+          if (col < col_lo || col >= col_hi) continue;
+          if (coo) state.push_back(static_cast<float>(r - row_lo));
+          state.push_back(static_cast<float>(col - col_lo));
+          state.push_back(s.values[e]);
+          ++count;
+        }
+        if (!coo) state[count_pos] = static_cast<float>(count);
+      }
+      graph.setVertexState(v, std::move(state));
+      graph.connect(v, "b", b_stage.row(im * g.gk + ik));
+      graph.connect(v, "out", out_stage.row(im * g.gk + ik), true);
+      graph.setInitialValue(v, "m", static_cast<double>(g.mb));
+      graph.setInitialValue(v, "n", static_cast<double>(nb));
+      graph.setInitialValue(v, "spm", spm);
+    }
+  }
+  // Reduce compute set: balanced over the row group. Each of the gk tiles
+  // owning a partial reduces a contiguous row-slice of all gk partials into
+  // its slice of the dedicated reduced buffer.
+  ComputeSetId cs_red = kInvalidId;
+  std::vector<Tensor> red_buffers;
+  if (g.gk > 1) {
+    cs_red = graph.addComputeSet("spmm_reduce");
+    for (std::size_t im = 0; im < g.gm; ++im) {
+      Tensor red = graph.addVariable("spmm_red_" + std::to_string(im), g.mb,
+                                     nb);
+      red_buffers.push_back(red);
+      const std::size_t slices = std::min(g.gk, g.mb);
+      const std::size_t rows_per_slice = CeilDiv(g.mb, slices);
+      for (std::size_t sl = 0; sl < slices; ++sl) {
+        const std::size_t r0 = sl * rows_per_slice;
+        if (r0 >= g.mb) break;
+        const std::size_t rows = std::min(rows_per_slice, g.mb - r0);
+        graph.setTileMapping(red.rowRange(r0, rows), tile_of(im, sl));
+        VertexId v =
+            graph.addVertex(cs_red, codelets::kReduceAdd, tile_of(im, sl));
+        for (std::size_t ik = 0; ik < g.gk; ++ik) {
+          graph.connect(v, "partials",
+                        out_stage.row(im * g.gk + ik)
+                            .slice(r0 * nb, rows * nb));
+        }
+        graph.connect(v, "out", red.rowRange(r0, rows), true);
+      }
+    }
+  }
+
+  // The per-stage program: stage B chunks in, multiply, reduce, copy C out.
+  // For gk == 1 the vertex output buffer is copied straight to C's chunk.
+  Program seq = Program::Sequence({});
+  for (std::size_t st = 0; st < stages; ++st) {
+    std::vector<Program> stage_in;
+    for (std::size_t im = 0; im < g.gm; ++im) {
+      for (std::size_t ik = 0; ik < g.gk; ++ik) {
+        stage_in.push_back(Program::Copy(plan.b.row(st * g.gk + ik),
+                                         b_stage.row(im * g.gk + ik)));
+      }
+    }
+    seq.add(Program::CopyBundle(std::move(stage_in)));
+    seq.add(Program::Execute(cs_mm));
+    if (g.gk > 1) seq.add(Program::Execute(cs_red));
+    std::vector<Program> stage_out;
+    for (std::size_t im = 0; im < g.gm; ++im) {
+      const Tensor src =
+          g.gk > 1 ? red_buffers[im] : out_stage.row(im * g.gk + 0);
+      stage_out.push_back(Program::Copy(src, plan.c.row(st * g.gm + im)));
+    }
+    seq.add(Program::CopyBundle(std::move(stage_out)));
+  }
+  plan.prog = std::move(seq);
+  return plan;
+}
+
+std::vector<float> PackBSparse(const SpmmPlan& plan, const Matrix& b) {
+  REPRO_REQUIRE(b.rows() == plan.k && b.cols() == plan.n, "PackBSparse shape");
+  const auto& g = plan.grid;
+  const std::size_t nb = g.nb;
+  const std::size_t stages = CeilDiv(plan.n, nb);
+  std::vector<float> out(stages * g.gk * g.kb * nb, 0.0f);
+  for (std::size_t st = 0; st < stages; ++st) {
+    for (std::size_t ik = 0; ik < g.gk; ++ik) {
+      float* blk = out.data() + (st * g.gk + ik) * g.kb * nb;
+      for (std::size_t r = 0; r < g.kb; ++r) {
+        const std::size_t sr = ik * g.kb + r;
+        if (sr >= plan.k) break;
+        for (std::size_t c = 0; c < nb; ++c) {
+          const std::size_t sc = st * nb + c;
+          if (sc >= plan.n) break;
+          blk[r * nb + c] = b(sr, sc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Matrix UnpackCSparse(const SpmmPlan& plan, std::span<const float> c_blocks) {
+  const auto& g = plan.grid;
+  const std::size_t nb = g.nb;
+  const std::size_t stages = CeilDiv(plan.n, nb);
+  REPRO_REQUIRE(c_blocks.size() == stages * g.gm * g.mb * nb,
+                "UnpackCSparse size");
+  Matrix c(plan.m, plan.n);
+  for (std::size_t st = 0; st < stages; ++st) {
+    for (std::size_t im = 0; im < g.gm; ++im) {
+      const float* blk = c_blocks.data() + (st * g.gm + im) * g.mb * nb;
+      for (std::size_t r = 0; r < g.mb; ++r) {
+        const std::size_t dr = im * g.mb + r;
+        if (dr >= plan.m) break;
+        for (std::size_t col = 0; col < nb; ++col) {
+          const std::size_t dc = st * nb + col;
+          if (dc >= plan.n) break;
+          c(dr, dc) = blk[r * nb + col];
+        }
+      }
+    }
+  }
+  return c;
+}
+
+Matrix RunSparseMatMul(const SpmmPlan& plan, Engine& engine, const Matrix& b,
+                       RunReport* report) {
+  const auto packed = PackBSparse(plan, b);
+  engine.writeTensor(plan.b, packed);
+  RunReport r = engine.run();
+  if (report != nullptr) *report = r;
+  std::vector<float> c_packed(plan.c.numel);
+  engine.readTensor(plan.c, c_packed);
+  return UnpackCSparse(plan, c_packed);
+}
+
+}  // namespace repro::ipu

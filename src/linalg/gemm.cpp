@@ -1,0 +1,129 @@
+#include "linalg/gemm.h"
+
+#include <algorithm>
+
+#include "util/bitops.h"
+#include "util/parallel.h"
+
+namespace repro {
+namespace {
+
+constexpr std::size_t kBlock = 64;
+
+void CheckShapes(const Matrix& a, const Matrix& b, const Matrix& c,
+                 std::size_t m, std::size_t k, std::size_t n) {
+  REPRO_REQUIRE(a.size() >= m * k && b.size() >= k * n && c.size() >= m * n,
+                "gemm shape mismatch");
+}
+
+}  // namespace
+
+void GemmNaive(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  REPRO_REQUIRE(b.rows() == k && c.rows() == m && c.cols() == n,
+                "GemmNaive: %zux%zu * %zux%zu -> %zux%zu", a.rows(), a.cols(),
+                b.rows(), b.cols(), c.rows(), c.cols());
+  if (!accumulate) c.Zero();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = a(i, p);
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + p * n;
+      float* crow = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void GemmBlocked(const Matrix& a, const Matrix& b, Matrix& c,
+                 bool accumulate) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  REPRO_REQUIRE(b.rows() == k && c.rows() == m && c.cols() == n,
+                "GemmBlocked shape mismatch");
+  CheckShapes(a, b, c, m, k, n);
+  if (!accumulate) c.Zero();
+  // Row blocks are independent: shard them over the host thread pool
+  // (serial on single-core machines; see util/parallel.h).
+  ParallelFor(
+      0, CeilDiv(m, kBlock),
+      [&](std::size_t blk_lo, std::size_t blk_hi) {
+        for (std::size_t blk = blk_lo; blk < blk_hi; ++blk) {
+          const std::size_t i0 = blk * kBlock;
+          const std::size_t i1 = std::min(i0 + kBlock, m);
+          for (std::size_t p0 = 0; p0 < k; p0 += kBlock) {
+            const std::size_t p1 = std::min(p0 + kBlock, k);
+            for (std::size_t j0 = 0; j0 < n; j0 += kBlock) {
+              const std::size_t j1 = std::min(j0 + kBlock, n);
+              for (std::size_t i = i0; i < i1; ++i) {
+                float* crow = c.data() + i * n;
+                for (std::size_t p = p0; p < p1; ++p) {
+                  const float av = a(i, p);
+                  const float* brow = b.data() + p * n;
+                  for (std::size_t j = j0; j < j1; ++j) {
+                    crow[j] += av * brow[j];
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+}
+
+void GemmTransA(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
+  // a is (k x m): C(m x n) = A^T * B.
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  REPRO_REQUIRE(b.rows() == k && c.rows() == m && c.cols() == n,
+                "GemmTransA shape mismatch");
+  if (!accumulate) c.Zero();
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a.data() + p * m;
+    const float* brow = b.data() + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void GemmTransB(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
+  // b is (n x k): C(m x n) = A * B^T. Dot-product form keeps B rows hot.
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  REPRO_REQUIRE(b.cols() == k && c.rows() == m && c.cols() == n,
+                "GemmTransB shape mismatch");
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* crow = c.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b.data() + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = accumulate ? crow[j] + acc : acc;
+    }
+  }
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  GemmBlocked(a, b, c);
+  return c;
+}
+
+void Gemv(const Matrix& a, std::span<const float> x, std::span<float> y) {
+  REPRO_REQUIRE(x.size() == a.cols() && y.size() == a.rows(),
+                "Gemv shape mismatch");
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* row = a.data() + i * a.cols();
+    float acc = 0.0f;
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+}
+
+}  // namespace repro

@@ -1,0 +1,41 @@
+// Dense matrix multiplication kernels.
+//
+// GemmNaive is the reference; GemmBlocked is the cache-blocked kernel the NN
+// trainer uses on the host (single-core throughput matters for the Table 4
+// training benches). Both compute C = A * B (optionally transposing inputs),
+// with an accumulate flag for C += A * B.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace repro {
+
+// C = A(m x k) * B(k x n); straightforward triple loop in ikj order.
+void GemmNaive(const Matrix& a, const Matrix& b, Matrix& c,
+               bool accumulate = false);
+
+// Cache-blocked GEMM; identical result up to float association order.
+void GemmBlocked(const Matrix& a, const Matrix& b, Matrix& c,
+                 bool accumulate = false);
+
+// C = A^T * B where A is (k x m): avoids materialising the transpose.
+void GemmTransA(const Matrix& a, const Matrix& b, Matrix& c,
+                bool accumulate = false);
+
+// C = A * B^T where B is (n x k).
+void GemmTransB(const Matrix& a, const Matrix& b, Matrix& c,
+                bool accumulate = false);
+
+// Convenience allocating form of GemmBlocked.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+// y = A * x for a single vector (used by small kernels and tests).
+void Gemv(const Matrix& a, std::span<const float> x, std::span<float> y);
+
+// FLOP count of an (m x k) * (k x n) multiply (2 flops per MAC).
+inline double GemmFlops(std::size_t m, std::size_t k, std::size_t n) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+         static_cast<double>(n);
+}
+
+}  // namespace repro

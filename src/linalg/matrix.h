@@ -1,0 +1,89 @@
+// Row-major dense float matrix used as the host-side numeric substrate.
+//
+// All structured-layer math (butterfly, pixelfly, NN training) operates on
+// this type; the device simulators charge time for the same operations but
+// compute with identical numerics, so accuracy results are device-independent
+// up to float non-associativity (which the paper also observes).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace repro {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+  Matrix(std::size_t rows, std::size_t cols, float fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix Identity(std::size_t n);
+  static Matrix RandomNormal(std::size_t rows, std::size_t cols, Rng& rng,
+                             float stddev = 1.0f);
+  static Matrix RandomUniform(std::size_t rows, std::size_t cols, Rng& rng,
+                              float lo, float hi);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t r, std::size_t c) {
+    REPRO_REQUIRE(r < rows_ && c < cols_, "matrix index (%zu,%zu) out of %zux%zu",
+                  r, c, rows_, cols_);
+    return data_[r * cols_ + c];
+  }
+  float at(std::size_t r, std::size_t c) const {
+    REPRO_REQUIRE(r < rows_ && c < cols_, "matrix index (%zu,%zu) out of %zux%zu",
+                  r, c, rows_, cols_);
+    return data_[r * cols_ + c];
+  }
+  // Unchecked access for hot loops.
+  float& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const float> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  void Fill(float v);
+  void Zero() { Fill(0.0f); }
+  Matrix Transposed() const;
+
+  // Elementwise in-place helpers.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(float s);
+
+  // Frobenius norm and elementwise maximum absolute difference.
+  double FrobeniusNorm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+// Max |a-b| over all entries; matrices must have identical shape.
+double MaxAbsDiff(const Matrix& a, const Matrix& b);
+
+// True when max |a-b| <= atol + rtol * max|b|.
+bool AllClose(const Matrix& a, const Matrix& b, double rtol = 1e-4,
+              double atol = 1e-5);
+
+}  // namespace repro

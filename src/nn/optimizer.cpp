@@ -1,0 +1,35 @@
+#include "nn/optimizer.h"
+
+namespace repro::nn {
+
+Sgd::Sgd(std::vector<ParamRef> params, const Config& config)
+    : params_(std::move(params)), config_(config) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) {
+    velocity_.emplace_back(p.value.size(), 0.0f);
+  }
+}
+
+void Sgd::Step() {
+  const float lr = static_cast<float>(config_.lr);
+  const float mu = static_cast<float>(config_.momentum);
+  const float wd = static_cast<float>(config_.weight_decay);
+  for (std::size_t t = 0; t < params_.size(); ++t) {
+    auto& p = params_[t];
+    auto& v = velocity_[t];
+    for (std::size_t i = 0; i < p.value.size(); ++i) {
+      float g = p.grad[i];
+      if (wd != 0.0f) g += wd * p.value[i];
+      v[i] = mu * v[i] + g;
+      p.value[i] -= lr * v[i];
+    }
+  }
+}
+
+void Sgd::ZeroGrad() {
+  for (auto& p : params_) {
+    std::fill(p.grad.begin(), p.grad.end(), 0.0f);
+  }
+}
+
+}  // namespace repro::nn

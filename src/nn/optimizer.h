@@ -1,0 +1,31 @@
+// SGD with momentum: the optimizer of the paper's Table 3 hyperparameters
+// (lr 0.001, momentum 0.9).
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace repro::nn {
+
+class Sgd {
+ public:
+  struct Config {
+    double lr = 0.001;
+    double momentum = 0.9;
+    double weight_decay = 0.0;
+  };
+
+  Sgd(std::vector<ParamRef> params, const Config& config);
+
+  // v = mu v + g; p -= lr v  (PyTorch-style momentum).
+  void Step();
+  void ZeroGrad();
+
+ private:
+  std::vector<ParamRef> params_;
+  std::vector<std::vector<float>> velocity_;
+  Config config_;
+};
+
+}  // namespace repro::nn

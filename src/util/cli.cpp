@@ -1,0 +1,53 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace repro {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) continue;
+    std::string body = arg + 2;
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "true";
+    }
+  }
+}
+
+bool Cli::Has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string Cli::GetString(const std::string& name, std::string def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+long long Cli::GetInt(const std::string& name, long long def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::GetDouble(const std::string& name, double def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::GetBool(const std::string& name, bool def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return it->second != "false" && it->second != "0";
+}
+
+bool Cli::Fast() const {
+  if (GetBool("fast", false)) return true;
+  const char* env = std::getenv("REPRO_FAST");
+  return env != nullptr && std::strcmp(env, "0") != 0;
+}
+
+}  // namespace repro

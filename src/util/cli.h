@@ -1,0 +1,28 @@
+// Tiny flag parser for bench/example binaries: --name=value or --name value.
+// Also honours the REPRO_FAST environment variable, which all benches use to
+// shrink workloads for CI-style runs.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace repro {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name, std::string def) const;
+  long long GetInt(const std::string& name, long long def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  // True when --fast is passed or REPRO_FAST is set in the environment.
+  bool Fast() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace repro

@@ -1,0 +1,99 @@
+// Error handling primitives shared by every module.
+//
+// Device-model code (the IPU compiler in particular) reports recoverable
+// failures -- a graph that does not fit on the device, an invalid tile
+// mapping -- through Status/StatusOr rather than exceptions, mirroring how
+// a real SDK surfaces compilation diagnostics. Programming errors (out of
+// range indices, shape mismatches) abort via REPRO_REQUIRE.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace repro {
+
+// Aborts with a formatted message when `cond` is false. Used for invariants
+// that indicate a bug in the caller, never for data-dependent failures.
+#define REPRO_REQUIRE(cond, ...)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "FATAL %s:%d: ", __FILE__, __LINE__);          \
+      std::fprintf(stderr, __VA_ARGS__);                                  \
+      std::fprintf(stderr, "\n");                                         \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+// A recoverable failure category, deliberately small: device models only
+// distinguish "does not fit" from "malformed input".
+enum class ErrorCode {
+  kOk = 0,
+  kOutOfMemory,     // graph exceeds per-tile or total device memory
+  kInvalidArgument, // malformed shapes, mappings, parameters
+  kUnsupported,     // requested feature not modelled
+};
+
+class Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status OutOfMemory(std::string m) {
+    return Status(ErrorCode::kOutOfMemory, std::move(m));
+  }
+  static Status InvalidArgument(std::string m) {
+    return Status(ErrorCode::kInvalidArgument, std::move(m));
+  }
+  static Status Unsupported(std::string m) {
+    return Status(ErrorCode::kUnsupported, std::move(m));
+  }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+// Minimal expected-like wrapper: either a value or a Status explaining why
+// the value could not be produced.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}           // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {    // NOLINT
+    REPRO_REQUIRE(!status_.ok(), "StatusOr built from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    REPRO_REQUIRE(ok(), "StatusOr::value() on error: %s",
+                  status_.message().c_str());
+    return *value_;
+  }
+  const T& value() const {
+    REPRO_REQUIRE(ok(), "StatusOr::value() on error: %s",
+                  status_.message().c_str());
+    return *value_;
+  }
+  T&& take() {
+    REPRO_REQUIRE(ok(), "StatusOr::take() on error: %s",
+                  status_.message().c_str());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace repro

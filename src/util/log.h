@@ -1,0 +1,30 @@
+// Leveled logging; quiet by default so bench output stays parseable.
+// Set REPRO_LOG=debug|info|warn to raise verbosity.
+#pragma once
+
+#include <string>
+
+namespace repro {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+void LogMessage(LogLevel level, const std::string& msg);
+
+#define REPRO_LOG(level, ...)                                        \
+  do {                                                               \
+    if (static_cast<int>(level) >= static_cast<int>(::repro::GetLogLevel())) { \
+      char buf_[512];                                                \
+      std::snprintf(buf_, sizeof(buf_), __VA_ARGS__);                \
+      ::repro::LogMessage(level, buf_);                              \
+    }                                                                \
+  } while (0)
+
+#define REPRO_DEBUG(...) REPRO_LOG(::repro::LogLevel::kDebug, __VA_ARGS__)
+#define REPRO_INFO(...) REPRO_LOG(::repro::LogLevel::kInfo, __VA_ARGS__)
+#define REPRO_WARN(...) REPRO_LOG(::repro::LogLevel::kWarn, __VA_ARGS__)
+#define REPRO_ERROR(...) REPRO_LOG(::repro::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace repro

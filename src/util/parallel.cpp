@@ -1,0 +1,50 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "util/error.h"
+
+namespace repro {
+
+std::size_t ParallelWorkers() {
+  static const std::size_t workers = [] {
+    if (const char* env = std::getenv("REPRO_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v >= 1) return static_cast<std::size_t>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(hw == 0 ? 1 : hw);
+  }();
+  return workers;
+}
+
+void ParallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t, std::size_t)>& fn,
+                 std::size_t min_grain) {
+  REPRO_REQUIRE(begin <= end, "inverted range");
+  if (begin == end) return;
+  const std::size_t total = end - begin;
+  const std::size_t workers =
+      std::min(ParallelWorkers(),
+               std::max<std::size_t>(1, total / std::max<std::size_t>(
+                                                    1, min_grain)));
+  if (workers <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const std::size_t chunk = (total + workers - 1) / workers;
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  std::size_t cursor = begin;
+  for (std::size_t w = 0; w + 1 < workers && cursor + chunk < end; ++w) {
+    threads.emplace_back(fn, cursor, cursor + chunk);
+    cursor += chunk;
+  }
+  fn(cursor, end);  // this thread takes the tail
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace repro

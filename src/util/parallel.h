@@ -1,0 +1,26 @@
+// Shared-memory parallel-for over index ranges.
+//
+// Host kernels (GEMM, butterfly batches) are embarrassingly parallel over
+// rows; this utility shards a range over a lazily-created thread pool. On a
+// single-core machine (or when REPRO_THREADS=1) it degrades to a plain
+// serial loop with zero overhead, so simulated-device results never depend
+// on host parallelism.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace repro {
+
+// Number of worker threads ParallelFor will use (>= 1). Reads
+// REPRO_THREADS if set, otherwise std::thread::hardware_concurrency().
+std::size_t ParallelWorkers();
+
+// Invokes fn(begin, end) on disjoint sub-ranges covering [begin, end),
+// possibly concurrently. fn must be safe to run concurrently on disjoint
+// ranges. Blocks until every sub-range completes.
+void ParallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t, std::size_t)>& fn,
+                 std::size_t min_grain = 1);
+
+}  // namespace repro

@@ -1,0 +1,41 @@
+// Descriptive statistics used by the benchmark harnesses (Table 5 reports
+// mean and standard deviation over parameter sweeps).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace repro {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation, matching the paper
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary Summarize(std::span<const double> values);
+
+// Streaming mean/variance (Welford); used when sweeps are too large to
+// retain every sample.
+class OnlineStats {
+ public:
+  void Add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace repro

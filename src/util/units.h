@@ -1,0 +1,31 @@
+// Unit helpers: byte sizes and the cycle<->seconds conversion used to turn
+// simulated device cycle counts into the "execution time" the paper reports.
+#pragma once
+
+#include <cstdint>
+
+namespace repro {
+
+constexpr std::size_t KiB(std::size_t n) { return n * 1024; }
+constexpr std::size_t MiB(std::size_t n) { return n * 1024 * 1024; }
+constexpr std::size_t GiB(std::size_t n) { return n * 1024 * 1024 * 1024; }
+
+// Simulated device time. Cycles are accumulated as integers by the engines;
+// conversion to seconds only happens at reporting boundaries.
+struct SimTime {
+  std::uint64_t cycles = 0;
+  double clock_hz = 1.0;
+
+  double seconds() const { return static_cast<double>(cycles) / clock_hz; }
+  double micros() const { return seconds() * 1e6; }
+};
+
+inline double CyclesToSeconds(std::uint64_t cycles, double clock_hz) {
+  return static_cast<double>(cycles) / clock_hz;
+}
+
+inline double GFlops(double flops, double seconds) {
+  return seconds > 0 ? flops / seconds / 1e9 : 0.0;
+}
+
+}  // namespace repro

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/synthetic.h"
+#include "util/stats.h"
+
+namespace repro::data {
+namespace {
+
+TEST(Synthetic, ShapeAndLabels) {
+  SyntheticConfig cfg;
+  cfg.num_samples = 500;
+  Dataset d = SyntheticCifar10(cfg);
+  EXPECT_EQ(d.size(), 500u);
+  EXPECT_EQ(d.dim(), 1024u);
+  EXPECT_EQ(d.num_classes, 10u);
+  std::set<int> classes;
+  for (auto l : d.labels) {
+    EXPECT_LT(l, 10);
+    classes.insert(l);
+  }
+  EXPECT_EQ(classes.size(), 10u);  // all classes appear
+}
+
+TEST(Synthetic, DeterministicForSeed) {
+  SyntheticConfig cfg;
+  cfg.num_samples = 50;
+  Dataset a = SyntheticCifar10(cfg);
+  Dataset b = SyntheticCifar10(cfg);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(a.images, b.images), 0.0);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  SyntheticConfig a, b;
+  a.num_samples = b.num_samples = 50;
+  b.seed = 99;
+  EXPECT_GT(MaxAbsDiff(SyntheticCifar10(a).images, SyntheticCifar10(b).images),
+            0.01);
+}
+
+TEST(Synthetic, ValuesBoundedByTanh) {
+  SyntheticConfig cfg;
+  cfg.num_samples = 20;
+  Dataset d = SyntheticCifar10(cfg);
+  for (float v : d.images.flat()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Synthetic, ClassesHaveDistinctMeans) {
+  SyntheticConfig cfg;
+  cfg.num_samples = 1000;
+  Dataset d = SyntheticCifar10(cfg);
+  // Mean image per class should differ between classes (prototypes differ).
+  std::vector<std::vector<double>> means(10, std::vector<double>(d.dim(), 0.0));
+  std::vector<int> counts(10, 0);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    counts[d.labels[i]]++;
+    auto row = d.images.row(i);
+    for (std::size_t j = 0; j < d.dim(); ++j) means[d.labels[i]][j] += row[j];
+  }
+  double dist01 = 0.0;
+  for (std::size_t j = 0; j < d.dim(); ++j) {
+    const double m0 = means[0][j] / counts[0];
+    const double m1 = means[1][j] / counts[1];
+    dist01 += (m0 - m1) * (m0 - m1);
+  }
+  // The mean signal is deliberately weak (classes differ mostly in
+  // covariance), but prototypes still separate class means measurably.
+  EXPECT_GT(std::sqrt(dist01), 0.08);
+}
+
+TEST(Synthetic, ClassesDifferInCovariance) {
+  // The discriminative signal: per-class second moments along a fixed
+  // random direction differ between classes.
+  SyntheticConfig cfg;
+  cfg.num_samples = 2000;
+  Dataset d = SyntheticCifar10(cfg);
+  Rng rng(5);
+  std::vector<float> dir(d.dim());
+  rng.FillNormal(dir.data(), dir.size(), 1.0f);
+  std::vector<double> second(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    double proj = 0.0;
+    auto row = d.images.row(i);
+    for (std::size_t j = 0; j < d.dim(); ++j) proj += row[j] * dir[j];
+    second[d.labels[i]] += proj * proj;
+    counts[d.labels[i]]++;
+  }
+  double lo = 1e30, hi = 0.0;
+  for (int c = 0; c < 10; ++c) {
+    const double m = second[c] / counts[c];
+    lo = std::min(lo, m);
+    hi = std::max(hi, m);
+  }
+  EXPECT_GT(hi / lo, 1.15);  // class-conditional variances clearly differ
+}
+
+TEST(Synthetic, MnistIsNotPow2) {
+  Dataset d = SyntheticMnist(30);
+  EXPECT_EQ(d.dim(), 784u);  // the paper's pixelfly-cannot-run case
+}
+
+TEST(SplitValidationTest, SizesAndDisjointness) {
+  SyntheticConfig cfg;
+  cfg.num_samples = 200;
+  Dataset d = SyntheticCifar10(cfg);
+  Split s = SplitValidation(d, 0.15);
+  EXPECT_EQ(s.val.size(), 30u);
+  EXPECT_EQ(s.train.size(), 170u);
+  // Val samples are the tail of the original set.
+  EXPECT_DOUBLE_EQ(
+      MaxAbsDiff(Matrix(s.val.images), Matrix(s.val.images)), 0.0);
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(s.val.labels[i], d.labels[170 + i]);
+  }
+}
+
+TEST(Standardize, TrainStatsBecomeZeroMeanUnitVar) {
+  SyntheticConfig cfg;
+  cfg.num_samples = 300;
+  Dataset d = SyntheticCifar10(cfg);
+  Dataset test = SyntheticCifar10(cfg);
+  StandardizeTogether(d, {&test});
+  OnlineStats s;
+  for (std::size_t i = 0; i < d.size(); ++i) s.Add(d.images(i, 100));
+  EXPECT_NEAR(s.mean(), 0.0, 1e-3);
+  EXPECT_NEAR(s.stddev(), 1.0, 1e-2);
+}
+
+TEST(BatchIteratorTest, CoversEpochWithoutRepeats) {
+  SyntheticConfig cfg;
+  cfg.num_samples = 100;
+  Dataset d = SyntheticCifar10(cfg);
+  Rng rng(1);
+  BatchIterator it(d, 10, rng);
+  EXPECT_EQ(it.batchesPerEpoch(), 10u);
+  Matrix x;
+  std::vector<std::uint8_t> y;
+  int batches = 0;
+  while (it.Next(x, y)) {
+    EXPECT_EQ(x.rows(), 10u);
+    EXPECT_EQ(y.size(), 10u);
+    ++batches;
+  }
+  EXPECT_EQ(batches, 10);
+}
+
+TEST(BatchIteratorTest, DropsPartialBatch) {
+  SyntheticConfig cfg;
+  cfg.num_samples = 105;
+  Dataset d = SyntheticCifar10(cfg);
+  Rng rng(2);
+  BatchIterator it(d, 10, rng);
+  Matrix x;
+  std::vector<std::uint8_t> y;
+  int batches = 0;
+  while (it.Next(x, y)) ++batches;
+  EXPECT_EQ(batches, 10);  // 105 / 10, remainder dropped
+}
+
+TEST(BatchIteratorTest, ShuffleChangesOrder) {
+  SyntheticConfig cfg;
+  cfg.num_samples = 60;
+  Dataset d = SyntheticCifar10(cfg);
+  Rng rng(3);
+  BatchIterator shuffled(d, 60, rng);
+  Rng rng2(4);
+  BatchIterator plain(d, 60, rng2, /*shuffle=*/false);
+  Matrix xs, xp;
+  std::vector<std::uint8_t> ys, yp;
+  shuffled.Next(xs, ys);
+  plain.Next(xp, yp);
+  EXPECT_NE(ys, yp);
+  // Unshuffled order matches the dataset.
+  for (std::size_t i = 0; i < 60; ++i) EXPECT_EQ(yp[i], d.labels[i]);
+}
+
+TEST(PadFeatures, PadsWithZerosAndKeepsLabels) {
+  Dataset d = SyntheticMnist(40);
+  Dataset padded = PadFeatures(d, 1024);
+  EXPECT_EQ(padded.dim(), 1024u);
+  EXPECT_EQ(padded.labels, d.labels);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    for (std::size_t j = 0; j < d.dim(); ++j) {
+      EXPECT_FLOAT_EQ(padded.images(i, j), d.images(i, j));
+    }
+    for (std::size_t j = d.dim(); j < 1024; ++j) {
+      EXPECT_FLOAT_EQ(padded.images(i, j), 0.0f);
+    }
+  }
+}
+
+TEST(PadFeatures, SameSizeIsCopy) {
+  Dataset d = SyntheticMnist(10);
+  Dataset same = PadFeatures(d, d.dim());
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(same.images, d.images), 0.0);
+}
+
+TEST(PadFeatures, RejectsShrinking) {
+  Dataset d = SyntheticMnist(5);
+  EXPECT_DEATH(PadFeatures(d, 100), "cannot pad");
+}
+
+TEST(Synthetic, SampleSeedChangesSamplesNotWorld) {
+  SyntheticConfig a;
+  a.num_samples = 300;
+  SyntheticConfig b = a;
+  b.sample_seed = 2;
+  Dataset da = SyntheticCifar10(a);
+  Dataset db = SyntheticCifar10(b);
+  // Different samples...
+  EXPECT_GT(MaxAbsDiff(da.images, db.images), 0.01);
+  // ...but the same world: class means stay close (prototypes shared).
+  std::vector<double> ma(da.dim(), 0.0), mb(db.dim(), 0.0);
+  int ca = 0, cb = 0;
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    if (da.labels[i] != 0) continue;
+    ++ca;
+    for (std::size_t j = 0; j < da.dim(); ++j) ma[j] += da.images(i, j);
+  }
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    if (db.labels[i] != 0) continue;
+    ++cb;
+    for (std::size_t j = 0; j < db.dim(); ++j) mb[j] += db.images(i, j);
+  }
+  double dist = 0.0;
+  for (std::size_t j = 0; j < da.dim(); ++j) {
+    const double d0 = ma[j] / ca - mb[j] / cb;
+    dist += d0 * d0;
+  }
+  // Mean estimation noise only -- far smaller than cross-class distances.
+  EXPECT_LT(std::sqrt(dist / da.dim()), 0.2);
+}
+
+}  // namespace
+}  // namespace repro::data

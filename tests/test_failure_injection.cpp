@@ -1,0 +1,157 @@
+// Failure injection: malformed graphs, inconsistent plans, and bad inputs
+// must fail loudly (Status for data-dependent conditions, fatal checks for
+// API misuse) -- never silently compute garbage.
+#include <gtest/gtest.h>
+
+#include "core/butterfly.h"
+#include "core/fft.h"
+#include "ipusim/codelet.h"
+#include "ipusim/engine.h"
+#include "ipusim/matmul.h"
+#include "linalg/gemm.h"
+#include "linalg/spmm.h"
+
+namespace repro {
+namespace {
+
+using namespace repro::ipu;
+
+TEST(FailureInjection, EngineRejectsForeignExecutable) {
+  Graph g1(Gc200());
+  Graph g2(Gc200());
+  Tensor t = g1.addVariable("x", 4);
+  g1.setTileMapping(t, 0);
+  auto exe = Compile(g1, Program::Sequence({}));
+  ASSERT_TRUE(exe.ok());
+  EXPECT_DEATH(Engine(g2, exe.take()), "another graph");
+}
+
+TEST(FailureInjection, VertexMissingFieldDiesAtExecution) {
+  Graph g(Gc200());
+  Tensor x = g.addVariable("x", 4);
+  g.setTileMapping(x, 0);
+  ComputeSetId cs = g.addComputeSet("cs");
+  VertexId v = g.addVertex(cs, codelets::kRelu, 0);
+  g.connect(v, "x", x);
+  // "y" is never connected.
+  auto exe = Compile(g, Program::Execute(cs));
+  ASSERT_TRUE(exe.ok());
+  Engine e(g, exe.take());
+  EXPECT_DEATH(e.run(), "not connected");
+}
+
+TEST(FailureInjection, GemmVertexShapeMismatchDies) {
+  Graph g(Gc200());
+  Tensor a = g.addVariable("a", 4);
+  Tensor b = g.addVariable("b", 4);
+  Tensor c = g.addVariable("c", 4);
+  g.setTileMapping(a, 0);
+  g.setTileMapping(b, 0);
+  g.setTileMapping(c, 0);
+  ComputeSetId cs = g.addComputeSet("cs");
+  VertexId v = g.addVertex(cs, codelets::kScalarGemm, 0);
+  g.connect(v, "a", a);
+  g.connect(v, "b", b);
+  g.connect(v, "out", c, true);
+  g.setInitialValue(v, "m", 4);  // claims 4x4x4 but buffers hold 4 elements
+  g.setInitialValue(v, "k", 4);
+  g.setInitialValue(v, "n", 4);
+  auto exe = Compile(g, Program::Execute(cs));
+  ASSERT_TRUE(exe.ok());
+  Engine e(g, exe.take());
+  EXPECT_DEATH(e.run(), "shape mismatch");
+}
+
+TEST(FailureInjection, ConnectEmptyTensorDies) {
+  Graph g(Gc200());
+  Tensor x = g.addVariable("x", 4);
+  g.setTileMapping(x, 0);
+  ComputeSetId cs = g.addComputeSet("cs");
+  VertexId v = g.addVertex(cs, codelets::kRelu, 0);
+  EXPECT_DEATH(g.connect(v, "x", x.slice(0, 0)), "empty tensor");
+}
+
+TEST(FailureInjection, VertexOnInvalidTileDies) {
+  Graph g(Gc200());
+  ComputeSetId cs = g.addComputeSet("cs");
+  EXPECT_DEATH(g.addVertex(cs, codelets::kRelu, 1472), "out of range");
+}
+
+TEST(FailureInjection, MappingInvalidTileDies) {
+  Graph g(Gc200());
+  Tensor x = g.addVariable("x", 4);
+  EXPECT_DEATH(g.setTileMapping(x, 99999), "out of range");
+}
+
+TEST(FailureInjection, WriteTensorWrongSizeDies) {
+  Graph g(Gc200());
+  Tensor x = g.addVariable("x", 4);
+  g.setTileMapping(x, 0);
+  auto exe = Compile(g, Program::Sequence({}));
+  Engine e(g, exe.take());
+  std::vector<float> wrong(3);
+  EXPECT_DEATH(e.writeTensor(x, wrong), "size mismatch");
+}
+
+TEST(FailureInjection, MatmulZeroDimensionDies) {
+  Graph g(Gc200());
+  EXPECT_DEATH(
+      { auto r = BuildMatMul(g, 0, 4, 4, MatMulImpl::kPoplin); (void)r; },
+      "empty matmul");
+}
+
+TEST(FailureInjection, GemmHostShapeMismatchDies) {
+  Rng rng(1);
+  Matrix a = Matrix::RandomNormal(3, 4, rng);
+  Matrix b = Matrix::RandomNormal(5, 2, rng);  // inner dims disagree
+  Matrix c(3, 2);
+  EXPECT_DEATH(GemmNaive(a, b, c), "GemmNaive");
+}
+
+TEST(FailureInjection, SpmmShapeMismatchDies) {
+  Rng rng(2);
+  Csr s = RandomCsr(4, 4, 0.5, rng);
+  Matrix b = Matrix::RandomNormal(5, 2, rng);
+  Matrix c(4, 2);
+  EXPECT_DEATH(SpmmCsr(s, b, c), "shape mismatch");
+}
+
+TEST(FailureInjection, CircularConvolveSizeMismatchDies) {
+  std::vector<float> c(8), x(7), out(8);
+  EXPECT_DEATH(core::CircularConvolve(c, x, out), "size mismatch");
+}
+
+TEST(FailureInjection, ButterflyStaleWorkspaceDies) {
+  Rng rng(3);
+  core::Butterfly bf(8, core::ButterflyParam::kDense2x2, false, rng);
+  core::Butterfly::Workspace ws;  // never filled by a Forward
+  Matrix dy = Matrix::RandomNormal(2, 8, rng);
+  Matrix dx(2, 8);
+  EXPECT_DEATH(bf.Backward(ws, dy, dx), "stale");
+}
+
+TEST(FailureInjection, StatusOrTakeOnErrorDies) {
+  StatusOr<int> err(Status::OutOfMemory("boom"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_DEATH(err.value(), "boom");
+}
+
+TEST(FailureInjection, UnknownCodeletLookupDies) {
+  EXPECT_DEATH(CodeletRegistry::Get().Lookup("DoesNotExist"),
+               "unknown codelet");
+}
+
+TEST(FailureInjection, OversubscribedTileReportsFullestTile) {
+  IpuArch tiny = Gc200();
+  tiny.tile_memory_bytes = 2048;
+  Graph g(tiny);
+  Tensor x = g.addVariable("x", 4096);
+  g.setTileMapping(x, 7);
+  auto exe = Compile(g, Program::Sequence({}));
+  ASSERT_FALSE(exe.ok());
+  EXPECT_NE(exe.status().message().find("tile memory exceeded"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "gpusim/gemm_model.h"
+#include "gpusim/layer_cost.h"
+#include "gpusim/spmm_model.h"
+
+namespace repro::gpu {
+namespace {
+
+const GpuArch kArch = A30();
+
+TEST(GemmModel, CalibrationAtLargeSquare) {
+  // Table 2 calibration points at the kernels' favourable sizes.
+  const std::size_t n = 4096;
+  EXPECT_NEAR(EstimateGemm(kArch, GemmKernel::kNaive, n, n, n).gflops(), 1091,
+              250);
+  EXPECT_NEAR(EstimateGemm(kArch, GemmKernel::kShmem, n, n, n).gflops(), 2076,
+              450);
+  EXPECT_NEAR(EstimateGemm(kArch, GemmKernel::kCublasFp32, n, n, n).gflops(),
+              9722, 1500);
+  EXPECT_NEAR(EstimateGemm(kArch, GemmKernel::kCublasTf32, n, n, n).gflops(),
+              59312, 9000);
+}
+
+TEST(GemmModel, KernelOrderingHolds) {
+  for (std::size_t n : {512, 1024, 2048, 4096}) {
+    const double naive = EstimateGemm(kArch, GemmKernel::kNaive, n, n, n).gflops();
+    const double shmem = EstimateGemm(kArch, GemmKernel::kShmem, n, n, n).gflops();
+    const double cublas =
+        EstimateGemm(kArch, GemmKernel::kCublasFp32, n, n, n).gflops();
+    const double tf32 =
+        EstimateGemm(kArch, GemmKernel::kCublasTf32, n, n, n).gflops();
+    EXPECT_LT(naive, shmem) << n;
+    EXPECT_LT(shmem, cublas) << n;
+    EXPECT_LT(cublas, tf32) << n;
+  }
+}
+
+TEST(GemmModel, NeverExceedsPeak) {
+  for (std::size_t n : {128, 1024, 8192}) {
+    EXPECT_LE(EstimateGemm(kArch, GemmKernel::kCublasFp32, n, n, n).gflops(),
+              kArch.fp32_peak_flops / 1e9);
+    EXPECT_LE(EstimateGemm(kArch, GemmKernel::kCublasTf32, n, n, n).gflops(),
+              kArch.tf32_peak_flops / 1e9);
+  }
+}
+
+TEST(GemmModel, SmallSizesAreLaunchBound) {
+  const auto e = EstimateGemm(kArch, GemmKernel::kCublasFp32, 16, 16, 16);
+  EXPECT_GT(e.seconds, kArch.launch_overhead_sec);
+  EXPECT_LT(e.seconds, 2.5 * kArch.launch_overhead_sec);
+}
+
+// Fig. 4: skew degrades GPU efficiency, and TC degrades faster.
+TEST(GemmModel, SkewDegradesEfficiency) {
+  const double flops_budget = 2.0 * 2048.0 * 2048.0 * 2048.0;
+  auto gflops_at_skew = [&](GemmKernel kern, std::size_t m) {
+    // Hold total work constant: m * n = 2048^2, k = 2048.
+    const std::size_t n = 2048 * 2048 / m;
+    auto e = EstimateGemm(kArch, kern, m, 2048, n);
+    (void)flops_budget;
+    return e.gflops();
+  };
+  const double sq = gflops_at_skew(GemmKernel::kCublasFp32, 2048);
+  const double sk = gflops_at_skew(GemmKernel::kCublasFp32, 16);
+  EXPECT_LT(sk, 0.6 * sq);
+  // Tensor cores lose a larger fraction under the same skew.
+  const double sq_tc = gflops_at_skew(GemmKernel::kCublasTf32, 2048);
+  const double sk_tc = gflops_at_skew(GemmKernel::kCublasTf32, 16);
+  EXPECT_LT(sk_tc / sq_tc, sk / sq);
+}
+
+TEST(GemmModel, Tf32PenalisedByMisalignment) {
+  const double aligned =
+      EstimateGemm(kArch, GemmKernel::kCublasTf32, 1024, 1024, 1024).gflops();
+  const double misaligned =
+      EstimateGemm(kArch, GemmKernel::kCublasTf32, 1023, 1023, 1023).gflops();
+  EXPECT_LT(misaligned, aligned);
+}
+
+TEST(GemmModel, MemoryCapacity) {
+  EXPECT_TRUE(EstimateGemm(kArch, GemmKernel::kCublasFp32, 1024, 1024, 1024)
+                  .fits_memory);
+  // 3 * 65536^2 * 4B = 51.5 GB > 24 GB.
+  EXPECT_FALSE(EstimateGemm(kArch, GemmKernel::kCublasFp32, 65536, 65536, 65536)
+                   .fits_memory);
+}
+
+TEST(SpmmModel, CalibrationDenseEquivalent) {
+  // Table 2: cusparse CSR at N=4096: ~93 dense-TFLOP/s at 99% sparsity,
+  // ~10.8 dense-TFLOP/s at 90%.
+  const std::size_t n = 4096;
+  auto at = [&](double density) {
+    const std::size_t nnz = static_cast<std::size_t>(density * n * n);
+    auto e = EstimateSpmm(kArch, SparseFormat::kCsr, n, n, n, nnz);
+    return DenseEquivalentGflops(e, n, n, n);
+  };
+  EXPECT_NEAR(at(0.01), 93215, 25000);
+  EXPECT_NEAR(at(0.10), 10817, 3500);
+}
+
+TEST(SpmmModel, CsrBeatsCoo) {
+  const std::size_t n = 2048, nnz = n * n / 100;
+  auto csr = EstimateSpmm(kArch, SparseFormat::kCsr, n, n, n, nnz);
+  auto coo = EstimateSpmm(kArch, SparseFormat::kCoo, n, n, n, nnz);
+  EXPECT_LT(csr.seconds, coo.seconds);  // Table 2 note 2
+}
+
+TEST(SpmmModel, SparserIsFasterAbsolute) {
+  const std::size_t n = 2048;
+  auto sparse = EstimateSpmm(kArch, SparseFormat::kCsr, n, n, n, n * n / 100);
+  auto denser = EstimateSpmm(kArch, SparseFormat::kCsr, n, n, n, n * n / 10);
+  EXPECT_LT(sparse.seconds, denser.seconds);
+}
+
+TEST(LayerCost, LinearDominatedByGemmAtLargeN) {
+  auto small = LinearForward(kArch, 128, 128, 128, false);
+  auto large = LinearForward(kArch, 4096, 4096, 4096, false);
+  EXPECT_GT(large.seconds, 100 * small.seconds);
+}
+
+TEST(LayerCost, ButterflyHasLogNKernels) {
+  auto c = ButterflyForward(kArch, 256, 1024, false);
+  EXPECT_EQ(c.kernels, 2u * 10);  // 2 kernels per stage
+}
+
+// Fig. 6 (left): on the GPU, Linear wins below N ~ 2^11 (worst case ~14x)
+// and butterfly wins above.
+TEST(LayerCost, ButterflyCrossoverNearPaperPoint) {
+  auto ratio = [&](std::size_t n, bool tc) {
+    return ButterflyForward(kArch, n, n, tc).seconds /
+           LinearForward(kArch, n, n, n, tc).seconds;
+  };
+  EXPECT_GT(ratio(128, false), 4.0);    // heavily launch-bound
+  EXPECT_LT(ratio(128, false), 25.0);
+  EXPECT_GT(ratio(1024, false), 1.0);   // still slower below break-even
+  EXPECT_LT(ratio(8192, false), 1.0);   // faster at large N
+}
+
+TEST(LayerCost, TensorCoresWidenButterflyGap) {
+  // TC accelerates Linear but not the strided butterfly kernels, so the
+  // worst-case degradation grows with TC on (14.45x vs lower without).
+  auto ratio = [&](std::size_t n, bool tc) {
+    return ButterflyForward(kArch, n, n, tc).seconds /
+           LinearForward(kArch, n, n, n, tc).seconds;
+  };
+  EXPECT_GT(ratio(512, true), ratio(512, false));
+}
+
+TEST(LayerCost, PixelflyCloserToLinearThanButterflyAtSmallN) {
+  // Paper: pixelfly degrades at most ~8.8x (vs 14.45x butterfly) and beats
+  // butterfly below N = 2^10.
+  const std::size_t n = 256;
+  auto lin = LinearForward(kArch, n, n, n, true).seconds;
+  auto bf = ButterflyForward(kArch, n, n, true).seconds;
+  auto pf = PixelflyForward(kArch, n, n, 16, 16, 24, true).seconds;
+  EXPECT_LT(pf, bf);
+  EXPECT_GT(pf, lin);
+}
+
+TEST(LayerCost, FastfoodNearLinearOnGpu) {
+  // Table 4: fastfood trains ~6% slower than baseline on the GPU.
+  const auto shape_batch = 50;
+  auto lin = LinearForward(kArch, shape_batch, 1024, 1024, false).seconds;
+  auto ff = FastfoodForward(kArch, shape_batch, 1024, false).seconds;
+  EXPECT_GT(ff, 0.4 * lin);
+  EXPECT_LT(ff, 3.0 * lin);
+}
+
+TEST(LayerCost, TrainingStepIncludesEverything) {
+  auto hidden = LinearForward(kArch, 50, 1024, 1024, false);
+  const double step =
+      TrainingStepSeconds(kArch, hidden, 50, 1024, 10, 1059850, false);
+  EXPECT_GT(step, 3.0 * hidden.seconds);
+}
+
+class Tf32Alignment : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Tf32Alignment, AlignedBeatsOffByOne) {
+  const std::size_t n = GetParam();
+  const double aligned =
+      EstimateGemm(kArch, GemmKernel::kCublasTf32, n, n, n).gflops();
+  const double off =
+      EstimateGemm(kArch, GemmKernel::kCublasTf32, n - 1, n - 1, n - 1)
+          .gflops();
+  EXPECT_GT(aligned, off);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Tf32Alignment,
+                         ::testing::Values(512, 1024, 2048, 4096));
+
+TEST(GemmModel, ThroughputMonotoneInSquareSize) {
+  double prev = 0.0;
+  for (std::size_t n : {128, 256, 512, 1024, 2048, 4096}) {
+    const double g =
+        EstimateGemm(kArch, GemmKernel::kCublasFp32, n, n, n).gflops();
+    EXPECT_GE(g, prev * 0.95) << n;  // near-monotone ramp to peak
+    prev = g;
+  }
+}
+
+TEST(Elementwise, BandwidthBound) {
+  const auto e = EstimateElementwise(kArch, 100'000'000, 12);
+  // 1.2 GB at 933 GB/s ~= 1.3 ms.
+  EXPECT_NEAR(e.seconds, 1.2e9 / kArch.dram_bytes_per_sec, 1e-4);
+}
+
+TEST(BatchedSmallGemm, StridePenalty) {
+  const auto near = EstimateBatchedSmallGemm(kArch, false, 1024, 2, 2, 256, 8);
+  const auto far =
+      EstimateBatchedSmallGemm(kArch, false, 1024, 2, 2, 256, 4096);
+  EXPECT_GT(far.seconds, near.seconds);
+}
+
+TEST(BlockSparse, TensorCoresPreferAlignedBlocks) {
+  const auto b16 = EstimateBlockSparseGemm(kArch, true, 128, 16, 1024);
+  const auto b12 = EstimateBlockSparseGemm(kArch, true, 128, 12, 1024);
+  // Per-flop cost is lower for the aligned block.
+  EXPECT_LT(b16.seconds / b16.flops, b12.seconds / b12.flops);
+}
+
+TEST(LayerCost, CirculantNearLinear) {
+  // Table 4: circulant trains ~9% slower than baseline on the GPU.
+  auto lin = LinearForward(kArch, 50, 1024, 1024, false).seconds;
+  auto circ = CirculantForward(kArch, 50, 1024, false).seconds;
+  EXPECT_GT(circ, 0.5 * lin);
+  EXPECT_LT(circ, 3.0 * lin);
+}
+
+TEST(LayerCost, LowRankCheapOnGpu) {
+  auto lin = LinearForward(kArch, 50, 1024, 1024, false).seconds;
+  auto lr = LowRankForward(kArch, 50, 1024, 1024, 1, false).seconds;
+  EXPECT_LT(lr, lin);
+}
+
+}  // namespace
+}  // namespace repro::gpu

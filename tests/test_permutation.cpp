@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "core/permutation.h"
+#include "linalg/gemm.h"
+
+namespace repro::core {
+namespace {
+
+TEST(Permutation, IdentityActsTrivially) {
+  auto p = Permutation::Identity(8);
+  EXPECT_TRUE(p.IsIdentity());
+  std::vector<float> v{0, 1, 2, 3, 4, 5, 6, 7};
+  auto before = v;
+  p.Apply(v);
+  EXPECT_EQ(v, before);
+}
+
+TEST(Permutation, BitReversalIsInvolution) {
+  auto p = Permutation::BitReversal(16);
+  EXPECT_TRUE(p.Compose(p).IsIdentity());
+}
+
+TEST(Permutation, EvenOddSeparates) {
+  auto p = Permutation::EvenOdd(8);
+  std::vector<float> v{0, 1, 2, 3, 4, 5, 6, 7};
+  p.Apply(v);
+  const std::vector<float> want{0, 2, 4, 6, 1, 3, 5, 7};
+  EXPECT_EQ(v, want);
+}
+
+TEST(Permutation, InverseComposesToIdentity) {
+  Rng rng(5);
+  auto p = Permutation::Random(32, rng);
+  EXPECT_TRUE(p.Compose(p.Inverse()).IsIdentity());
+  EXPECT_TRUE(p.Inverse().Compose(p).IsIdentity());
+}
+
+TEST(Permutation, ComposeAssociativity) {
+  Rng rng(6);
+  auto a = Permutation::Random(16, rng);
+  auto b = Permutation::Random(16, rng);
+  auto c = Permutation::Random(16, rng);
+  auto left = a.Compose(b).Compose(c);
+  auto right = a.Compose(b.Compose(c));
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(left[i], right[i]);
+}
+
+TEST(Permutation, ApplyToColumnsMatchesDense) {
+  Rng rng(7);
+  auto p = Permutation::Random(12, rng);
+  Matrix x = Matrix::RandomNormal(4, 12, rng);
+  Matrix y(4, 12);
+  p.ApplyToColumns(x, y);
+  // y_row = P_dense * x_row where P_dense(i, perm[i]) = 1.
+  Matrix pd = p.ToDense();
+  Matrix ref = MatMul(x, pd.Transposed());
+  EXPECT_TRUE(AllClose(y, ref));
+}
+
+TEST(Permutation, DenseIsOrthogonal) {
+  Rng rng(8);
+  auto p = Permutation::Random(10, rng);
+  Matrix pd = p.ToDense();
+  Matrix prod = MatMul(pd, pd.Transposed());
+  EXPECT_TRUE(AllClose(prod, Matrix::Identity(10)));
+}
+
+TEST(Permutation, RejectsInvalid) {
+  EXPECT_DEATH(Permutation({0, 0, 1}), "invalid permutation");
+  EXPECT_DEATH(Permutation({0, 5}), "invalid permutation");
+}
+
+TEST(Permutation, BitReversalRequiresPow2) {
+  EXPECT_DEATH(Permutation::BitReversal(12), "power-of-two");
+}
+
+}  // namespace
+}  // namespace repro::core
