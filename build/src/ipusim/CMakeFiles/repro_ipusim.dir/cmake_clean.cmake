@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_ipusim.dir/codelet.cpp.o"
+  "CMakeFiles/repro_ipusim.dir/codelet.cpp.o.d"
+  "CMakeFiles/repro_ipusim.dir/compiler.cpp.o"
+  "CMakeFiles/repro_ipusim.dir/compiler.cpp.o.d"
+  "CMakeFiles/repro_ipusim.dir/engine.cpp.o"
+  "CMakeFiles/repro_ipusim.dir/engine.cpp.o.d"
+  "CMakeFiles/repro_ipusim.dir/graph.cpp.o"
+  "CMakeFiles/repro_ipusim.dir/graph.cpp.o.d"
+  "CMakeFiles/repro_ipusim.dir/matmul.cpp.o"
+  "CMakeFiles/repro_ipusim.dir/matmul.cpp.o.d"
+  "CMakeFiles/repro_ipusim.dir/multi_ipu.cpp.o"
+  "CMakeFiles/repro_ipusim.dir/multi_ipu.cpp.o.d"
+  "CMakeFiles/repro_ipusim.dir/profiler.cpp.o"
+  "CMakeFiles/repro_ipusim.dir/profiler.cpp.o.d"
+  "CMakeFiles/repro_ipusim.dir/sparse_mm.cpp.o"
+  "CMakeFiles/repro_ipusim.dir/sparse_mm.cpp.o.d"
+  "librepro_ipusim.a"
+  "librepro_ipusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_ipusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
