@@ -14,8 +14,8 @@
 #include "core/block_butterfly.h"
 #include "core/ipu_lowering.h"
 #include "gpusim/gemm_model.h"
-#include "ipusim/engine.h"
 #include "ipusim/matmul.h"
+#include "ipusim/session.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -25,14 +25,11 @@ namespace {
 
 double MatmulSeconds(const ipu::IpuArch& arch, std::size_t n,
                      ipu::MatMulImpl impl) {
-  ipu::Graph g(arch);
-  auto plan = ipu::BuildMatMul(g, n, n, n, impl);
+  ipu::Session session(arch, ipu::SessionOptions{.execute = false});
+  auto plan = ipu::BuildMatMul(session.graph(), n, n, n, impl);
   if (!plan.ok()) return -1.0;
-  auto exe = ipu::Compile(g, plan.value().prog);
-  if (!exe.ok()) return -1.0;
-  ipu::Engine e(g, exe.take(),
-                ipu::EngineOptions{.execute = false, .fast_repeat = true});
-  return e.run().seconds(arch);
+  if (!session.compile(plan.value().prog).ok()) return -1.0;
+  return session.run().seconds(arch);
 }
 
 }  // namespace

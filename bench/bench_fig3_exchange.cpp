@@ -6,9 +6,10 @@
 #include <cstdio>
 #include <vector>
 
-#include "ipusim/engine.h"
+#include "bench_json.h"
 #include "ipusim/graph.h"
 #include "ipusim/program.h"
+#include "ipusim/session.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -17,25 +18,26 @@ namespace {
 struct Sample {
   double latency_us;
   double bandwidth_gbs;
+  repro::ipu::RunReport report;
 };
 
 Sample MeasureCopy(std::size_t bytes, std::size_t src_tile,
                    std::size_t dst_tile) {
   using namespace repro::ipu;
   const IpuArch arch = Gc200();
-  Graph g(arch);
+  Session session(arch, SessionOptions{.execute = false});
+  Graph& g = session.graph();
   const std::size_t elems = bytes / sizeof(float);
   Tensor a = g.addVariable("a", elems);
   Tensor b = g.addVariable("b", elems);
   g.setTileMapping(a, src_tile);
   g.setTileMapping(b, dst_tile);
-  auto exe = Compile(g, Program::Copy(a, b));
-  REPRO_REQUIRE(exe.ok(), "exchange bench compile failed: %s",
-                exe.status().message().c_str());
-  Engine e(g, exe.take(), EngineOptions{.execute = false, .fast_repeat = true});
-  const RunReport r = e.run();
+  const repro::Status s = session.compile(Program::Copy(a, b));
+  REPRO_REQUIRE(s.ok(), "exchange bench compile failed: %s",
+                s.message().c_str());
+  const RunReport r = session.run();
   const double seconds = r.seconds(arch);
-  return {seconds * 1e6, static_cast<double>(bytes) / seconds / 1e9};
+  return {seconds * 1e6, static_cast<double>(bytes) / seconds / 1e9, r};
 }
 
 }  // namespace
@@ -43,6 +45,7 @@ Sample MeasureCopy(std::size_t bytes, std::size_t src_tile,
 int main(int argc, char** argv) {
   using repro::Table;
   repro::Cli cli(argc, argv);
+  repro::BenchJsonWriter json("fig3_exchange", cli.GetString("json", ""));
   repro::PrintBanner(
       "Fig 3: exchange latency/bandwidth vs size, neighbouring (0,1) vs "
       "distant (0,644) tile pair");
@@ -56,6 +59,9 @@ int main(int argc, char** argv) {
     const Sample far = MeasureCopy(bytes, 0, 644);
     const bool same = near.latency_us == far.latency_us;
     all_identical = all_identical && same;
+    json.Add("{\"bytes\": " + std::to_string(bytes) +
+             ", \"near\": " + near.report.ToJson() +
+             ", \"far\": " + far.report.ToJson() + "}");
     t.AddRow({Table::Int(static_cast<long long>(bytes)),
               Table::Num(near.latency_us, 3), Table::Num(far.latency_us, 3),
               Table::Num(near.bandwidth_gbs, 2),
@@ -72,5 +78,6 @@ int main(int argc, char** argv) {
       "curve shape.\n",
       repro::ipu::Gc200().exchange_bytes_per_cycle *
           repro::ipu::Gc200().clock_hz / 1e9);
+  json.Write();
   return 0;
 }

@@ -4,8 +4,10 @@
 // edges, exchange buffers), not just the data footprint.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "ipusim/matmul.h"
 #include "ipusim/profiler.h"
+#include "ipusim/session.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -13,6 +15,7 @@ using namespace repro;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  BenchJsonWriter json("fig5_memusage", cli.GetString("json", ""));
   const ipu::IpuArch arch = ipu::Gc200();
 
   PrintBanner("Fig 5: IPU graph objects and memory vs MM problem size");
@@ -23,22 +26,27 @@ int main(int argc, char** argv) {
   double prev_overhead = 0.0;
   bool overhead_grows = true;
   for (std::size_t n = 128; n <= max_n; n *= 2) {
-    ipu::Graph g(arch);
-    auto plan = ipu::BuildMatMul(g, n, n, n, ipu::MatMulImpl::kPoplin);
+    ipu::Session session(arch, ipu::SessionOptions{.execute = false});
+    auto plan =
+        ipu::BuildMatMul(session.graph(), n, n, n, ipu::MatMulImpl::kPoplin);
     if (!plan.ok()) {
       t.AddRow({Table::Int(static_cast<long long>(n)), "OOM"});
       continue;
     }
-    auto exe = ipu::Compile(g, plan.value().prog);
-    if (!exe.ok()) {
+    if (!session.compile(plan.value().prog).ok()) {
       t.AddRow({Table::Int(static_cast<long long>(n)), "OOM at compile"});
       continue;
     }
-    const ipu::GraphCounts c = ipu::CountsOf(exe.value());
+    const ipu::GraphCounts c = session.counts();
+    json.Add("{\"n\": " + std::to_string(n) + ", \"counts\": " + c.ToJson() +
+             "}");
     const double data_mb = 3.0 * n * n * 4.0 / 1e6;
     const double total_mb = static_cast<double>(c.total_bytes) / 1e6;
-    const double overhead_mb = total_mb - static_cast<double>(
-        exe.value().stats.bytesFor(ipu::MemCategory::kVariables)) / 1e6;
+    const double overhead_mb =
+        total_mb -
+        static_cast<double>(session.executable().stats.bytesFor(
+            ipu::MemCategory::kVariables)) /
+            1e6;
     overhead_grows = overhead_grows && overhead_mb >= prev_overhead;
     prev_overhead = overhead_mb;
     t.AddRow({Table::Int(static_cast<long long>(n)),
@@ -58,5 +66,6 @@ int main(int argc, char** argv) {
       "Reproduced: non-data\noverhead (vertex state, edge pointers, exchange "
       "buffers, control code) grows\nwith problem size%s.\n",
       overhead_grows ? " monotonically here" : "");
+  json.Write();
   return 0;
 }

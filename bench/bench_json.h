@@ -1,0 +1,49 @@
+// Machine-readable bench output. Every bench that models device runs accepts
+// `--json <path>` and appends one record per measurement; the file holds
+//   {"bench": "<name>", "records": [ {...}, ... ]}
+// with RunReport / GraphCounts fields serialized by their ToJson() methods,
+// so BENCH_*.json schemas track the structs instead of hand-formatted rows.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace repro {
+
+class BenchJsonWriter {
+ public:
+  // `path` empty disables the writer (records are dropped).
+  BenchJsonWriter(std::string bench_name, std::string path)
+      : bench_name_(std::move(bench_name)), path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  // `record` must already be a serialized JSON object.
+  void Add(std::string record) {
+    if (enabled()) records_.push_back(std::move(record));
+  }
+
+  void Write() const {
+    if (!enabled()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    REPRO_REQUIRE(f != nullptr, "cannot open bench json output '%s'",
+                  path_.c_str());
+    std::fprintf(f, "{\"bench\": \"%s\", \"records\": [", bench_name_.c_str());
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "%s%s", i == 0 ? "" : ", ", records_[i].c_str());
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("wrote %zu records to %s\n", records_.size(), path_.c_str());
+  }
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  std::vector<std::string> records_;
+};
+
+}  // namespace repro

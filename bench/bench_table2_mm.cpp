@@ -8,10 +8,11 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "gpusim/gemm_model.h"
 #include "gpusim/spmm_model.h"
-#include "ipusim/engine.h"
 #include "ipusim/matmul.h"
+#include "ipusim/session.h"
 #include "ipusim/sparse_mm.h"
 #include "linalg/sparse.h"
 #include "util/cli.h"
@@ -20,6 +21,15 @@
 using namespace repro;
 
 namespace {
+
+BenchJsonWriter* g_json = nullptr;
+
+void RecordRun(const char* label, std::size_t n, const ipu::RunReport& r) {
+  if (g_json == nullptr || !g_json->enabled()) return;
+  g_json->Add("{\"label\": \"" + std::string(label) +
+              "\", \"n\": " + std::to_string(n) +
+              ", \"report\": " + r.ToJson() + "}");
+}
 
 double BestGpuGemm(gpu::GemmKernel kernel, const std::vector<std::size_t>& ns) {
   const gpu::GpuArch arch = gpu::A30();
@@ -34,8 +44,8 @@ double BestGpuGemm(gpu::GemmKernel kernel, const std::vector<std::size_t>& ns) {
 // Runs one IPU matmul at size n, timing-only; returns GFLOP/s or 0 on OOM.
 double IpuGemmGflops(std::size_t n, ipu::MatMulImpl impl, bool with_host_io) {
   const ipu::IpuArch arch = ipu::Gc200();
-  ipu::Graph g(arch);
-  auto plan = ipu::BuildMatMul(g, n, n, n, impl);
+  ipu::Session session(arch, ipu::SessionOptions{.execute = false});
+  auto plan = ipu::BuildMatMul(session.graph(), n, n, n, impl);
   if (!plan.ok()) return 0.0;
   ipu::Program prog = std::move(plan.value().prog);
   if (with_host_io) {
@@ -45,11 +55,9 @@ double IpuGemmGflops(std::size_t n, ipu::MatMulImpl impl, bool with_host_io) {
                                    std::move(prog),
                                    ipu::Program::HostRead(plan.value().c)});
   }
-  auto exe = ipu::Compile(g, std::move(prog));
-  if (!exe.ok()) return 0.0;
-  ipu::Engine e(g, exe.take(),
-                ipu::EngineOptions{.execute = false, .fast_repeat = true});
-  const ipu::RunReport r = e.run();
+  if (!session.compile(std::move(prog)).ok()) return 0.0;
+  const ipu::RunReport r = session.run();
+  RecordRun(ipu::MatMulImplName(impl), n, r);
   return plan.value().flops() / r.seconds(arch) / 1e9;
 }
 
@@ -67,14 +75,14 @@ double IpuSparseDenseEquivalent(std::size_t n, double density, Rng& rng,
                                     ipu::SparseLayout::kCsr) {
   const ipu::IpuArch arch = ipu::Gc200();
   Csr s = RandomCsr(n, n, density, rng);
-  ipu::Graph g(arch);
-  auto plan = ipu::BuildSparseMatMul(g, s, n, layout);
+  ipu::Session session(arch, ipu::SessionOptions{.execute = false});
+  auto plan = ipu::BuildSparseMatMul(session.graph(), s, n, layout);
   if (!plan.ok()) return 0.0;
-  auto exe = ipu::Compile(g, plan.value().prog);
-  if (!exe.ok()) return 0.0;
-  ipu::Engine e(g, exe.take(),
-                ipu::EngineOptions{.execute = false, .fast_repeat = true});
-  const ipu::RunReport r = e.run();
+  if (!session.compile(plan.value().prog).ok()) return 0.0;
+  const ipu::RunReport r = session.run();
+  RecordRun(layout == ipu::SparseLayout::kCsr ? "popsparse_csr"
+                                              : "popsparse_coo",
+            n, r);
   return plan.value().denseEquivalentFlops() / r.seconds(arch) / 1e9;
 }
 
@@ -89,6 +97,8 @@ std::string Fmt(double gflops, double peak_gflops) {
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const bool fast = cli.Fast();
+  BenchJsonWriter json("table2_mm", cli.GetString("json", ""));
+  g_json = &json;
   const std::vector<std::size_t> dense_sizes =
       fast ? std::vector<std::size_t>{512, 1024}
            : std::vector<std::size_t>{256, 512, 1024, 2048, 4096};
@@ -168,5 +178,6 @@ int main(int argc, char** argv) {
       "  TF32 closes the gap (TC on), at the cost of structural constraints.\n"
       "  CSR beats COO on both devices (note 2; COO modelled at ~0.6x CSR).\n"
       "  IPU blocked suffers from temporal data and copies (note 3).\n");
+  json.Write();
   return 0;
 }

@@ -5,9 +5,9 @@
 //   $ ./exchange_explorer [--src 0] [--dst 644] [--max_kb 256]
 #include <cstdio>
 
-#include "ipusim/engine.h"
 #include "ipusim/graph.h"
 #include "ipusim/program.h"
+#include "ipusim/session.h"
 #include "util/cli.h"
 
 int main(int argc, char** argv) {
@@ -23,21 +23,18 @@ int main(int argc, char** argv) {
               src, dst, arch.num_tiles);
   std::printf("%12s %14s %14s\n", "size", "latency [us]", "bandwidth [GB/s]");
   for (std::size_t bytes = 8; bytes <= max_kb * 1024; bytes *= 2) {
-    Graph g(arch);
+    Session session(arch, SessionOptions{.execute = false});
+    Graph& g = session.graph();
     const std::size_t elems = bytes / sizeof(float);
     Tensor a = g.addVariable("a", elems);
     Tensor b = g.addVariable("b", elems);
     g.setTileMapping(a, src);
     g.setTileMapping(b, dst);
-    auto exe = Compile(g, Program::Copy(a, b));
-    if (!exe.ok()) {
-      std::printf("%12zu  does not fit: %s\n", bytes,
-                  exe.status().message().c_str());
+    if (Status s = session.compile(Program::Copy(a, b)); !s.ok()) {
+      std::printf("%12zu  does not fit: %s\n", bytes, s.message().c_str());
       continue;
     }
-    Engine e(g, exe.take(),
-             EngineOptions{.execute = false, .fast_repeat = true});
-    const double seconds = e.run().seconds(arch);
+    const double seconds = session.run().seconds(arch);
     std::printf("%12zu %14.3f %14.2f\n", bytes, seconds * 1e6,
                 static_cast<double>(bytes) / seconds / 1e9);
   }

@@ -4,8 +4,8 @@
 #include <cmath>
 
 #include "ipusim/codelet.h"
-#include "ipusim/engine.h"
 #include "ipusim/matmul.h"
+#include "ipusim/session.h"
 #include "util/bitops.h"
 
 namespace repro::core {
@@ -46,20 +46,23 @@ IpuLayerTiming StreamingFallback(const ipu::IpuArch& arch, double flops,
   return t;
 }
 
-IpuLayerTiming RunTimingOnly(const Graph& graph, Program prog,
+// Session options for all lowering passes: timing only, fast Repeat scaling.
+ipu::SessionOptions TimingOptions() {
+  return ipu::SessionOptions{.execute = false, .fast_repeat = true};
+}
+
+IpuLayerTiming RunTimingOnly(ipu::Session& session, Program prog,
                              double fallback_flops, double fallback_bytes,
                              double fallback_eff = 0.55) {
-  auto exe = ipu::Compile(graph, std::move(prog));
-  if (!exe.ok()) {
-    return StreamingFallback(graph.arch(), fallback_flops, fallback_bytes,
+  const ipu::IpuArch& arch = session.graph().arch();
+  if (!session.compile(std::move(prog)).ok()) {
+    return StreamingFallback(arch, fallback_flops, fallback_bytes,
                              fallback_eff);
   }
   IpuLayerTiming t;
-  t.counts = ipu::CountsOf(exe.value());
-  ipu::Engine engine(graph, exe.take(),
-                     ipu::EngineOptions{.execute = false, .fast_repeat = true});
-  const ipu::RunReport r = engine.run();
-  t.fwd_seconds = r.seconds(graph.arch()) + kPopTorchOpDispatchSec;
+  t.counts = session.counts();
+  const ipu::RunReport r = session.run();
+  t.fwd_seconds = r.seconds(arch) + kPopTorchOpDispatchSec;
   t.flops = r.flops;
   return t;
 }
@@ -116,20 +119,22 @@ ipu::ComputeSetId AddPairStage(Graph& g, const Tensor& x, std::size_t n,
 
 IpuLayerTiming TimeLinearIpu(const ipu::IpuArch& arch, std::size_t batch,
                              std::size_t in, std::size_t out) {
-  Graph g(arch);
+  ipu::Session session(arch, TimingOptions());
   const double flops = 2.0 * static_cast<double>(batch) * in * out;
   const double bytes =
       4.0 * (static_cast<double>(batch) * in + static_cast<double>(in) * out +
              static_cast<double>(batch) * out);
-  auto plan = ipu::BuildMatMul(g, batch, in, out, ipu::MatMulImpl::kPoplin);
+  auto plan = ipu::BuildMatMul(session.graph(), batch, in, out,
+                               ipu::MatMulImpl::kPoplin);
   if (!plan.ok()) return StreamingFallback(arch, flops, bytes);
-  return RunTimingOnly(g, std::move(plan.value().prog), flops, bytes);
+  return RunTimingOnly(session, std::move(plan.value().prog), flops, bytes);
 }
 
 IpuLayerTiming TimeButterflyIpu(const ipu::IpuArch& arch, std::size_t batch,
                                 std::size_t n, const IpuLoweringOptions& opts) {
   REPRO_REQUIRE(IsPow2(n), "butterfly lowering needs power-of-two n");
-  Graph g(arch);
+  ipu::Session session(arch, TimingOptions());
+  Graph& g = session.graph();
   const unsigned factors = Log2(n);
   const double flops = 8.0 * static_cast<double>(n / 2) * batch * factors;
   const double bytes = 4.0 * (static_cast<double>(n) * batch +
@@ -180,14 +185,16 @@ IpuLayerTiming TimeButterflyIpu(const ipu::IpuArch& arch, std::size_t batch,
   }
   // If the graph spills, the staged run keeps the butterfly kernels'
   // efficiency: 1 MAC per cpm cycles against the AMP's 16 MACs/cycle.
-  return RunTimingOnly(g, std::move(seq), flops, bytes, 1.0 / (16.0 * cpm));
+  return RunTimingOnly(session, std::move(seq), flops, bytes,
+                       1.0 / (16.0 * cpm));
 }
 
 IpuLayerTiming TimePixelflyIpu(const ipu::IpuArch& arch, std::size_t batch,
                                const PixelflyConfig& config) {
   const std::size_t n = config.n;
   const std::size_t b = config.block_size;
-  Graph g(arch);
+  ipu::Session session(arch, TimingOptions());
+  Graph& g = session.graph();
   const auto pattern = FlatButterflyPattern(n, b, config.butterfly_size);
   const double block_flops =
       2.0 * static_cast<double>(pattern.size()) * b * b * batch;
@@ -255,7 +262,7 @@ IpuLayerTiming TimePixelflyIpu(const ipu::IpuArch& arch, std::size_t batch,
       1.0, static_cast<double>(grid * levels) /
                static_cast<double>(g.arch().num_tiles));
   IpuLayerTiming t =
-      RunTimingOnly(g, std::move(seq), block_flops, bytes, 0.3 * util);
+      RunTimingOnly(session, std::move(seq), block_flops, bytes, 0.3 * util);
 
   // Low-rank term: two skinny dense matmuls inside the same op sequence
   // (poplin-grade efficiency, two extra supersteps).
@@ -278,7 +285,8 @@ IpuLayerTiming TimePixelflyIpu(const ipu::IpuArch& arch, std::size_t batch,
 IpuLayerTiming TimeFastfoodIpu(const ipu::IpuArch& arch, std::size_t batch,
                                std::size_t n) {
   REPRO_REQUIRE(IsPow2(n), "fastfood lowering needs power-of-two n");
-  Graph g(arch);
+  ipu::Session session(arch, TimingOptions());
+  Graph& g = session.graph();
   const unsigned stages = Log2(n);
   const double flops = (2.0 * 2.0 * static_cast<double>(n / 2) * stages +
                         3.0 * static_cast<double>(n)) *
@@ -341,7 +349,8 @@ IpuLayerTiming TimeFastfoodIpu(const ipu::IpuArch& arch, std::size_t batch,
     seq.add(Program::Copy(x, xp));
   }
   seq.add(Program::Execute(add_diag_cs(xp, 2)));  // S
-  IpuLayerTiming t = RunTimingOnly(g, std::move(seq), flops, bytes, 2.0 / 32.0);
+  IpuLayerTiming t =
+      RunTimingOnly(session, std::move(seq), flops, bytes, 2.0 / 32.0);
   // Unlike the matmul-shaped layers, the H/Pi/diag pipeline does not lower
   // onto fused poplin ops: every stage stays a separate framework op on the
   // IPU (the paper notes the FFT-library path is the least supported one).

@@ -22,6 +22,9 @@ namespace repro::ipu {
 // resolved to spans into engine storage, in connection order.
 class VertexArgs {
  public:
+  // Unresolved placeholder so containers of args can be sized up front and
+  // filled in parallel; using it before assignment is a bug.
+  VertexArgs() : arch_(nullptr), imms_(nullptr), state_(nullptr) {}
   VertexArgs(const IpuArch* arch, const std::map<std::string, double>* imms,
              const std::vector<float>* state)
       : arch_(arch), imms_(imms), state_(state) {}

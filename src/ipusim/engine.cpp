@@ -1,61 +1,105 @@
 #include "ipusim/engine.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <map>
+#include <sstream>
+
+#include "util/parallel.h"
 
 namespace repro::ipu {
 
-Engine::Engine(const Graph& graph, Executable exe, Options opts)
+std::string RunReport::ToJson() const {
+  char flops_buf[64];
+  std::snprintf(flops_buf, sizeof(flops_buf), "%.17g", flops);
+  char host_buf[64];
+  std::snprintf(host_buf, sizeof(host_buf), "%.17g", host_seconds);
+  std::ostringstream os;
+  os << "{\"total_cycles\": " << total_cycles
+     << ", \"compute_cycles\": " << compute_cycles
+     << ", \"exchange_cycles\": " << exchange_cycles
+     << ", \"sync_cycles\": " << sync_cycles
+     << ", \"host_seconds\": " << host_buf << ", \"flops\": " << flops_buf
+     << ", \"bytes_exchanged\": " << bytes_exchanged << "}";
+  return os.str();
+}
+
+std::size_t Engine::hostWorkers() const {
+  return opts_.host_threads != 0 ? opts_.host_threads : ParallelWorkers();
+}
+
+Engine::Engine(Internal, const Graph& graph, Executable exe, Options opts)
     : graph_(graph), exe_(std::move(exe)), opts_(opts) {
   REPRO_REQUIRE(exe_.graph == &graph_, "executable compiled from another graph");
+  const std::size_t workers = hostWorkers();
   const auto& vars = graph_.variables();
   if (opts_.execute) {
     storage_.resize(vars.size());
-    for (std::size_t i = 0; i < vars.size(); ++i) {
-      storage_[i].assign(vars[i].numel, 0.0f);
-    }
+    ParallelForWith(workers, 0, vars.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        storage_[i].assign(vars[i].numel, 0.0f);
+      }
+    });
   }
 
-  // Resolve vertex arguments and precompute data-independent costs.
+  // Resolve vertex arguments and precompute data-independent costs. Each
+  // vertex writes only its own slot, so the resolution shards cleanly.
+  // Registry construction must happen before the parallel region (the
+  // builtin registration inside Get() is not thread-safe).
   auto& registry = CodeletRegistry::Get();
   const auto& vertices = graph_.vertices();
-  args_.reserve(vertices.size());
+  args_.resize(vertices.size());
   vertex_cycles_.resize(vertices.size());
   vertex_flops_.resize(vertices.size());
-  for (std::size_t i = 0; i < vertices.size(); ++i) {
-    const Vertex& v = vertices[i];
-    VertexArgs a(&graph_.arch(), &v.immediates, &v.state);
-    for (const Edge& e : v.edges) {
-      if (opts_.execute) {
-        auto& buf = storage_[e.view.var];
-        a.addEdge(e.field, {buf.data() + e.view.offset, e.view.numel});
-      } else {
-        a.addEdgeSize(e.field, e.view.numel);
-      }
-    }
-    args_.push_back(std::move(a));
-    const Codelet& codelet = registry.Lookup(v.codelet);
-    vertex_cycles_[i] = codelet.cycles(args_[i]);
-    vertex_flops_[i] = codelet.flops(args_[i]);
-  }
+  ParallelForWith(
+      workers, 0, vertices.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const Vertex& v = vertices[i];
+          VertexArgs a(&graph_.arch(), &v.immediates, &v.state);
+          for (const Edge& e : v.edges) {
+            if (opts_.execute) {
+              auto& buf = storage_[e.view.var];
+              a.addEdge(e.field, {buf.data() + e.view.offset, e.view.numel});
+            } else {
+              a.addEdgeSize(e.field, e.view.numel);
+            }
+          }
+          args_[i] = std::move(a);
+          const Codelet& codelet = registry.Lookup(v.codelet);
+          vertex_cycles_[i] = codelet.cycles(args_[i]);
+          vertex_flops_[i] = codelet.flops(args_[i]);
+        }
+      },
+      /*min_grain=*/64);
 
-  // Per compute set: bottleneck tile's compute cycles.
+  // Per compute set: bottleneck tile's compute cycles and the flop total.
+  // Compute sets are independent, so they shard across threads; within one
+  // compute set the walk stays serial in vertex order, which keeps the
+  // floating-point flop sum bit-identical for every thread count.
   const IpuArch& arch = graph_.arch();
-  cs_compute_cycles_.assign(graph_.computeSets().size(), 0.0);
-  std::map<std::size_t, double> tile_cycles;
-  for (std::size_t cs = 0; cs < graph_.computeSets().size(); ++cs) {
-    tile_cycles.clear();
-    for (VertexId vid : graph_.verticesInCs(static_cast<ComputeSetId>(cs))) {
-      tile_cycles[vertices[vid].tile] +=
-          vertex_cycles_[vid] + arch.vertex_dispatch_cycles;
+  const std::size_t num_cs = graph_.computeSets().size();
+  cs_compute_cycles_.assign(num_cs, 0.0);
+  cs_flops_.assign(num_cs, 0.0);
+  ParallelForWith(workers, 0, num_cs, [&](std::size_t lo, std::size_t hi) {
+    std::map<std::size_t, double> tile_cycles;
+    for (std::size_t cs = lo; cs < hi; ++cs) {
+      tile_cycles.clear();
+      double flops = 0.0;
+      for (VertexId vid : graph_.verticesInCs(static_cast<ComputeSetId>(cs))) {
+        tile_cycles[vertices[vid].tile] +=
+            vertex_cycles_[vid] + arch.vertex_dispatch_cycles;
+        flops += vertex_flops_[vid];
+      }
+      double max_cycles = 0.0;
+      for (const auto& [tile, cycles] : tile_cycles) {
+        max_cycles = std::max(max_cycles, cycles);
+      }
+      cs_compute_cycles_[cs] = max_cycles;
+      cs_flops_[cs] = flops;
     }
-    double max_cycles = 0.0;
-    for (const auto& [tile, cycles] : tile_cycles) {
-      max_cycles = std::max(max_cycles, cycles);
-    }
-    cs_compute_cycles_[cs] = max_cycles;
-  }
+  });
 }
 
 void Engine::writeTensor(const Tensor& t, std::span<const float> data) {
@@ -146,27 +190,35 @@ void Engine::execComputeSet(ComputeSetId cs, RunReport& r) {
     r.bytes_exchanged += plan.total_bytes;
   }
   // Compute phase: tiles run independently; superstep ends when the slowest
-  // tile finishes.
+  // tile finishes. All accounting was precomputed serially at construction.
   const auto sync = static_cast<std::uint64_t>(arch.compute_sync_cycles);
   const auto compute = static_cast<std::uint64_t>(cs_compute_cycles_[cs]);
   r.sync_cycles += sync;
   r.compute_cycles += compute;
   r.total_cycles += sync + compute;
+  r.flops += cs_flops_[cs];
 
-  for (VertexId vid : graph_.verticesInCs(cs)) {
-    r.flops += vertex_flops_[vid];
-  }
   if (opts_.execute) {
+    // Vertex arithmetic shards across host threads: within a compute set
+    // vertices write disjoint regions (validated at compile time), so the
+    // stores never race and the results match serial execution bitwise.
     auto& registry = CodeletRegistry::Get();
-    for (VertexId vid : graph_.verticesInCs(cs)) {
-      registry.Lookup(graph_.vertices()[vid].codelet).compute(args_[vid]);
-    }
+    const std::vector<VertexId>& vids = graph_.verticesInCs(cs);
+    const auto& vertices = graph_.vertices();
+    ParallelForWith(hostWorkers(), 0, vids.size(),
+                    [&](std::size_t lo, std::size_t hi) {
+                      for (std::size_t i = lo; i < hi; ++i) {
+                        const VertexId vid = vids[i];
+                        registry.Lookup(vertices[vid].codelet)
+                            .compute(args_[vid]);
+                      }
+                    });
   }
 }
 
-void Engine::accumulateCopy(const Program& p,
-                            std::map<std::size_t, std::size_t>& incoming,
-                            std::size_t& total) {
+void Engine::walkCopyTraffic(const Program& p,
+                             std::map<std::size_t, std::size_t>& incoming,
+                             std::size_t& total) const {
   // Walk src and dst mappings in lockstep to find cross-tile traffic.
   struct Range {
     std::size_t tile;
@@ -202,12 +254,27 @@ void Engine::accumulateCopy(const Program& p,
       cursor = stop;
     }
   }
-  if (opts_.execute) {
-    auto& src_buf = storage_[p.src.var];
-    auto& dst_buf = storage_[p.dst.var];
-    std::memmove(dst_buf.data() + p.dst.offset, src_buf.data() + p.src.offset,
-                 p.src.numel * sizeof(float));
+}
+
+void Engine::moveCopyData(const Program& p) {
+  auto& src_buf = storage_[p.src.var];
+  auto& dst_buf = storage_[p.dst.var];
+  const float* src = src_buf.data() + p.src.offset;
+  float* dst = dst_buf.data() + p.dst.offset;
+  const std::size_t n = p.src.numel;
+  if (p.src.var == p.dst.var &&
+      p.src.offset < p.dst.offset + n && p.dst.offset < p.src.offset + n) {
+    // Overlapping same-variable copy: shards would clobber each other's
+    // source bytes, so this (rare) case stays a serial memmove.
+    std::memmove(dst, src, n * sizeof(float));
+    return;
   }
+  ParallelForWith(
+      hostWorkers(), 0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        std::memcpy(dst + lo, src + lo, (hi - lo) * sizeof(float));
+      },
+      /*min_grain=*/8192);
 }
 
 namespace {
@@ -231,17 +298,39 @@ void ChargeExchange(const IpuArch& arch,
 void Engine::execCopy(const Program& p, RunReport& r) {
   std::map<std::size_t, std::size_t> incoming;
   std::size_t total = 0;
-  accumulateCopy(p, incoming, total);
+  walkCopyTraffic(p, incoming, total);
   ChargeExchange(graph_.arch(), incoming, total, r);
+  if (opts_.execute) moveCopyData(p);
 }
 
 void Engine::execCopyBundle(const Program& p, RunReport& r) {
   // All child copies share one exchange phase: a single sync, bottlenecked
-  // by the busiest receiving tile across the whole bundle.
+  // by the busiest receiving tile across the whole bundle. The per-child
+  // traffic walks are read-only, so they shard across threads into local
+  // maps that merge serially in child order (deterministic accounting).
+  const std::size_t n = p.children.size();
+  std::vector<std::map<std::size_t, std::size_t>> child_incoming(n);
+  std::vector<std::size_t> child_total(n, 0);
+  ParallelForWith(hostWorkers(), 0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      walkCopyTraffic(p.children[i], child_incoming[i], child_total[i]);
+    }
+  });
   std::map<std::size_t, std::size_t> incoming;
   std::size_t total = 0;
-  for (const Program& c : p.children) accumulateCopy(c, incoming, total);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& [tile, bytes] : child_incoming[i]) {
+      incoming[tile] += bytes;
+    }
+    total += child_total[i];
+  }
   ChargeExchange(graph_.arch(), incoming, total, r);
+  if (opts_.execute) {
+    // Bundled copies may share destinations with later children; moving
+    // them in child order preserves the sequential semantics while each
+    // child's movement still shards internally.
+    for (const Program& c : p.children) moveCopyData(c);
+  }
 }
 
 void Engine::chargeHostTransfer(std::size_t bytes, RunReport& r) {

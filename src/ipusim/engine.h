@@ -2,11 +2,21 @@
 // vertex arithmetic for real (so results are numerically meaningful) while
 // charging a cycle model per superstep (so "execution time" is
 // architecturally plausible device time, never host wall clock).
+//
+// Host-side execution is multithreaded: within one compute set vertices
+// touch disjoint output regions (validated at compile time), so the engine
+// shards vertex execution and copy data movement over util::ParallelFor.
+// The cycle/flop accounting stays serial, so reports and tensor results are
+// bitwise identical for every REPRO_THREADS / host_threads setting.
+//
+// Prefer ipu::Session (session.h) over constructing an Engine directly: the
+// direct constructor is a deprecated shim kept for out-of-tree callers.
 #pragma once
 
 #include <map>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "ipusim/codelet.h"
@@ -31,6 +41,10 @@ struct RunReport {
     const double s = seconds(arch);
     return s > 0.0 ? flops / s / 1e9 : 0.0;
   }
+
+  // Flat JSON object with every raw field (no derived/arch-dependent
+  // quantities), the schema the BENCH_*.json writers rely on.
+  std::string ToJson() const;
 };
 
 struct EngineOptions {
@@ -42,13 +56,25 @@ struct EngineOptions {
   // delta by n. Cycle models are data-independent so timing is exact;
   // only useful when the repeated numerics are not needed n times.
   bool fast_repeat = true;
+  // Host threads for vertex execution and copy movement; 0 defers to
+  // REPRO_THREADS / hardware concurrency (util::ParallelWorkers). Never
+  // affects simulated results, only host wall clock.
+  std::size_t host_threads = 0;
 };
 
 class Engine {
  public:
   using Options = EngineOptions;
 
-  Engine(const Graph& graph, Executable exe, Options opts = Options());
+  // Tag for the supported construction path (used by Session).
+  struct Internal {};
+  Engine(Internal, const Graph& graph, Executable exe, Options opts);
+
+  // Deprecated shim: construct an ipu::Session instead, which owns the
+  // graph/compile/engine lifecycle behind one option set.
+  [[deprecated("construct engines via ipu::Session")]]
+  Engine(const Graph& graph, Executable exe, Options opts = Options())
+      : Engine(Internal{}, graph, std::move(exe), opts) {}
 
   // Host data access (requires Options::execute).
   void writeTensor(const Tensor& t, std::span<const float> data);
@@ -57,17 +83,23 @@ class Engine {
   // Runs the compiled program once and returns its cost report.
   RunReport run();
 
+  const Executable& executable() const { return exe_; }
+
  private:
   void runProgram(const Program& p, RunReport& r);
   void execComputeSet(ComputeSetId cs, RunReport& r);
   void execCopy(const Program& p, RunReport& r);
   void execCopyBundle(const Program& p, RunReport& r);
-  // Accumulates one copy's cross-tile traffic into `incoming`/`total` and
-  // (in execute mode) performs the data movement.
-  void accumulateCopy(const Program& copy,
-                      std::map<std::size_t, std::size_t>& incoming,
-                      std::size_t& total);
+  // Accumulates one copy's cross-tile traffic into `incoming`/`total`
+  // (accounting only; const with respect to tensor storage).
+  void walkCopyTraffic(const Program& copy,
+                       std::map<std::size_t, std::size_t>& incoming,
+                       std::size_t& total) const;
+  // Performs one copy's data movement (execute mode), sharded over host
+  // threads when the source and destination regions do not overlap.
+  void moveCopyData(const Program& copy);
   void chargeHostTransfer(std::size_t bytes, RunReport& r);
+  std::size_t hostWorkers() const;
 
   const Graph& graph_;
   Executable exe_;
@@ -76,8 +108,11 @@ class Engine {
   std::vector<VertexArgs> args_;             // resolved per vertex
   std::vector<double> vertex_cycles_;        // data-independent, precomputed
   std::vector<double> vertex_flops_;
-  // Per compute set: bottleneck-tile compute cycles (incl. dispatch).
+  // Per compute set: bottleneck-tile compute cycles (incl. dispatch) and the
+  // serially-accumulated flop total (fixed summation order, precomputed once
+  // so run() cost does not scale with vertex count in timing-only sweeps).
   std::vector<double> cs_compute_cycles_;
+  std::vector<double> cs_flops_;
 };
 
 }  // namespace repro::ipu

@@ -16,6 +16,7 @@
 #include "ipusim/engine.h"
 #include "ipusim/graph.h"
 #include "ipusim/program.h"
+#include "ipusim/session.h"
 #include "linalg/matrix.h"
 #include "util/error.h"
 
@@ -62,7 +63,10 @@ std::vector<float> PackA(const MatMulPlan& plan, const Matrix& a);
 std::vector<float> PackB(const MatMulPlan& plan, const Matrix& b);
 Matrix UnpackC(const MatMulPlan& plan, std::span<const float> c_blocks);
 
-// Convenience: upload operands, run once, download the product.
+// Convenience: upload operands, run once, download the product. The session
+// must have compiled plan.prog against the graph the plan was built on.
+Matrix RunMatMul(const MatMulPlan& plan, Session& session, const Matrix& a,
+                 const Matrix& b, RunReport* report = nullptr);
 Matrix RunMatMul(const MatMulPlan& plan, Engine& engine, const Matrix& a,
                  const Matrix& b, RunReport* report = nullptr);
 

@@ -58,6 +58,18 @@ std::string ExecutionReport(const RunReport& r, const IpuArch& arch) {
   return out.str();
 }
 
+std::string GraphCounts::ToJson() const {
+  std::ostringstream os;
+  os << "{\"vertices\": " << vertices << ", \"edges\": " << edges
+     << ", \"variables\": " << variables
+     << ", \"compute_sets\": " << compute_sets
+     << ", \"total_bytes\": " << total_bytes
+     << ", \"free_bytes\": " << free_bytes
+     << ", \"max_tile_bytes\": " << max_tile_bytes
+     << ", \"exchange_buffer_bytes\": " << exchange_buffer_bytes << "}";
+  return os.str();
+}
+
 GraphCounts CountsOf(const Executable& exe) {
   GraphCounts c;
   c.vertices = exe.stats.num_vertices;

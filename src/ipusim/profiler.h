@@ -26,6 +26,10 @@ struct GraphCounts {
   std::size_t free_bytes = 0;
   std::size_t max_tile_bytes = 0;
   std::size_t exchange_buffer_bytes = 0;
+
+  // Flat JSON object with every field, the schema the BENCH_*.json writers
+  // rely on (mirrors RunReport::ToJson).
+  std::string ToJson() const;
 };
 
 GraphCounts CountsOf(const Executable& exe);

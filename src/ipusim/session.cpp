@@ -1,0 +1,61 @@
+#include "ipusim/session.h"
+
+#include <utility>
+
+#include "ipusim/compiler.h"
+
+namespace repro::ipu {
+
+namespace {
+// More threads than this is certainly a unit mix-up (bytes, elements), not a
+// real concurrency request.
+constexpr std::size_t kMaxHostThreads = 1024;
+}  // namespace
+
+Status SessionOptions::Validate() const {
+  if (host_threads > kMaxHostThreads) {
+    return Status::InvalidArgument(
+        "SessionOptions::host_threads " + std::to_string(host_threads) +
+        " exceeds the sanity limit of " + std::to_string(kMaxHostThreads));
+  }
+  return Status::Ok();
+}
+
+Session::Session(const IpuArch& arch, SessionOptions opts)
+    : graph_(arch), opts_(opts) {
+  REPRO_REQUIRE(opts_.Validate().ok(), "invalid SessionOptions: %s",
+                opts_.Validate().message().c_str());
+}
+
+Status Session::compile(Program program) {
+  REPRO_REQUIRE(!engine_.has_value(),
+                "Session::compile called twice; one compile per session");
+  StatusOr<Executable> exe =
+      Compile(graph_, std::move(program), opts_.compileOptions());
+  if (!exe.ok()) return exe.status();
+  engine_.emplace(Engine::Internal{}, graph_, exe.take(),
+                  opts_.engineOptions());
+  return Status::Ok();
+}
+
+RunReport Session::run() {
+  REPRO_REQUIRE(engine_.has_value(), "Session::run before compile");
+  return engine_->run();
+}
+
+void Session::writeTensor(const Tensor& t, std::span<const float> data) {
+  REPRO_REQUIRE(engine_.has_value(), "Session::writeTensor before compile");
+  engine_->writeTensor(t, data);
+}
+
+void Session::readTensor(const Tensor& t, std::span<float> out) const {
+  REPRO_REQUIRE(engine_.has_value(), "Session::readTensor before compile");
+  engine_->readTensor(t, out);
+}
+
+const Executable& Session::executable() const {
+  REPRO_REQUIRE(engine_.has_value(), "Session::executable before compile");
+  return engine_->executable();
+}
+
+}  // namespace repro::ipu

@@ -1,0 +1,102 @@
+// ipu::Session -- the one entry point for building, compiling, and running
+// a simulated-IPU program.
+//
+// A Session owns the Graph -> Compile -> Engine lifecycle that callers
+// previously wired together by hand:
+//
+//   ipu::Session session(arch, {.execute = true});
+//   auto plan = BuildMatMul(session.graph(), m, k, n, impl);   // build
+//   REPRO_CHECK_OK(session.compile(plan->prog));               // compile once
+//   session.writeTensor(plan->a, a_data);                      // IO
+//   RunReport r = session.run();                               // run many
+//
+// compile() runs at most once per session; every subsequent run() reuses the
+// executable, so trainer epochs and bench sweeps never pay recompilation.
+// SessionOptions merges the old EngineOptions with the compile knobs so
+// callers configure one object instead of two.
+//
+// Determinism contract: `host_threads` (and the REPRO_THREADS environment
+// default behind it) only changes host wall-clock time. Simulated cycle
+// counts, bytes exchanged, and every tensor read back are bitwise identical
+// across thread counts.
+#pragma once
+
+#include <optional>
+
+#include "ipusim/engine.h"
+#include "ipusim/graph.h"
+#include "ipusim/profiler.h"
+#include "ipusim/program.h"
+#include "util/error.h"
+
+namespace repro::ipu {
+
+// All knobs for one session, replacing the separate EngineOptions +
+// CompileOptions pair of the deprecated direct-Engine path.
+struct SessionOptions {
+  // Execute vertex arithmetic (true) or account timing only (false).
+  bool execute = true;
+  // Scale Repeat bodies instead of re-running them (exact for the
+  // data-independent cycle model).
+  bool fast_repeat = true;
+  // Let compilation succeed past per-tile memory limits (memory studies).
+  bool allow_oversubscription = false;
+  // Host worker threads for engine execution; 0 defers to REPRO_THREADS /
+  // hardware concurrency. Never affects simulated results.
+  std::size_t host_threads = 0;
+
+  // Rejects nonsensical combinations before they reach the engine.
+  Status Validate() const;
+
+  EngineOptions engineOptions() const {
+    return EngineOptions{.execute = execute,
+                         .fast_repeat = fast_repeat,
+                         .host_threads = host_threads};
+  }
+  CompileOptions compileOptions() const {
+    return CompileOptions{.allow_oversubscription = allow_oversubscription};
+  }
+};
+
+class Session {
+ public:
+  explicit Session(const IpuArch& arch, SessionOptions opts = {});
+
+  // The engine and executable hold pointers into graph_, so a session is
+  // pinned to its address for life.
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  Session(Session&&) = delete;
+  Session& operator=(Session&&) = delete;
+
+  // Graph under construction; build vertices/tensors here before compile().
+  // Mutating the graph after compile() is undefined.
+  Graph& graph() { return graph_; }
+  const Graph& graph() const { return graph_; }
+  const SessionOptions& options() const { return opts_; }
+
+  // Compiles `program` against the graph. At most once per session (fatal on
+  // a second call); compile failures (e.g. OutOfMemory) leave the session
+  // uncompiled and are returned, not thrown.
+  Status compile(Program program);
+  bool compiled() const { return engine_.has_value(); }
+
+  // Runs the compiled program once, reusing the executable. Fatal before a
+  // successful compile().
+  RunReport run();
+
+  // Host tensor IO (requires options().execute and a compiled session).
+  void writeTensor(const Tensor& t, std::span<const float> data);
+  void readTensor(const Tensor& t, std::span<float> out) const;
+
+  // Compile artifacts, for memory reports and graph-count summaries.
+  const Executable& executable() const;
+  GraphCounts counts() const { return CountsOf(executable()); }
+
+ private:
+  Graph graph_;
+  SessionOptions opts_;
+  std::optional<Engine> engine_;
+};
+
+}  // namespace repro::ipu

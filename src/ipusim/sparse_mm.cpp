@@ -281,15 +281,30 @@ Matrix UnpackCSparse(const SpmmPlan& plan, std::span<const float> c_blocks) {
   return c;
 }
 
-Matrix RunSparseMatMul(const SpmmPlan& plan, Engine& engine, const Matrix& b,
-                       RunReport* report) {
+namespace {
+
+template <typename Runner>
+Matrix RunSparseMatMulOn(const SpmmPlan& plan, Runner& runner, const Matrix& b,
+                         RunReport* report) {
   const auto packed = PackBSparse(plan, b);
-  engine.writeTensor(plan.b, packed);
-  RunReport r = engine.run();
+  runner.writeTensor(plan.b, packed);
+  RunReport r = runner.run();
   if (report != nullptr) *report = r;
   std::vector<float> c_packed(plan.c.numel);
-  engine.readTensor(plan.c, c_packed);
+  runner.readTensor(plan.c, c_packed);
   return UnpackCSparse(plan, c_packed);
+}
+
+}  // namespace
+
+Matrix RunSparseMatMul(const SpmmPlan& plan, Session& session, const Matrix& b,
+                       RunReport* report) {
+  return RunSparseMatMulOn(plan, session, b, report);
+}
+
+Matrix RunSparseMatMul(const SpmmPlan& plan, Engine& engine, const Matrix& b,
+                       RunReport* report) {
+  return RunSparseMatMulOn(plan, engine, b, report);
 }
 
 }  // namespace repro::ipu

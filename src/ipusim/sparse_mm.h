@@ -6,6 +6,7 @@
 #include "ipusim/engine.h"
 #include "ipusim/graph.h"
 #include "ipusim/program.h"
+#include "ipusim/session.h"
 #include "linalg/sparse.h"
 
 namespace repro::ipu {
@@ -41,6 +42,8 @@ StatusOr<SpmmPlan> BuildSparseMatMul(Graph& graph, const Csr& s, std::size_t n,
 std::vector<float> PackBSparse(const SpmmPlan& plan, const Matrix& b);
 Matrix UnpackCSparse(const SpmmPlan& plan, std::span<const float> c_blocks);
 
+Matrix RunSparseMatMul(const SpmmPlan& plan, Session& session, const Matrix& b,
+                       RunReport* report = nullptr);
 Matrix RunSparseMatMul(const SpmmPlan& plan, Engine& engine, const Matrix& b,
                        RunReport* report = nullptr);
 

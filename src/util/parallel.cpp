@@ -1,50 +1,182 @@
 #include "util/parallel.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/error.h"
 
 namespace repro {
+namespace {
+
+std::size_t EnvWorkers() {
+  if (const char* env = std::getenv("REPRO_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<std::size_t>(hw == 0 ? 1 : hw);
+}
+
+std::atomic<std::size_t> g_worker_override{0};
+
+// One shard batch in flight: completion counter plus per-shard exception
+// slots so the first failure (in shard order) can be rethrown deterministically.
+struct Batch {
+  std::mutex m;
+  std::condition_variable done_cv;
+  std::size_t remaining = 0;
+  std::vector<std::exception_ptr> errors;
+
+  void finishOne() {
+    std::lock_guard<std::mutex> lock(m);
+    if (--remaining == 0) done_cv.notify_all();
+  }
+};
+
+// Lazily-created persistent pool. Threads are spawned on first parallel use
+// and live for the process; ParallelFor on a serial path never touches it.
+class Pool {
+ public:
+  static Pool& Get() {
+    static Pool* pool = new Pool();  // leaked: workers may outlive statics
+    return *pool;
+  }
+
+  void ensureThreads(std::size_t n) {
+    std::lock_guard<std::mutex> lock(m_);
+    while (threads_.size() < n) {
+      threads_.emplace_back([this] { workerLoop(); });
+    }
+  }
+
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      queue_.push_back(std::move(task));
+    }
+    work_cv_.notify_one();
+  }
+
+  // Executes queued tasks on the calling thread until the batch completes.
+  // Helping (instead of blocking) makes nested ParallelFor deadlock-free.
+  void helpUntilDone(Batch& batch) {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(m_);
+        if (!queue_.empty()) {
+          task = std::move(queue_.front());
+          queue_.pop_front();
+        }
+      }
+      if (task) {
+        task();
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(batch.m);
+      if (batch.remaining == 0) return;
+      // Re-check the queue soon: another batch's tasks may land meanwhile.
+      batch.done_cv.wait_for(lock, std::chrono::milliseconds(1),
+                             [&] { return batch.remaining == 0; });
+      if (batch.remaining == 0) return;
+    }
+  }
+
+ private:
+  void workerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(m_);
+        work_cv_.wait(lock, [&] { return !queue_.empty(); });
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex m_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace
 
 std::size_t ParallelWorkers() {
-  static const std::size_t workers = [] {
-    if (const char* env = std::getenv("REPRO_THREADS")) {
-      const long v = std::strtol(env, nullptr, 10);
-      if (v >= 1) return static_cast<std::size_t>(v);
-    }
-    const unsigned hw = std::thread::hardware_concurrency();
-    return static_cast<std::size_t>(hw == 0 ? 1 : hw);
-  }();
-  return workers;
+  const std::size_t override = g_worker_override.load(std::memory_order_relaxed);
+  if (override >= 1) return override;
+  static const std::size_t env_workers = EnvWorkers();
+  return env_workers;
+}
+
+void SetParallelWorkers(std::size_t n) {
+  g_worker_override.store(n, std::memory_order_relaxed);
+}
+
+void ParallelForWith(std::size_t workers, std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t, std::size_t)>& fn,
+                     std::size_t min_grain) {
+  REPRO_REQUIRE(min_grain >= 1, "ParallelFor: min_grain must be >= 1");
+  if (end <= begin) return;  // empty or inverted range: nothing to shard
+  const std::size_t total = end - begin;
+  if (workers == 0) workers = ParallelWorkers();
+  workers = std::min(workers, std::max<std::size_t>(1, total / min_grain));
+  if (workers <= 1) {
+    fn(begin, end);  // serial fast path: zero threading overhead
+    return;
+  }
+
+  const std::size_t chunk = (total + workers - 1) / workers;
+  // Shard boundaries first, so the batch size is known before submission.
+  std::vector<std::pair<std::size_t, std::size_t>> shards;
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    shards.emplace_back(lo, std::min(end, lo + chunk));
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->remaining = shards.size();
+  batch->errors.assign(shards.size(), nullptr);
+
+  Pool& pool = Pool::Get();
+  pool.ensureThreads(workers - 1);
+  for (std::size_t i = 1; i < shards.size(); ++i) {
+    pool.submit([batch, &fn, i, shard = shards[i]] {
+      try {
+        fn(shard.first, shard.second);
+      } catch (...) {
+        batch->errors[i] = std::current_exception();
+      }
+      batch->finishOne();
+    });
+  }
+  try {
+    fn(shards[0].first, shards[0].second);
+  } catch (...) {
+    batch->errors[0] = std::current_exception();
+  }
+  batch->finishOne();
+  pool.helpUntilDone(*batch);
+
+  for (const std::exception_ptr& e : batch->errors) {
+    if (e) std::rethrow_exception(e);
+  }
 }
 
 void ParallelFor(std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t, std::size_t)>& fn,
                  std::size_t min_grain) {
-  REPRO_REQUIRE(begin <= end, "inverted range");
-  if (begin == end) return;
-  const std::size_t total = end - begin;
-  const std::size_t workers =
-      std::min(ParallelWorkers(),
-               std::max<std::size_t>(1, total / std::max<std::size_t>(
-                                                    1, min_grain)));
-  if (workers <= 1) {
-    fn(begin, end);
-    return;
-  }
-  const std::size_t chunk = (total + workers - 1) / workers;
-  std::vector<std::thread> threads;
-  threads.reserve(workers - 1);
-  std::size_t cursor = begin;
-  for (std::size_t w = 0; w + 1 < workers && cursor + chunk < end; ++w) {
-    threads.emplace_back(fn, cursor, cursor + chunk);
-    cursor += chunk;
-  }
-  fn(cursor, end);  // this thread takes the tail
-  for (auto& t : threads) t.join();
+  ParallelForWith(0, begin, end, fn, min_grain);
 }
 
 }  // namespace repro

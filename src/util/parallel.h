@@ -1,10 +1,21 @@
 // Shared-memory parallel-for over index ranges.
 //
-// Host kernels (GEMM, butterfly batches) are embarrassingly parallel over
-// rows; this utility shards a range over a lazily-created thread pool. On a
+// Host kernels (GEMM, butterfly batches) and the IPU simulator's BSP engine
+// are embarrassingly parallel over rows / vertices / destination tiles; this
+// utility shards a range over a lazily-created persistent thread pool. On a
 // single-core machine (or when REPRO_THREADS=1) it degrades to a plain
 // serial loop with zero overhead, so simulated-device results never depend
 // on host parallelism.
+//
+// Contract:
+//  * fn is invoked on disjoint sub-ranges exactly covering [begin, end).
+//  * end <= begin is a no-op (graceful empty-range fallback, never fatal).
+//  * min_grain == 0 is rejected (fatal): a zero grain would allow empty
+//    shards and divide-by-zero in the shard count.
+//  * The first exception thrown by any shard (in shard order) is rethrown
+//    on the calling thread after all shards finish; it is never lost.
+//  * Nested ParallelFor calls are safe: a thread waiting for its shards
+//    helps execute queued work instead of blocking the pool.
 #pragma once
 
 #include <cstddef>
@@ -12,15 +23,28 @@
 
 namespace repro {
 
-// Number of worker threads ParallelFor will use (>= 1). Reads
-// REPRO_THREADS if set, otherwise std::thread::hardware_concurrency().
+// Number of worker threads ParallelFor will use (>= 1). Order of precedence:
+// SetParallelWorkers() override, then the REPRO_THREADS environment
+// variable, then std::thread::hardware_concurrency().
 std::size_t ParallelWorkers();
 
+// Process-wide override of the worker count (0 restores the environment /
+// hardware default). Used by tests and by Session's host_threads option so
+// determinism across thread counts can be exercised inside one process.
+void SetParallelWorkers(std::size_t n);
+
 // Invokes fn(begin, end) on disjoint sub-ranges covering [begin, end),
-// possibly concurrently. fn must be safe to run concurrently on disjoint
-// ranges. Blocks until every sub-range completes.
+// possibly concurrently, using ParallelWorkers() threads. fn must be safe to
+// run concurrently on disjoint ranges. Blocks until every sub-range
+// completes, then rethrows the first shard exception, if any.
 void ParallelFor(std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t, std::size_t)>& fn,
                  std::size_t min_grain = 1);
+
+// Same, with an explicit worker-count cap (0 means ParallelWorkers()). The
+// effective parallelism is min(workers, range / min_grain).
+void ParallelForWith(std::size_t workers, std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t, std::size_t)>& fn,
+                     std::size_t min_grain = 1);
 
 }  // namespace repro

@@ -6,8 +6,8 @@
 #include "core/butterfly.h"
 #include "core/fft.h"
 #include "ipusim/codelet.h"
-#include "ipusim/engine.h"
 #include "ipusim/matmul.h"
+#include "ipusim/session.h"
 #include "linalg/gemm.h"
 #include "linalg/spmm.h"
 
@@ -16,32 +16,59 @@ namespace {
 
 using namespace repro::ipu;
 
-TEST(FailureInjection, EngineRejectsForeignExecutable) {
-  Graph g1(Gc200());
-  Graph g2(Gc200());
-  Tensor t = g1.addVariable("x", 4);
-  g1.setTileMapping(t, 0);
-  auto exe = Compile(g1, Program::Sequence({}));
-  ASSERT_TRUE(exe.ok());
-  EXPECT_DEATH(Engine(g2, exe.take()), "another graph");
+TEST(FailureInjection, SessionRunBeforeCompileDies) {
+  Session session(Gc200());
+  EXPECT_DEATH(session.run(), "before compile");
+}
+
+TEST(FailureInjection, SessionCompileTwiceDies) {
+  Session session(Gc200());
+  Tensor t = session.graph().addVariable("x", 4);
+  session.graph().setTileMapping(t, 0);
+  ASSERT_TRUE(session.compile(Program::Sequence({})).ok());
+  EXPECT_DEATH({ (void)session.compile(Program::Sequence({})); }, "twice");
+}
+
+TEST(FailureInjection, SessionRejectsAbsurdHostThreads) {
+  EXPECT_DEATH(Session(Gc200(), SessionOptions{.host_threads = 100000}),
+               "host_threads");
+}
+
+TEST(FailureInjection, OverlappingVertexOutputsRejectedAtCompile) {
+  // Two vertices in one compute set writing the same elements violates the
+  // BSP disjointness contract; the compiler must refuse, not race.
+  Session session(Gc200());
+  Graph& g = session.graph();
+  Tensor x = g.addVariable("x", 8);
+  g.setTileMapping(x, 0);
+  ComputeSetId cs = g.addComputeSet("cs");
+  for (int i = 0; i < 2; ++i) {
+    VertexId v = g.addVertex(cs, codelets::kRelu, 0);
+    g.connect(v, "x", x);
+    g.connect(v, "y", x, true);
+  }
+  Status s = session.compile(Program::Execute(cs));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("overlap"), std::string::npos) << s.message();
 }
 
 TEST(FailureInjection, VertexMissingFieldDiesAtExecution) {
-  Graph g(Gc200());
+  Session session(Gc200());
+  Graph& g = session.graph();
   Tensor x = g.addVariable("x", 4);
   g.setTileMapping(x, 0);
   ComputeSetId cs = g.addComputeSet("cs");
   VertexId v = g.addVertex(cs, codelets::kRelu, 0);
   g.connect(v, "x", x);
   // "y" is never connected.
-  auto exe = Compile(g, Program::Execute(cs));
-  ASSERT_TRUE(exe.ok());
-  Engine e(g, exe.take());
-  EXPECT_DEATH(e.run(), "not connected");
+  ASSERT_TRUE(session.compile(Program::Execute(cs)).ok());
+  EXPECT_DEATH(session.run(), "not connected");
 }
 
 TEST(FailureInjection, GemmVertexShapeMismatchDies) {
-  Graph g(Gc200());
+  Session session(Gc200());
+  Graph& g = session.graph();
   Tensor a = g.addVariable("a", 4);
   Tensor b = g.addVariable("b", 4);
   Tensor c = g.addVariable("c", 4);
@@ -56,10 +83,8 @@ TEST(FailureInjection, GemmVertexShapeMismatchDies) {
   g.setInitialValue(v, "m", 4);  // claims 4x4x4 but buffers hold 4 elements
   g.setInitialValue(v, "k", 4);
   g.setInitialValue(v, "n", 4);
-  auto exe = Compile(g, Program::Execute(cs));
-  ASSERT_TRUE(exe.ok());
-  Engine e(g, exe.take());
-  EXPECT_DEATH(e.run(), "shape mismatch");
+  ASSERT_TRUE(session.compile(Program::Execute(cs)).ok());
+  EXPECT_DEATH(session.run(), "shape mismatch");
 }
 
 TEST(FailureInjection, ConnectEmptyTensorDies) {
@@ -84,13 +109,12 @@ TEST(FailureInjection, MappingInvalidTileDies) {
 }
 
 TEST(FailureInjection, WriteTensorWrongSizeDies) {
-  Graph g(Gc200());
-  Tensor x = g.addVariable("x", 4);
-  g.setTileMapping(x, 0);
-  auto exe = Compile(g, Program::Sequence({}));
-  Engine e(g, exe.take());
+  Session session(Gc200());
+  Tensor x = session.graph().addVariable("x", 4);
+  session.graph().setTileMapping(x, 0);
+  ASSERT_TRUE(session.compile(Program::Sequence({})).ok());
   std::vector<float> wrong(3);
-  EXPECT_DEATH(e.writeTensor(x, wrong), "size mismatch");
+  EXPECT_DEATH(session.writeTensor(x, wrong), "size mismatch");
 }
 
 TEST(FailureInjection, MatmulZeroDimensionDies) {

@@ -5,8 +5,8 @@
 #include "core/butterfly.h"
 #include "data/synthetic.h"
 #include "ipusim/codelet.h"
-#include "ipusim/engine.h"
 #include "ipusim/matmul.h"
+#include "ipusim/session.h"
 #include "linalg/gemm.h"
 #include "nn/trainer.h"
 #include "util/bitops.h"
@@ -24,7 +24,8 @@ TEST(Integration, IpuButterflyGraphMatchesHostButterfly) {
   core::Butterfly bf(n, core::ButterflyParam::kDense2x2,
                      /*with_permutation=*/false, rng);
 
-  ipu::Graph g(ipu::Gc200());
+  ipu::Session session(ipu::Gc200());
+  ipu::Graph& g = session.graph();
   ipu::Tensor x = g.addVariable("x", n, batch);
   g.mapLinearly(x, batch);
   ipu::Program seq = ipu::Program::Sequence({});
@@ -50,9 +51,8 @@ TEST(Integration, IpuButterflyGraphMatchesHostButterfly) {
     }
     seq.add(ipu::Program::Execute(cs));
   }
-  auto exe = ipu::Compile(g, std::move(seq));
-  ASSERT_TRUE(exe.ok()) << exe.status().message();
-  ipu::Engine engine(g, exe.take());
+  Status st = session.compile(std::move(seq));
+  ASSERT_TRUE(st.ok()) << st.message();
 
   // Upload weights in the vertex's (a, b, c, d) per-pair layout.
   for (unsigned f = 0; f < Log2(n); ++f) {
@@ -62,7 +62,7 @@ TEST(Integration, IpuButterflyGraphMatchesHostButterfly) {
       const float* src = bf.params().data() + f * 2 * n + 4 * p;
       std::copy(src, src + 4, wf.data() + 4 * p);
     }
-    engine.writeTensor(weights[f], wf);
+    session.writeTensor(weights[f], wf);
   }
   // Upload activations feature-major: x_dev[row i] = feature i over batch.
   Matrix xin = Matrix::RandomNormal(batch, n, rng);
@@ -70,10 +70,10 @@ TEST(Integration, IpuButterflyGraphMatchesHostButterfly) {
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t b = 0; b < batch; ++b) xdev[i * batch + b] = xin(b, i);
   }
-  engine.writeTensor(x, xdev);
-  engine.run();
+  session.writeTensor(x, xdev);
+  session.run();
   std::vector<float> ydev(n * batch);
-  engine.readTensor(x, ydev);
+  session.readTensor(x, ydev);
 
   Matrix want(batch, n);
   bf.Forward(xin, want);
@@ -141,16 +141,15 @@ TEST(Integration, SeedSensitivityIsBounded) {
 // NN trainer uses -- accuracy results are device-independent up to float
 // association order (the paper's <1.5% observation; here exact shapes).
 TEST(Integration, PoplinMatchesHostGemmOnTrainingShapes) {
-  ipu::Graph g(ipu::Gc200());
-  auto plan = ipu::BuildMatMul(g, 50, 1024, 10, ipu::MatMulImpl::kPoplin);
+  ipu::Session session(ipu::Gc200());
+  auto plan =
+      ipu::BuildMatMul(session.graph(), 50, 1024, 10, ipu::MatMulImpl::kPoplin);
   ASSERT_TRUE(plan.ok());
-  auto exe = ipu::Compile(g, plan.value().prog);
-  ASSERT_TRUE(exe.ok());
-  ipu::Engine e(g, exe.take());
+  ASSERT_TRUE(session.compile(plan.value().prog).ok());
   Rng rng(9);
   Matrix a = Matrix::RandomNormal(50, 1024, rng);
   Matrix b = Matrix::RandomNormal(1024, 10, rng);
-  Matrix c = ipu::RunMatMul(plan.value(), e, a, b);
+  Matrix c = ipu::RunMatMul(plan.value(), session, a, b);
   EXPECT_TRUE(AllClose(c, MatMul(a, b), 1e-3, 1e-3));
 }
 

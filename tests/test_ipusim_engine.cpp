@@ -1,21 +1,21 @@
 #include <gtest/gtest.h>
 
 #include "ipusim/codelet.h"
-#include "ipusim/engine.h"
 #include "ipusim/graph.h"
 #include "ipusim/program.h"
+#include "ipusim/session.h"
 
 namespace repro::ipu {
 namespace {
 
-Executable MustCompile(const Graph& g, Program p) {
-  auto exe = Compile(g, std::move(p));
-  EXPECT_TRUE(exe.ok()) << exe.status().message();
-  return exe.take();
+void MustCompile(Session& session, Program p) {
+  Status s = session.compile(std::move(p));
+  ASSERT_TRUE(s.ok()) << s.message();
 }
 
 TEST(Engine, ReluVertexComputes) {
-  Graph g(Gc200());
+  Session e(Gc200());
+  Graph& g = e.graph();
   Tensor x = g.addVariable("x", 4);
   Tensor y = g.addVariable("y", 4);
   g.setTileMapping(x, 0);
@@ -24,7 +24,7 @@ TEST(Engine, ReluVertexComputes) {
   VertexId v = g.addVertex(cs, codelets::kRelu, 0);
   g.connect(v, "x", x);
   g.connect(v, "y", y, true);
-  Engine e(g, MustCompile(g, Program::Execute(cs)));
+  MustCompile(e, Program::Execute(cs));
   e.writeTensor(x, std::vector<float>{-1.0f, 2.0f, -3.0f, 4.0f});
   RunReport r = e.run();
   std::vector<float> out(4);
@@ -34,7 +34,8 @@ TEST(Engine, ReluVertexComputes) {
 }
 
 TEST(Engine, ScalarGemmVertexComputes) {
-  Graph g(Gc200());
+  Session e(Gc200());
+  Graph& g = e.graph();
   Tensor a = g.addVariable("a", 2 * 3);
   Tensor b = g.addVariable("b", 3 * 2);
   Tensor c = g.addVariable("c", 2 * 2);
@@ -49,7 +50,7 @@ TEST(Engine, ScalarGemmVertexComputes) {
   g.setInitialValue(v, "m", 2);
   g.setInitialValue(v, "k", 3);
   g.setInitialValue(v, "n", 2);
-  Engine e(g, MustCompile(g, Program::Execute(cs)));
+  MustCompile(e, Program::Execute(cs));
   e.writeTensor(a, std::vector<float>{1, 2, 3, 4, 5, 6});
   e.writeTensor(b, std::vector<float>{7, 8, 9, 10, 11, 12});
   e.run();
@@ -61,7 +62,8 @@ TEST(Engine, ScalarGemmVertexComputes) {
 
 TEST(Engine, AmpGemmMatchesScalarGemmNumerically) {
   for (const char* codelet : {codelets::kScalarGemm, codelets::kAmpGemm}) {
-    Graph g(Gc200());
+    Session e(Gc200());
+    Graph& g = e.graph();
     Tensor a = g.addVariable("a", 4 * 4);
     Tensor b = g.addVariable("b", 4 * 4);
     Tensor c = g.addVariable("c", 4 * 4);
@@ -76,7 +78,7 @@ TEST(Engine, AmpGemmMatchesScalarGemmNumerically) {
     g.setInitialValue(v, "m", 4);
     g.setInitialValue(v, "k", 4);
     g.setInitialValue(v, "n", 4);
-    Engine e(g, MustCompile(g, Program::Execute(cs)));
+    MustCompile(e, Program::Execute(cs));
     std::vector<float> av(16), bv(16);
     for (int i = 0; i < 16; ++i) {
       av[i] = static_cast<float>(i);
@@ -93,7 +95,8 @@ TEST(Engine, AmpGemmMatchesScalarGemmNumerically) {
 
 TEST(Engine, AmpIsFasterThanScalarForSameWork) {
   auto cycles_for = [](const char* codelet) {
-    Graph g(Gc200());
+    Session e(Gc200(), SessionOptions{.execute = false});
+    Graph& g = e.graph();
     Tensor a = g.addVariable("a", 64 * 64);
     Tensor b = g.addVariable("b", 64 * 64);
     Tensor c = g.addVariable("c", 64 * 64);
@@ -108,9 +111,7 @@ TEST(Engine, AmpIsFasterThanScalarForSameWork) {
     g.setInitialValue(v, "m", 64);
     g.setInitialValue(v, "k", 64);
     g.setInitialValue(v, "n", 64);
-    auto exe = Compile(g, Program::Execute(cs));
-    Engine e(*exe.value().graph, exe.take(),
-             EngineOptions{.execute = false, .fast_repeat = true});
+    EXPECT_TRUE(e.compile(Program::Execute(cs)).ok());
     return e.run().total_cycles;
   };
   // 16 MACs/cycle vs 1/5 MAC/cycle: ~80x.
@@ -119,7 +120,8 @@ TEST(Engine, AmpIsFasterThanScalarForSameWork) {
 }
 
 TEST(Engine, ReduceAddSumsPartials) {
-  Graph g(Gc200());
+  Session e(Gc200());
+  Graph& g = e.graph();
   Tensor p = g.addVariable("p", 3, 4);
   Tensor out = g.addVariable("o", 4);
   g.mapRowsToTiles(p, 0, 3);
@@ -128,7 +130,7 @@ TEST(Engine, ReduceAddSumsPartials) {
   VertexId v = g.addVertex(cs, codelets::kReduceAdd, 0);
   for (int i = 0; i < 3; ++i) g.connect(v, "partials", p.row(i));
   g.connect(v, "out", out, true);
-  Engine e(g, MustCompile(g, Program::Execute(cs)));
+  MustCompile(e, Program::Execute(cs));
   e.writeTensor(p, std::vector<float>{1, 2, 3, 4, 10, 20, 30, 40, 100, 200, 300, 400});
   RunReport r = e.run();
   std::vector<float> o(4);
@@ -139,12 +141,13 @@ TEST(Engine, ReduceAddSumsPartials) {
 }
 
 TEST(Engine, CopyMovesDataAndChargesExchange) {
-  Graph g(Gc200());
+  Session e(Gc200());
+  Graph& g = e.graph();
   Tensor a = g.addVariable("a", 64);
   Tensor b = g.addVariable("b", 64);
   g.setTileMapping(a, 0);
   g.setTileMapping(b, 9);
-  Engine e(g, MustCompile(g, Program::Copy(a, b)));
+  MustCompile(e, Program::Copy(a, b));
   std::vector<float> av(64);
   for (int i = 0; i < 64; ++i) av[i] = static_cast<float>(i);
   e.writeTensor(a, av);
@@ -157,12 +160,13 @@ TEST(Engine, CopyMovesDataAndChargesExchange) {
 }
 
 TEST(Engine, LocalCopyIsFree) {
-  Graph g(Gc200());
+  Session e(Gc200());
+  Graph& g = e.graph();
   Tensor a = g.addVariable("a", 16);
   Tensor b = g.addVariable("b", 16);
   g.setTileMapping(a, 4);
   g.setTileMapping(b, 4);
-  Engine e(g, MustCompile(g, Program::Copy(a, b)));
+  MustCompile(e, Program::Copy(a, b));
   RunReport r = e.run();
   EXPECT_EQ(r.bytes_exchanged, 0u);
   EXPECT_EQ(r.exchange_cycles, 0u);
@@ -171,13 +175,13 @@ TEST(Engine, LocalCopyIsFree) {
 // Observation 1: exchange cost depends on size, not distance.
 TEST(Engine, ExchangeIsDistanceIndependent) {
   auto copy_cycles = [](std::size_t dst_tile) {
-    Graph g(Gc200());
+    Session e(Gc200());
+    Graph& g = e.graph();
     Tensor a = g.addVariable("a", 1024);
     Tensor b = g.addVariable("b", 1024);
     g.setTileMapping(a, 0);
     g.setTileMapping(b, dst_tile);
-    auto exe = Compile(g, Program::Copy(a, b));
-    Engine e(*exe.value().graph, exe.take());
+    EXPECT_TRUE(e.compile(Program::Copy(a, b)).ok());
     return e.run().total_cycles;
   };
   EXPECT_EQ(copy_cycles(1), copy_cycles(644));  // paper Fig. 3 tile pair
@@ -186,13 +190,13 @@ TEST(Engine, ExchangeIsDistanceIndependent) {
 
 TEST(Engine, ExchangeScalesWithSize) {
   auto copy_cycles = [](std::size_t n) {
-    Graph g(Gc200());
+    Session e(Gc200());
+    Graph& g = e.graph();
     Tensor a = g.addVariable("a", n);
     Tensor b = g.addVariable("b", n);
     g.setTileMapping(a, 0);
     g.setTileMapping(b, 1);
-    auto exe = Compile(g, Program::Copy(a, b));
-    Engine e(*exe.value().graph, exe.take());
+    EXPECT_TRUE(e.compile(Program::Copy(a, b)).ok());
     return e.run().total_cycles;
   };
   EXPECT_GT(copy_cycles(65536), 4 * copy_cycles(1024));
@@ -200,7 +204,8 @@ TEST(Engine, ExchangeScalesWithSize) {
 
 TEST(Engine, RepeatFastPathMatchesFullExecutionCycles) {
   auto run_cycles = [](bool fast) {
-    Graph g(Gc200());
+    Session e(Gc200(), SessionOptions{.execute = true, .fast_repeat = fast});
+    Graph& g = e.graph();
     Tensor x = g.addVariable("x", 128);
     g.setTileMapping(x, 0);
     ComputeSetId cs = g.addComputeSet("cs");
@@ -208,16 +213,15 @@ TEST(Engine, RepeatFastPathMatchesFullExecutionCycles) {
     g.connect(v, "x", x);
     g.connect(v, "y", x, true);
     g.setInitialValue(v, "alpha", 0.5);
-    auto exe = Compile(g, Program::Repeat(10, Program::Execute(cs)));
-    Engine e(g, exe.take(),
-             EngineOptions{.execute = true, .fast_repeat = fast});
+    EXPECT_TRUE(e.compile(Program::Repeat(10, Program::Execute(cs))).ok());
     return e.run().total_cycles;
   };
   EXPECT_EQ(run_cycles(true), run_cycles(false));
 }
 
 TEST(Engine, RepeatSlowPathRepeatsNumerics) {
-  Graph g(Gc200());
+  Session e(Gc200(), SessionOptions{.execute = true, .fast_repeat = false});
+  Graph& g = e.graph();
   Tensor x = g.addVariable("x", 2);
   g.setTileMapping(x, 0);
   ComputeSetId cs = g.addComputeSet("cs");
@@ -225,9 +229,7 @@ TEST(Engine, RepeatSlowPathRepeatsNumerics) {
   g.connect(v, "x", x);
   g.connect(v, "y", x, true);  // y += 1.0 * y => doubles each run
   g.setInitialValue(v, "alpha", 1.0);
-  auto exe = Compile(g, Program::Repeat(3, Program::Execute(cs)));
-  Engine e(*exe.value().graph, exe.take(),
-           EngineOptions{.execute = true, .fast_repeat = false});
+  MustCompile(e, Program::Repeat(3, Program::Execute(cs)));
   e.writeTensor(x, std::vector<float>{1.0f, 2.0f});
   e.run();
   std::vector<float> out(2);
@@ -236,27 +238,26 @@ TEST(Engine, RepeatSlowPathRepeatsNumerics) {
 }
 
 TEST(Engine, HostTransfersUseStreamingBandwidth) {
-  Graph g(Gc200());
+  Session e(Gc200());
+  Graph& g = e.graph();
   Tensor x = g.addVariable("x", 20 * 1000 * 1000 / 4);  // 20 MB
   g.mapLinearly(x);
-  auto exe = Compile(g, Program::HostWrite(x));
-  Engine e(*exe.value().graph, exe.take());
+  MustCompile(e, Program::HostWrite(x));
   RunReport r = e.run();
   // 20 MB at 20 GB/s = 1 ms.
   EXPECT_NEAR(r.host_seconds, 1e-3, 1e-4);
 }
 
 TEST(Engine, TimingOnlySkipsStorage) {
-  Graph g(Gc200());
+  Session e(Gc200(), SessionOptions{.execute = false});
+  Graph& g = e.graph();
   Tensor x = g.addVariable("x", 1024);
   g.mapLinearly(x);
   ComputeSetId cs = g.addComputeSet("cs");
   VertexId v = g.addVertex(cs, codelets::kRelu, 0);
   g.connect(v, "x", x);
   g.connect(v, "y", x, true);
-  auto exe = Compile(g, Program::Execute(cs));
-  Engine e(*exe.value().graph, exe.take(),
-           EngineOptions{.execute = false, .fast_repeat = true});
+  MustCompile(e, Program::Execute(cs));
   RunReport r = e.run();
   EXPECT_GT(r.total_cycles, 0u);
   EXPECT_GT(r.flops, 0.0);
@@ -265,7 +266,8 @@ TEST(Engine, TimingOnlySkipsStorage) {
 }
 
 TEST(Engine, FlopAccounting) {
-  Graph g(Gc200());
+  Session e(Gc200());
+  Graph& g = e.graph();
   Tensor a = g.addVariable("a", 8 * 8);
   Tensor b = g.addVariable("b", 8 * 8);
   Tensor c = g.addVariable("c", 8 * 8);
@@ -280,8 +282,27 @@ TEST(Engine, FlopAccounting) {
   g.setInitialValue(v, "m", 8);
   g.setInitialValue(v, "k", 8);
   g.setInitialValue(v, "n", 8);
-  Engine e(g, MustCompile(g, Program::Execute(cs)));
+  MustCompile(e, Program::Execute(cs));
   EXPECT_DOUBLE_EQ(e.run().flops, 2.0 * 8 * 8 * 8);
+}
+
+TEST(RunReport, ToJsonHasEveryField) {
+  RunReport r;
+  r.total_cycles = 10;
+  r.compute_cycles = 4;
+  r.exchange_cycles = 3;
+  r.sync_cycles = 3;
+  r.host_seconds = 0.5;
+  r.flops = 128.0;
+  r.bytes_exchanged = 64;
+  const std::string j = r.ToJson();
+  EXPECT_NE(j.find("\"total_cycles\": 10"), std::string::npos);
+  EXPECT_NE(j.find("\"compute_cycles\": 4"), std::string::npos);
+  EXPECT_NE(j.find("\"exchange_cycles\": 3"), std::string::npos);
+  EXPECT_NE(j.find("\"sync_cycles\": 3"), std::string::npos);
+  EXPECT_NE(j.find("\"host_seconds\": 0.5"), std::string::npos);
+  EXPECT_NE(j.find("\"flops\": 128"), std::string::npos);
+  EXPECT_NE(j.find("\"bytes_exchanged\": 64"), std::string::npos);
 }
 
 }  // namespace

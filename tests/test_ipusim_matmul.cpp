@@ -2,6 +2,7 @@
 
 #include "ipusim/matmul.h"
 #include "ipusim/profiler.h"
+#include "ipusim/session.h"
 #include "linalg/gemm.h"
 
 namespace repro::ipu {
@@ -9,17 +10,16 @@ namespace {
 
 Matrix RunImpl(std::size_t m, std::size_t k, std::size_t n, MatMulImpl impl,
                RunReport* report = nullptr, CompileStats* stats = nullptr) {
-  Graph g(Gc200());
-  auto plan = BuildMatMul(g, m, k, n, impl);
+  Session session(Gc200());
+  auto plan = BuildMatMul(session.graph(), m, k, n, impl);
   EXPECT_TRUE(plan.ok()) << plan.status().message();
-  auto exe = Compile(g, plan.value().prog);
-  EXPECT_TRUE(exe.ok()) << exe.status().message();
-  if (stats != nullptr) *stats = exe.value().stats;
-  Engine e(g, exe.take());
+  Status s = session.compile(plan.value().prog);
+  EXPECT_TRUE(s.ok()) << s.message();
+  if (stats != nullptr) *stats = session.executable().stats;
   Rng rng(m * 7 + k * 3 + n);
   Matrix a = Matrix::RandomNormal(m, k, rng);
   Matrix b = Matrix::RandomNormal(k, n, rng);
-  Matrix c = RunMatMul(plan.value(), e, a, b, report);
+  Matrix c = RunMatMul(plan.value(), session, a, b, report);
   Matrix ref = MatMul(a, b);
   EXPECT_TRUE(AllClose(c, ref, 1e-3, 1e-3))
       << MatMulImplName(impl) << " " << m << "x" << k << "x" << n
@@ -66,29 +66,27 @@ TEST(MatMul, BalancedReduceCorrectWhenSlicesExceedRows) {
 }
 
 TEST(MatMul, KSplitProducesReduceComputeSet) {
-  Graph g(Gc200());
-  auto plan = BuildMatMul(g, 64, 4096, 64, MatMulImpl::kPoplin);
+  Session session(Gc200());
+  auto plan = BuildMatMul(session.graph(), 64, 4096, 64, MatMulImpl::kPoplin);
   ASSERT_TRUE(plan.ok());
   if (plan.value().part.gk > 1) {
-    auto exe = Compile(g, plan.value().prog);
-    ASSERT_TRUE(exe.ok());
-    EXPECT_EQ(exe.value().stats.num_compute_sets, 2u);  // multiply + reduce
+    ASSERT_TRUE(session.compile(plan.value().prog).ok());
+    EXPECT_EQ(session.executable().stats.num_compute_sets,
+              2u);  // multiply + reduce
   }
 }
 
 TEST(MatMul, RepeatedRunsAreDeterministic) {
-  Graph g(Gc200());
-  auto plan = BuildMatMul(g, 32, 32, 32, MatMulImpl::kPoplin);
+  Session session(Gc200());
+  auto plan = BuildMatMul(session.graph(), 32, 32, 32, MatMulImpl::kPoplin);
   ASSERT_TRUE(plan.ok());
-  auto exe = Compile(g, plan.value().prog);
-  ASSERT_TRUE(exe.ok());
-  Engine e(g, exe.take());
+  ASSERT_TRUE(session.compile(plan.value().prog).ok());
   Rng rng(1);
   Matrix a = Matrix::RandomNormal(32, 32, rng);
   Matrix b = Matrix::RandomNormal(32, 32, rng);
   RunReport r1, r2;
-  Matrix c1 = RunMatMul(plan.value(), e, a, b, &r1);
-  Matrix c2 = RunMatMul(plan.value(), e, a, b, &r2);
+  Matrix c1 = RunMatMul(plan.value(), session, a, b, &r1);
+  Matrix c2 = RunMatMul(plan.value(), session, a, b, &r2);
   EXPECT_DOUBLE_EQ(MaxAbsDiff(c1, c2), 0.0);
   EXPECT_EQ(r1.total_cycles, r2.total_cycles);
 }
@@ -112,40 +110,40 @@ TEST(MatMul, BlockedSlowerThanNaive) {
 TEST(MatMul, LargePoplinThroughputNearCalibration) {
   // Whole-chip N=1024 poplin should land in the tens of TFLOP/s (the paper
   // reports 44.2 TFLOP/s at its best size).
-  Graph g(Gc200());
-  auto plan = BuildMatMul(g, 1024, 1024, 1024, MatMulImpl::kPoplin);
+  Session session(Gc200(), SessionOptions{.execute = false});
+  auto plan =
+      BuildMatMul(session.graph(), 1024, 1024, 1024, MatMulImpl::kPoplin);
   ASSERT_TRUE(plan.ok());
-  auto exe = Compile(g, plan.value().prog);
-  ASSERT_TRUE(exe.ok()) << exe.status().message();
-  Engine e(g, exe.take(), EngineOptions{.execute = false, .fast_repeat = true});
-  RunReport r = e.run();
-  const double gflops = plan.value().flops() /
-                        r.seconds(g.arch()) / 1e9;
+  Status s = session.compile(plan.value().prog);
+  ASSERT_TRUE(s.ok()) << s.message();
+  RunReport r = session.run();
+  const double gflops =
+      plan.value().flops() / r.seconds(session.graph().arch()) / 1e9;
   EXPECT_GT(gflops, 15000.0);
   EXPECT_LT(gflops, 62500.0);
 }
 
 TEST(MatMul, NaiveThroughputNearCalibration) {
   // Paper Table 2: IPU naive ~525 GFLOP/s.
-  Graph g(Gc200());
-  auto plan = BuildMatMul(g, 512, 512, 512, MatMulImpl::kNaive);
+  Session session(Gc200(), SessionOptions{.execute = false});
+  auto plan = BuildMatMul(session.graph(), 512, 512, 512, MatMulImpl::kNaive);
   ASSERT_TRUE(plan.ok());
-  auto exe = Compile(g, plan.value().prog);
-  ASSERT_TRUE(exe.ok());
-  Engine e(g, exe.take(), EngineOptions{.execute = false, .fast_repeat = true});
-  RunReport r = e.run();
-  const double gflops = plan.value().flops() / r.seconds(g.arch()) / 1e9;
+  ASSERT_TRUE(session.compile(plan.value().prog).ok());
+  RunReport r = session.run();
+  const double gflops =
+      plan.value().flops() / r.seconds(session.graph().arch()) / 1e9;
   EXPECT_GT(gflops, 100.0);
   EXPECT_LT(gflops, 2000.0);
 }
 
 TEST(MatMul, HugeProblemDoesNotFit) {
-  Graph g(Gc200());
+  Session session(Gc200());
   // 3 x 16384^2 floats = 3 GB >> 900 MB on-chip.
-  auto plan = BuildMatMul(g, 16384, 16384, 16384, MatMulImpl::kPoplin);
+  auto plan =
+      BuildMatMul(session.graph(), 16384, 16384, 16384, MatMulImpl::kPoplin);
   if (plan.ok()) {
-    auto exe = Compile(g, plan.value().prog);
-    EXPECT_FALSE(exe.ok());
+    EXPECT_FALSE(session.compile(plan.value().prog).ok());
+    EXPECT_FALSE(session.compiled());
   } else {
     EXPECT_EQ(plan.status().code(), ErrorCode::kOutOfMemory);
   }

@@ -3,16 +3,15 @@
 #include <gtest/gtest.h>
 
 #include "ipusim/codelet.h"
-#include "ipusim/engine.h"
 #include "ipusim/profiler.h"
+#include "ipusim/session.h"
 
 namespace repro::ipu {
 namespace {
 
-Executable MustCompile(const Graph& g, Program p) {
-  auto exe = Compile(g, std::move(p));
-  EXPECT_TRUE(exe.ok()) << exe.status().message();
-  return exe.take();
+void MustCompile(Session& session, Program p) {
+  Status s = session.compile(std::move(p));
+  ASSERT_TRUE(s.ok()) << s.message();
 }
 
 TEST(Program, FactoryKinds) {
@@ -48,7 +47,8 @@ TEST(CopyBundleExec, OneSyncForManyCopies) {
   // N parallel copies in a bundle cost one exchange phase; as N sequential
   // copies they cost N.
   auto cycles = [](bool bundled) {
-    Graph g(Gc200());
+    Session e(Gc200(), SessionOptions{.execute = false});
+    Graph& g = e.graph();
     std::vector<Program> copies;
     for (int i = 0; i < 16; ++i) {
       Tensor a = g.addVariable("a" + std::to_string(i), 256);
@@ -59,9 +59,7 @@ TEST(CopyBundleExec, OneSyncForManyCopies) {
     }
     Program prog = bundled ? Program::CopyBundle(std::move(copies))
                            : Program::Sequence(std::move(copies));
-    auto exe = Compile(g, std::move(prog));
-    Engine e(g, exe.take(),
-             EngineOptions{.execute = false, .fast_repeat = true});
+    EXPECT_TRUE(e.compile(std::move(prog)).ok());
     return e.run().total_cycles;
   };
   const auto bundled = cycles(true);
@@ -70,7 +68,8 @@ TEST(CopyBundleExec, OneSyncForManyCopies) {
 }
 
 TEST(CopyBundleExec, MovesAllData) {
-  Graph g(Gc200());
+  Session e(Gc200());
+  Graph& g = e.graph();
   Tensor a1 = g.addVariable("a1", 4);
   Tensor b1 = g.addVariable("b1", 4);
   Tensor a2 = g.addVariable("a2", 4);
@@ -79,8 +78,8 @@ TEST(CopyBundleExec, MovesAllData) {
            {a1, 0}, {b1, 1}, {a2, 2}, {b2, 3}}) {
     g.setTileMapping(t, tile);
   }
-  Engine e(g, MustCompile(g, Program::CopyBundle({Program::Copy(a1, b1),
-                                                  Program::Copy(a2, b2)})));
+  MustCompile(e, Program::CopyBundle({Program::Copy(a1, b1),
+                                      Program::Copy(a2, b2)}));
   e.writeTensor(a1, std::vector<float>{1, 2, 3, 4});
   e.writeTensor(a2, std::vector<float>{5, 6, 7, 8});
   e.run();
@@ -92,7 +91,8 @@ TEST(CopyBundleExec, MovesAllData) {
 }
 
 TEST(RepeatExec, NestedRepeatsMultiply) {
-  Graph g(Gc200());
+  Session e(Gc200(), SessionOptions{.execute = true, .fast_repeat = false});
+  Graph& g = e.graph();
   Tensor x = g.addVariable("x", 2);
   g.setTileMapping(x, 0);
   ComputeSetId cs = g.addComputeSet("cs");
@@ -100,10 +100,8 @@ TEST(RepeatExec, NestedRepeatsMultiply) {
   g.connect(v, "x", x);
   g.connect(v, "y", x, true);
   g.setInitialValue(v, "alpha", 1.0);  // doubles x per execution
-  auto exe = Compile(
-      g, Program::Repeat(2, Program::Repeat(3, Program::Execute(cs))));
-  Engine e(g, exe.take(),
-           EngineOptions{.execute = true, .fast_repeat = false});
+  MustCompile(e,
+              Program::Repeat(2, Program::Repeat(3, Program::Execute(cs))));
   e.writeTensor(x, std::vector<float>{1.0f, 1.0f});
   e.run();
   std::vector<float> out(2);
@@ -112,39 +110,40 @@ TEST(RepeatExec, NestedRepeatsMultiply) {
 }
 
 TEST(RepeatExec, ZeroRepeatIsNoop) {
-  Graph g(Gc200());
+  Session e(Gc200());
+  Graph& g = e.graph();
   Tensor x = g.addVariable("x", 2);
   g.setTileMapping(x, 0);
   ComputeSetId cs = g.addComputeSet("cs");
   VertexId v = g.addVertex(cs, codelets::kScaledAdd, 0);
   g.connect(v, "x", x);
   g.connect(v, "y", x, true);
-  auto exe = Compile(g, Program::Repeat(0, Program::Execute(cs)));
-  Engine e(g, exe.take());
+  MustCompile(e, Program::Repeat(0, Program::Execute(cs)));
   EXPECT_EQ(e.run().total_cycles, 0u);
 }
 
 TEST(HostIo, ReadAndWriteBothCharged) {
-  Graph g(Gc200());
+  Session e(Gc200());
+  Graph& g = e.graph();
   Tensor x = g.addVariable("x", 5 * 1000 * 1000 / 4);  // 5 MB
   g.mapLinearly(x);
-  auto exe = Compile(g, Program::Sequence({Program::HostWrite(x),
-                                           Program::HostRead(x)}));
-  Engine e(g, exe.take());
+  MustCompile(e, Program::Sequence({Program::HostWrite(x),
+                                    Program::HostRead(x)}));
   // 2 x 5 MB at 20 GB/s = 0.5 ms.
   EXPECT_NEAR(e.run().host_seconds, 5e-4, 5e-5);
 }
 
 TEST(Profiler, MemoryReportContainsCategories) {
-  Graph g(Gc200());
+  Session e(Gc200());
+  Graph& g = e.graph();
   Tensor x = g.addVariable("x", 1024);
   g.mapLinearly(x);
   ComputeSetId cs = g.addComputeSet("cs");
   VertexId v = g.addVertex(cs, codelets::kRelu, 0);
   g.connect(v, "x", x);
   g.connect(v, "y", x, true);
-  auto exe = Compile(g, Program::Execute(cs));
-  const std::string report = MemoryReport(exe.value());
+  MustCompile(e, Program::Execute(cs));
+  const std::string report = MemoryReport(e.executable());
   for (const char* needle :
        {"variables", "vertex state", "vertex code", "edge pointers",
         "exchange buffers", "control code", "fullest tile"}) {
@@ -153,17 +152,36 @@ TEST(Profiler, MemoryReportContainsCategories) {
 }
 
 TEST(Profiler, ExecutionReportMentionsBreakdown) {
-  Graph g(Gc200());
+  Session e(Gc200());
+  Graph& g = e.graph();
   Tensor a = g.addVariable("a", 64);
   Tensor b = g.addVariable("b", 64);
   g.setTileMapping(a, 0);
   g.setTileMapping(b, 1);
-  auto exe = Compile(g, Program::Copy(a, b));
-  Engine e(g, exe.take());
+  MustCompile(e, Program::Copy(a, b));
   const RunReport r = e.run();
   const std::string report = ExecutionReport(r, Gc200());
   EXPECT_NE(report.find("exchange"), std::string::npos);
   EXPECT_NE(report.find("GFLOP/s"), std::string::npos);
+}
+
+TEST(Profiler, GraphCountsToJsonHasEveryField) {
+  Session e(Gc200());
+  Graph& g = e.graph();
+  Tensor x = g.addVariable("x", 1024);
+  g.mapLinearly(x);
+  ComputeSetId cs = g.addComputeSet("cs");
+  VertexId v = g.addVertex(cs, codelets::kRelu, 0);
+  g.connect(v, "x", x);
+  g.connect(v, "y", x, true);
+  MustCompile(e, Program::Execute(cs));
+  const std::string j = e.counts().ToJson();
+  for (const char* key :
+       {"\"vertices\"", "\"edges\"", "\"variables\"", "\"compute_sets\"",
+        "\"total_bytes\"", "\"free_bytes\"", "\"max_tile_bytes\"",
+        "\"exchange_buffer_bytes\""}) {
+    EXPECT_NE(j.find(key), std::string::npos) << key;
+  }
 }
 
 TEST(Arch, Gc2GenerationalContrast) {

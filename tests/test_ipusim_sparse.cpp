@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "ipusim/session.h"
 #include "ipusim/sparse_mm.h"
 #include "linalg/gemm.h"
 #include "linalg/spmm.h"
@@ -16,13 +17,12 @@ TEST_P(SparseShapes, MatchesHostSpmm) {
   Csr s = RandomCsr(m, k, density, rng);
   Matrix b = Matrix::RandomNormal(k, n, rng);
 
-  Graph g(Gc200());
-  auto plan = BuildSparseMatMul(g, s, n);
+  Session session(Gc200());
+  auto plan = BuildSparseMatMul(session.graph(), s, n);
   ASSERT_TRUE(plan.ok()) << plan.status().message();
-  auto exe = Compile(g, plan.value().prog);
-  ASSERT_TRUE(exe.ok()) << exe.status().message();
-  Engine e(g, exe.take());
-  Matrix c = RunSparseMatMul(plan.value(), e, b);
+  Status st = session.compile(plan.value().prog);
+  ASSERT_TRUE(st.ok()) << st.message();
+  Matrix c = RunSparseMatMul(plan.value(), session, b);
   Matrix ref = SpmmCsr(s, b);
   EXPECT_TRUE(AllClose(c, ref, 1e-3, 1e-3)) << MaxAbsDiff(c, ref);
 }
@@ -40,13 +40,12 @@ TEST(SparseMatMul, MultiStageStreamingCorrect) {
   Rng rng(21);
   Csr s = RandomCsr(96, 96, 0.2, rng);
   Matrix b = Matrix::RandomNormal(96, 700, rng);
-  Graph g(Gc200());
-  auto plan = BuildSparseMatMul(g, s, 700);
+  Session session(Gc200());
+  auto plan = BuildSparseMatMul(session.graph(), s, 700);
   ASSERT_TRUE(plan.ok());
-  auto exe = Compile(g, plan.value().prog);
-  ASSERT_TRUE(exe.ok()) << exe.status().message();
-  Engine e(g, exe.take());
-  Matrix c = RunSparseMatMul(plan.value(), e, b);
+  Status st = session.compile(plan.value().prog);
+  ASSERT_TRUE(st.ok()) << st.message();
+  Matrix c = RunSparseMatMul(plan.value(), session, b);
   EXPECT_TRUE(AllClose(c, SpmmCsr(s, b), 1e-3, 1e-3));
 }
 
@@ -54,13 +53,12 @@ TEST(SparseMatMul, CooLayoutMatchesHost) {
   Rng rng(31);
   Csr s = RandomCsr(64, 64, 0.15, rng);
   Matrix b = Matrix::RandomNormal(64, 24, rng);
-  Graph g(Gc200());
-  auto plan = BuildSparseMatMul(g, s, 24, SparseLayout::kCoo);
+  Session session(Gc200());
+  auto plan = BuildSparseMatMul(session.graph(), s, 24, SparseLayout::kCoo);
   ASSERT_TRUE(plan.ok());
-  auto exe = Compile(g, plan.value().prog);
-  ASSERT_TRUE(exe.ok()) << exe.status().message();
-  Engine e(g, exe.take());
-  Matrix c = RunSparseMatMul(plan.value(), e, b);
+  Status st = session.compile(plan.value().prog);
+  ASSERT_TRUE(st.ok()) << st.message();
+  Matrix c = RunSparseMatMul(plan.value(), session, b);
   EXPECT_TRUE(AllClose(c, SpmmCsr(s, b), 1e-3, 1e-3));
 }
 
@@ -69,14 +67,11 @@ TEST(SparseMatMul, CsrFasterThanCoo) {
   auto cycles_for = [](SparseLayout layout) {
     Rng rng(32);
     Csr s = RandomCsr(256, 256, 0.1, rng);
-    Graph g(Gc200());
-    auto plan = BuildSparseMatMul(g, s, 64, layout);
+    Session session(Gc200(), SessionOptions{.execute = false});
+    auto plan = BuildSparseMatMul(session.graph(), s, 64, layout);
     EXPECT_TRUE(plan.ok());
-    auto exe = Compile(g, plan.value().prog);
-    EXPECT_TRUE(exe.ok());
-    Engine e(g, exe.take(),
-             EngineOptions{.execute = false, .fast_repeat = true});
-    return e.run().total_cycles;
+    EXPECT_TRUE(session.compile(plan.value().prog).ok());
+    return session.run().total_cycles;
   };
   EXPECT_LT(cycles_for(SparseLayout::kCsr), cycles_for(SparseLayout::kCoo));
 }
@@ -85,12 +80,11 @@ TEST(SparseMatMul, CooUsesMoreStateMemory) {
   Rng rng(33);
   Csr s = RandomCsr(128, 128, 0.2, rng);
   auto state_bytes = [&](SparseLayout layout) {
-    Graph g(Gc200());
-    auto plan = BuildSparseMatMul(g, s, 16, layout);
+    Session session(Gc200(), SessionOptions{.execute = false});
+    auto plan = BuildSparseMatMul(session.graph(), s, 16, layout);
     EXPECT_TRUE(plan.ok());
-    auto exe = Compile(g, plan.value().prog);
-    EXPECT_TRUE(exe.ok());
-    return exe.value().stats.bytesFor(MemCategory::kVertexState);
+    EXPECT_TRUE(session.compile(plan.value().prog).ok());
+    return session.executable().stats.bytesFor(MemCategory::kVertexState);
   };
   EXPECT_GT(state_bytes(SparseLayout::kCoo), state_bytes(SparseLayout::kCsr));
 }
@@ -99,13 +93,11 @@ TEST(SparseMatMul, EmptyMatrixYieldsZero) {
   Rng rng(3);
   Csr s = RandomCsr(16, 16, 0.0, rng);
   Matrix b = Matrix::RandomNormal(16, 4, rng);
-  Graph g(Gc200());
-  auto plan = BuildSparseMatMul(g, s, 4);
+  Session session(Gc200());
+  auto plan = BuildSparseMatMul(session.graph(), s, 4);
   ASSERT_TRUE(plan.ok());
-  auto exe = Compile(g, plan.value().prog);
-  ASSERT_TRUE(exe.ok());
-  Engine e(g, exe.take());
-  Matrix c = RunSparseMatMul(plan.value(), e, b);
+  ASSERT_TRUE(session.compile(plan.value().prog).ok());
+  Matrix c = RunSparseMatMul(plan.value(), session, b);
   EXPECT_DOUBLE_EQ(c.FrobeniusNorm(), 0.0);
 }
 
@@ -113,14 +105,11 @@ TEST(SparseMatMul, DenserIsSlowerInAbsoluteTerms) {
   auto cycles_at = [](double density) {
     Rng rng(7);
     Csr s = RandomCsr(512, 512, density, rng);
-    Graph g(Gc200());
-    auto plan = BuildSparseMatMul(g, s, 128);
+    Session session(Gc200(), SessionOptions{.execute = false});
+    auto plan = BuildSparseMatMul(session.graph(), s, 128);
     EXPECT_TRUE(plan.ok());
-    auto exe = Compile(g, plan.value().prog);
-    EXPECT_TRUE(exe.ok());
-    Engine e(g, exe.take(),
-             EngineOptions{.execute = false, .fast_repeat = true});
-    return e.run().total_cycles;
+    EXPECT_TRUE(session.compile(plan.value().prog).ok());
+    return session.run().total_cycles;
   };
   EXPECT_GT(cycles_at(0.1), cycles_at(0.01));
 }
@@ -140,13 +129,12 @@ TEST(SparseMatMul, DenseEquivalentExceedsRealRate) {
 TEST(SparseMatMul, StateBytesCounted) {
   Rng rng(11);
   Csr s = RandomCsr(256, 256, 0.1, rng);
-  Graph g(Gc200());
-  auto plan = BuildSparseMatMul(g, s, 64);
+  Session session(Gc200(), SessionOptions{.execute = false});
+  auto plan = BuildSparseMatMul(session.graph(), s, 64);
   ASSERT_TRUE(plan.ok());
-  auto exe = Compile(g, plan.value().prog);
-  ASSERT_TRUE(exe.ok());
+  ASSERT_TRUE(session.compile(plan.value().prog).ok());
   // The CSR payload lives in vertex state: at least nnz * 8 bytes.
-  EXPECT_GE(exe.value().stats.bytesFor(MemCategory::kVertexState),
+  EXPECT_GE(session.executable().stats.bytesFor(MemCategory::kVertexState),
             s.nnz() * 8);
 }
 

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <mutex>
 #include <set>
+#include <stdexcept>
 
 #include "util/bitops.h"
 #include "util/cli.h"
@@ -227,9 +230,58 @@ TEST(Parallel, MinGrainLimitsSharding) {
 
 TEST(Parallel, WorkersAtLeastOne) { EXPECT_GE(ParallelWorkers(), 1u); }
 
-TEST(Parallel, InvertedRangeDies) {
-  EXPECT_DEATH(ParallelFor(5, 1, [](std::size_t, std::size_t) {}),
-               "inverted");
+TEST(Parallel, InvertedRangeIsNoop) {
+  // An inverted range means "no work", same as an empty one; shard-size
+  // arithmetic upstream must never turn it into a crash.
+  bool called = false;
+  ParallelFor(5, 1, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, ZeroGrainDies) {
+  EXPECT_DEATH(ParallelFor(0, 4, [](std::size_t, std::size_t) {},
+                           /*min_grain=*/0),
+               "min_grain");
+}
+
+TEST(Parallel, PropagatesWorkerException) {
+  EXPECT_THROW(
+      ParallelForWith(4, 0, 100,
+                      [](std::size_t lo, std::size_t) {
+                        if (lo == 0) throw std::runtime_error("shard failed");
+                      }),
+      std::runtime_error);
+}
+
+TEST(Parallel, SetParallelWorkersOverridesAndRestores) {
+  SetParallelWorkers(3);
+  EXPECT_EQ(ParallelWorkers(), 3u);
+  SetParallelWorkers(0);  // back to the environment/hardware default
+  EXPECT_GE(ParallelWorkers(), 1u);
+}
+
+TEST(Parallel, ExplicitWorkerCountCoversRange) {
+  std::vector<int> hits(257, 0);
+  std::mutex mu;
+  ParallelForWith(8, 0, 257, [&](std::size_t lo, std::size_t hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (std::size_t i = lo; i < hi; ++i) hits[i]++;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Parallel, NestedParallelForCompletes) {
+  // The pool uses a helping wait, so a shard may itself shard without
+  // deadlocking even when every worker is busy.
+  std::atomic<int> total{0};
+  ParallelForWith(4, 0, 4, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      ParallelForWith(4, 0, 8, [&](std::size_t ilo, std::size_t ihi) {
+        total += static_cast<int>(ihi - ilo);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 32);
 }
 
 }  // namespace
