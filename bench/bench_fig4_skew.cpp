@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/ipu_lowering.h"
 #include "gpusim/gemm_model.h"
 #include "util/cli.h"
@@ -28,6 +29,7 @@ double IpuGflops(std::size_t m, std::size_t k, std::size_t n) {
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  BenchJsonWriter json("fig4_skew", cli.GetString("json", ""));
   const gpu::GpuArch garch = gpu::A30();
   // Constant work: m * inner = base^2 at fixed output width, so skew thins
   // one dimension of A as s = m/n grows or shrinks.
@@ -51,6 +53,13 @@ int main(int argc, char** argv) {
         gpu::EstimateGemm(garch, gpu::GemmKernel::kCublasTf32, m, inner, n)
             .gflops();
     const double gi = IpuGflops(m, inner, n);
+    json.Add("{\"skew_exp\": " + std::to_string(e) +
+             ", \"m\": " + std::to_string(m) +
+             ", \"inner\": " + std::to_string(inner) +
+             ", \"n\": " + std::to_string(n) +
+             ", \"gpu_fp32_gflops\": " + std::to_string(g32) +
+             ", \"gpu_tf32_gflops\": " + std::to_string(gtf) +
+             ", \"ipu_gflops\": " + std::to_string(gi) + "}");
     if (e == 0) {
       gpu_sq = g32;
       tc_sq = gtf;
@@ -79,5 +88,6 @@ int main(int argc, char** argv) {
       100.0 * gpu_sk / std::max(gpu_sq, 1.0),
       100.0 * tc_sk / std::max(tc_sq, 1.0),
       100.0 * ipu_sk / std::max(ipu_sq, 1.0));
+  json.Write();
   return 0;
 }

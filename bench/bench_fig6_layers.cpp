@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/device_time.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -20,6 +21,7 @@ using core::Method;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  BenchJsonWriter json("fig6_layers", cli.GetString("json", ""));
   const unsigned max_pow = cli.Fast() ? 11 : 13;
 
   for (Device dev : {Device::kGpuNoTc, Device::kGpuTc, Device::kIpu}) {
@@ -39,6 +41,14 @@ int main(int argc, char** argv) {
           core::ForwardSeconds(dev, Method::kPixelfly, n, n);
       const double su_bf = lin.seconds / bf.seconds;
       const double su_pf = lin.seconds / pf.seconds;
+      json.Add(std::string("{\"device\": \"") + core::DeviceName(dev) +
+               "\", \"n\": " + std::to_string(n) +
+               ", \"linear_seconds\": " + std::to_string(lin.seconds) +
+               ", \"butterfly_seconds\": " + std::to_string(bf.seconds) +
+               ", \"pixelfly_seconds\": " + std::to_string(pf.seconds) +
+               ", \"streamed\": " +
+               (lin.streamed || bf.streamed || pf.streamed ? "true" : "false") +
+               "}");
       worst_bf = std::min(worst_bf, su_bf);
       worst_pf = std::min(worst_pf, su_pf);
       best_bf = std::max(best_bf, su_bf);
@@ -71,5 +81,6 @@ int main(int argc, char** argv) {
         break;
     }
   }
+  json.Write();
   return 0;
 }

@@ -4,6 +4,7 @@
 // from the compiler's ledger).
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/device_time.h"
 #include "core/ipu_lowering.h"
 #include "util/cli.h"
@@ -13,8 +14,15 @@ using namespace repro;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  BenchJsonWriter json("fig7_computesets", cli.GetString("json", ""));
   const ipu::IpuArch arch = ipu::Gc200();
   const unsigned max_pow = cli.Fast() ? 11 : 13;
+  // --fuse / --reuse toggle the compiler passes; both default on (the fused
+  // numbers the paper's PopVision screenshots show). EXPERIMENTS.md reruns
+  // this bench with them off to expose the unfused graph cost.
+  core::IpuLoweringOptions opts;
+  opts.fuse_compute_sets = cli.GetBool("fuse", true);
+  opts.reuse_variable_memory = cli.GetBool("reuse", true);
 
   PrintBanner("Fig 7: compute sets and memory vs N (IPU), batch = N");
   Table t({"N", "Linear CS", "Bfly CS", "Pixelfly CS", "Linear mem [MB]",
@@ -23,9 +31,13 @@ int main(int argc, char** argv) {
   for (unsigned p = 7; p <= max_pow; ++p) {
     const std::size_t n = std::size_t{1} << p;
     const core::IpuLayerTiming lin = core::TimeLinearIpu(arch, n, n, n);
-    const core::IpuLayerTiming bf = core::TimeButterflyIpu(arch, n, n);
+    const core::IpuLayerTiming bf = core::TimeButterflyIpu(arch, n, n, opts);
     const core::IpuLayerTiming pf =
-        core::TimePixelflyIpu(arch, n, core::ScaledPixelflyConfig(n));
+        core::TimePixelflyIpu(arch, n, core::ScaledPixelflyConfig(n), opts);
+    json.Add("{\"n\": " + std::to_string(n) +
+             ", \"linear\": " + lin.counts.ToJson() +
+             ", \"butterfly\": " + bf.counts.ToJson() +
+             ", \"pixelfly\": " + pf.counts.ToJson() + "}");
     auto mb = [](std::size_t b) {
       return Table::Num(static_cast<double>(b) / 1e6, 1);
     };
@@ -48,5 +60,6 @@ int main(int argc, char** argv) {
       "  denser per-vertex work. The number of compute sets correlates with\n"
       "  the number of variables, edges and vertices, and with total memory\n"
       "  -- the same correlation PopVision shows in the paper.\n");
+  json.Write();
   return 0;
 }

@@ -12,6 +12,7 @@
 // batch 50, cross-entropy, 15% validation split, ReLU.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/device_time.h"
 #include "data/synthetic.h"
 #include "nn/trainer.h"
@@ -45,6 +46,7 @@ const PaperRow kPaper[] = {
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  BenchJsonWriter json("table4_shl", cli.GetString("json", ""));
   const bool fast = cli.Fast();
   const std::size_t train_n = cli.GetInt("train", fast ? 1200 : 3000);
   const std::size_t test_n = cli.GetInt("test", fast ? 400 : 1000);
@@ -93,6 +95,13 @@ int main(int argc, char** argv) {
     const double t_ipu =
         core::TrainStepSeconds(Device::kIpu, row.method, shape).seconds * steps;
 
+    json.Add(std::string("{\"method\": \"") + core::MethodName(row.method) +
+             "\", \"n_params\": " + std::to_string(res.n_params) +
+             ", \"accuracy\": " + std::to_string(res.test_accuracy) +
+             ", \"t_gpu_tc_seconds\": " + std::to_string(t_tc) +
+             ", \"t_gpu_seconds\": " + std::to_string(t_gpu) +
+             ", \"t_ipu_seconds\": " + std::to_string(t_ipu) + "}");
+
     if (row.method == Method::kBaseline) acc_baseline = res.test_accuracy;
     if (row.method == Method::kButterfly) {
       acc_butterfly = res.test_accuracy;
@@ -129,5 +138,6 @@ int main(int argc, char** argv) {
       "\nNote: absolute accuracies differ from the paper (synthetic dataset "
       "stands in\nfor CIFAR-10) and absolute times differ by a constant factor (the paper\ntrains more steps); method ordering, compression and cross-device ratios "
       "are the reproduced\nquantities. See EXPERIMENTS.md.\n");
+  json.Write();
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/device_time.h"
 #include "data/synthetic.h"
 #include "nn/trainer.h"
@@ -33,6 +34,7 @@ struct SweepPoint {
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  BenchJsonWriter json("table5_sweep", cli.GetString("json", ""));
   const bool fast = cli.Fast();
   const std::size_t train_n = fast ? 800 : 1500;
   const std::size_t epochs = fast ? 1 : 3;
@@ -102,6 +104,13 @@ int main(int argc, char** argv) {
     std::vector<double> times, accs, params;
     for (const auto& c : row.configs) {
       SweepPoint p = eval_config(c);
+      json.Add(std::string("{\"varied\": \"") + row.varied +
+               "\", \"block_size\": " + std::to_string(c.block_size) +
+               ", \"butterfly_size\": " + std::to_string(c.butterfly_size) +
+               ", \"low_rank\": " + std::to_string(c.low_rank) +
+               ", \"time_seconds\": " + std::to_string(p.time_s) +
+               ", \"accuracy\": " + std::to_string(p.accuracy) +
+               ", \"n_params\": " + std::to_string(p.n_params) + "}");
       times.push_back(p.time_s);
       accs.push_back(p.accuracy);
       params.push_back(p.n_params);
@@ -129,5 +138,6 @@ int main(int argc, char** argv) {
       "  No configuration is optimal for time, accuracy and parameter count\n"
       "  at once -- pick per target (paper Section 5).\n",
       time_stds[2], time_stds[0], time_stds[1]);
+  json.Write();
   return 0;
 }

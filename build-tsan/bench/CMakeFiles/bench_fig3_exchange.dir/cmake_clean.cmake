@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_exchange.dir/bench_fig3_exchange.cpp.o"
+  "CMakeFiles/bench_fig3_exchange.dir/bench_fig3_exchange.cpp.o.d"
+  "bench_fig3_exchange"
+  "bench_fig3_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_memusage.dir/bench_fig5_memusage.cpp.o"
+  "CMakeFiles/bench_fig5_memusage.dir/bench_fig5_memusage.cpp.o.d"
+  "bench_fig5_memusage"
+  "bench_fig5_memusage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_memusage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_computesets.dir/bench_fig7_computesets.cpp.o"
+  "CMakeFiles/bench_fig7_computesets.dir/bench_fig7_computesets.cpp.o.d"
+  "bench_fig7_computesets"
+  "bench_fig7_computesets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_computesets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

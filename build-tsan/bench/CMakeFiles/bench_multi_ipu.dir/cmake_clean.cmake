@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi_ipu.dir/bench_multi_ipu.cpp.o"
+  "CMakeFiles/bench_multi_ipu.dir/bench_multi_ipu.cpp.o.d"
+  "bench_multi_ipu"
+  "bench_multi_ipu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_ipu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

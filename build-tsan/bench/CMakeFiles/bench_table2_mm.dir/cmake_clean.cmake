@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_mm.dir/bench_table2_mm.cpp.o"
+  "CMakeFiles/bench_table2_mm.dir/bench_table2_mm.cpp.o.d"
+  "bench_table2_mm"
+  "bench_table2_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_shl.dir/bench_table4_shl.cpp.o"
+  "CMakeFiles/bench_table4_shl.dir/bench_table4_shl.cpp.o.d"
+  "bench_table4_shl"
+  "bench_table4_shl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_shl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_sweep.dir/bench_table5_sweep.cpp.o"
+  "CMakeFiles/bench_table5_sweep.dir/bench_table5_sweep.cpp.o.d"
+  "bench_table5_sweep"
+  "bench_table5_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_as_butterfly.dir/conv_as_butterfly.cpp.o"
+  "CMakeFiles/conv_as_butterfly.dir/conv_as_butterfly.cpp.o.d"
+  "conv_as_butterfly"
+  "conv_as_butterfly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_as_butterfly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exchange_explorer.dir/exchange_explorer.cpp.o"
+  "CMakeFiles/exchange_explorer.dir/exchange_explorer.cpp.o.d"
+  "exchange_explorer"
+  "exchange_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exchange_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_compression.dir/fft_compression.cpp.o"
+  "CMakeFiles/fft_compression.dir/fft_compression.cpp.o.d"
+  "fft_compression"
+  "fft_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

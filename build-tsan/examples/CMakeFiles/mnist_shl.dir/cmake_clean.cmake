@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnist_shl.dir/mnist_shl.cpp.o"
+  "CMakeFiles/mnist_shl.dir/mnist_shl.cpp.o.d"
+  "mnist_shl"
+  "mnist_shl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnist_shl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

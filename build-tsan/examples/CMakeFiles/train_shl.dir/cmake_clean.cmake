@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_shl.dir/train_shl.cpp.o"
+  "CMakeFiles/train_shl.dir/train_shl.cpp.o.d"
+  "train_shl"
+  "train_shl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_shl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

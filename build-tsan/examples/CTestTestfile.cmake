@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-tsan/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build-tsan/examples/quickstart" "--n" "256" "--batch" "16")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fft_compression "/root/repo/build-tsan/examples/fft_compression" "--n" "32")
+set_tests_properties(example_fft_compression PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_exchange_explorer "/root/repo/build-tsan/examples/exchange_explorer" "--max_kb" "16")
+set_tests_properties(example_exchange_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_train_shl "/root/repo/build-tsan/examples/train_shl" "--method" "butterfly" "--samples" "400" "--epochs" "1")
+set_tests_properties(example_train_shl PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mnist_shl "/root/repo/build-tsan/examples/mnist_shl" "--samples" "300" "--epochs" "1")
+set_tests_properties(example_mnist_shl PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_conv_as_butterfly "/root/repo/build-tsan/examples/conv_as_butterfly" "--n" "32")
+set_tests_properties(example_conv_as_butterfly PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/block_butterfly.cpp" "src/core/CMakeFiles/repro_core.dir/block_butterfly.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/block_butterfly.cpp.o.d"
+  "/root/repo/src/core/butterfly.cpp" "src/core/CMakeFiles/repro_core.dir/butterfly.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/butterfly.cpp.o.d"
+  "/root/repo/src/core/device_time.cpp" "src/core/CMakeFiles/repro_core.dir/device_time.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/device_time.cpp.o.d"
+  "/root/repo/src/core/fft.cpp" "src/core/CMakeFiles/repro_core.dir/fft.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/fft.cpp.o.d"
+  "/root/repo/src/core/fwht.cpp" "src/core/CMakeFiles/repro_core.dir/fwht.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/fwht.cpp.o.d"
+  "/root/repo/src/core/ipu_lowering.cpp" "src/core/CMakeFiles/repro_core.dir/ipu_lowering.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/ipu_lowering.cpp.o.d"
+  "/root/repo/src/core/permutation.cpp" "src/core/CMakeFiles/repro_core.dir/permutation.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/permutation.cpp.o.d"
+  "/root/repo/src/core/pixelfly.cpp" "src/core/CMakeFiles/repro_core.dir/pixelfly.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/pixelfly.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/repro_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ipusim/CMakeFiles/repro_ipusim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gpusim/CMakeFiles/repro_gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

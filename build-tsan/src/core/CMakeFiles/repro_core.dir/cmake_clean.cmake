@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_core.dir/block_butterfly.cpp.o"
+  "CMakeFiles/repro_core.dir/block_butterfly.cpp.o.d"
+  "CMakeFiles/repro_core.dir/butterfly.cpp.o"
+  "CMakeFiles/repro_core.dir/butterfly.cpp.o.d"
+  "CMakeFiles/repro_core.dir/device_time.cpp.o"
+  "CMakeFiles/repro_core.dir/device_time.cpp.o.d"
+  "CMakeFiles/repro_core.dir/fft.cpp.o"
+  "CMakeFiles/repro_core.dir/fft.cpp.o.d"
+  "CMakeFiles/repro_core.dir/fwht.cpp.o"
+  "CMakeFiles/repro_core.dir/fwht.cpp.o.d"
+  "CMakeFiles/repro_core.dir/ipu_lowering.cpp.o"
+  "CMakeFiles/repro_core.dir/ipu_lowering.cpp.o.d"
+  "CMakeFiles/repro_core.dir/permutation.cpp.o"
+  "CMakeFiles/repro_core.dir/permutation.cpp.o.d"
+  "CMakeFiles/repro_core.dir/pixelfly.cpp.o"
+  "CMakeFiles/repro_core.dir/pixelfly.cpp.o.d"
+  "librepro_core.a"
+  "librepro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_data.dir/dataset.cpp.o"
+  "CMakeFiles/repro_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/repro_data.dir/synthetic.cpp.o"
+  "CMakeFiles/repro_data.dir/synthetic.cpp.o.d"
+  "librepro_data.a"
+  "librepro_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/gemm_model.cpp" "src/gpusim/CMakeFiles/repro_gpusim.dir/gemm_model.cpp.o" "gcc" "src/gpusim/CMakeFiles/repro_gpusim.dir/gemm_model.cpp.o.d"
+  "/root/repo/src/gpusim/layer_cost.cpp" "src/gpusim/CMakeFiles/repro_gpusim.dir/layer_cost.cpp.o" "gcc" "src/gpusim/CMakeFiles/repro_gpusim.dir/layer_cost.cpp.o.d"
+  "/root/repo/src/gpusim/spmm_model.cpp" "src/gpusim/CMakeFiles/repro_gpusim.dir/spmm_model.cpp.o" "gcc" "src/gpusim/CMakeFiles/repro_gpusim.dir/spmm_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/repro_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

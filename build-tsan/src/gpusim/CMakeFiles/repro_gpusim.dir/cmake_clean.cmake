@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_gpusim.dir/gemm_model.cpp.o"
+  "CMakeFiles/repro_gpusim.dir/gemm_model.cpp.o.d"
+  "CMakeFiles/repro_gpusim.dir/layer_cost.cpp.o"
+  "CMakeFiles/repro_gpusim.dir/layer_cost.cpp.o.d"
+  "CMakeFiles/repro_gpusim.dir/spmm_model.cpp.o"
+  "CMakeFiles/repro_gpusim.dir/spmm_model.cpp.o.d"
+  "librepro_gpusim.a"
+  "librepro_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipusim/codelet.cpp" "src/ipusim/CMakeFiles/repro_ipusim.dir/codelet.cpp.o" "gcc" "src/ipusim/CMakeFiles/repro_ipusim.dir/codelet.cpp.o.d"
+  "/root/repo/src/ipusim/compiler.cpp" "src/ipusim/CMakeFiles/repro_ipusim.dir/compiler.cpp.o" "gcc" "src/ipusim/CMakeFiles/repro_ipusim.dir/compiler.cpp.o.d"
+  "/root/repo/src/ipusim/engine.cpp" "src/ipusim/CMakeFiles/repro_ipusim.dir/engine.cpp.o" "gcc" "src/ipusim/CMakeFiles/repro_ipusim.dir/engine.cpp.o.d"
+  "/root/repo/src/ipusim/graph.cpp" "src/ipusim/CMakeFiles/repro_ipusim.dir/graph.cpp.o" "gcc" "src/ipusim/CMakeFiles/repro_ipusim.dir/graph.cpp.o.d"
+  "/root/repo/src/ipusim/matmul.cpp" "src/ipusim/CMakeFiles/repro_ipusim.dir/matmul.cpp.o" "gcc" "src/ipusim/CMakeFiles/repro_ipusim.dir/matmul.cpp.o.d"
+  "/root/repo/src/ipusim/multi_ipu.cpp" "src/ipusim/CMakeFiles/repro_ipusim.dir/multi_ipu.cpp.o" "gcc" "src/ipusim/CMakeFiles/repro_ipusim.dir/multi_ipu.cpp.o.d"
+  "/root/repo/src/ipusim/passes/exchange_plan_pass.cpp" "src/ipusim/CMakeFiles/repro_ipusim.dir/passes/exchange_plan_pass.cpp.o" "gcc" "src/ipusim/CMakeFiles/repro_ipusim.dir/passes/exchange_plan_pass.cpp.o.d"
+  "/root/repo/src/ipusim/passes/fusion_pass.cpp" "src/ipusim/CMakeFiles/repro_ipusim.dir/passes/fusion_pass.cpp.o" "gcc" "src/ipusim/CMakeFiles/repro_ipusim.dir/passes/fusion_pass.cpp.o.d"
+  "/root/repo/src/ipusim/passes/interval_sweep.cpp" "src/ipusim/CMakeFiles/repro_ipusim.dir/passes/interval_sweep.cpp.o" "gcc" "src/ipusim/CMakeFiles/repro_ipusim.dir/passes/interval_sweep.cpp.o.d"
+  "/root/repo/src/ipusim/passes/ledger_pass.cpp" "src/ipusim/CMakeFiles/repro_ipusim.dir/passes/ledger_pass.cpp.o" "gcc" "src/ipusim/CMakeFiles/repro_ipusim.dir/passes/ledger_pass.cpp.o.d"
+  "/root/repo/src/ipusim/passes/liveness_pass.cpp" "src/ipusim/CMakeFiles/repro_ipusim.dir/passes/liveness_pass.cpp.o" "gcc" "src/ipusim/CMakeFiles/repro_ipusim.dir/passes/liveness_pass.cpp.o.d"
+  "/root/repo/src/ipusim/passes/pass.cpp" "src/ipusim/CMakeFiles/repro_ipusim.dir/passes/pass.cpp.o" "gcc" "src/ipusim/CMakeFiles/repro_ipusim.dir/passes/pass.cpp.o.d"
+  "/root/repo/src/ipusim/passes/validate_pass.cpp" "src/ipusim/CMakeFiles/repro_ipusim.dir/passes/validate_pass.cpp.o" "gcc" "src/ipusim/CMakeFiles/repro_ipusim.dir/passes/validate_pass.cpp.o.d"
+  "/root/repo/src/ipusim/profiler.cpp" "src/ipusim/CMakeFiles/repro_ipusim.dir/profiler.cpp.o" "gcc" "src/ipusim/CMakeFiles/repro_ipusim.dir/profiler.cpp.o.d"
+  "/root/repo/src/ipusim/session.cpp" "src/ipusim/CMakeFiles/repro_ipusim.dir/session.cpp.o" "gcc" "src/ipusim/CMakeFiles/repro_ipusim.dir/session.cpp.o.d"
+  "/root/repo/src/ipusim/sparse_mm.cpp" "src/ipusim/CMakeFiles/repro_ipusim.dir/sparse_mm.cpp.o" "gcc" "src/ipusim/CMakeFiles/repro_ipusim.dir/sparse_mm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/repro_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_linalg.dir/gemm.cpp.o"
+  "CMakeFiles/repro_linalg.dir/gemm.cpp.o.d"
+  "CMakeFiles/repro_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/repro_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/repro_linalg.dir/sparse.cpp.o"
+  "CMakeFiles/repro_linalg.dir/sparse.cpp.o.d"
+  "CMakeFiles/repro_linalg.dir/spmm.cpp.o"
+  "CMakeFiles/repro_linalg.dir/spmm.cpp.o.d"
+  "librepro_linalg.a"
+  "librepro_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_nn.dir/activations.cpp.o"
+  "CMakeFiles/repro_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/repro_nn.dir/linear.cpp.o"
+  "CMakeFiles/repro_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/repro_nn.dir/loss.cpp.o"
+  "CMakeFiles/repro_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/repro_nn.dir/model.cpp.o"
+  "CMakeFiles/repro_nn.dir/model.cpp.o.d"
+  "CMakeFiles/repro_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/repro_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/repro_nn.dir/structured.cpp.o"
+  "CMakeFiles/repro_nn.dir/structured.cpp.o.d"
+  "CMakeFiles/repro_nn.dir/trainer.cpp.o"
+  "CMakeFiles/repro_nn.dir/trainer.cpp.o.d"
+  "librepro_nn.a"
+  "librepro_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

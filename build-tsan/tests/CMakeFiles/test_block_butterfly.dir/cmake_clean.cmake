@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_butterfly.dir/test_block_butterfly.cpp.o"
+  "CMakeFiles/test_block_butterfly.dir/test_block_butterfly.cpp.o.d"
+  "test_block_butterfly"
+  "test_block_butterfly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_butterfly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fwht_fft.dir/test_fwht_fft.cpp.o"
+  "CMakeFiles/test_fwht_fft.dir/test_fwht_fft.cpp.o.d"
+  "test_fwht_fft"
+  "test_fwht_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fwht_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ipusim_engine.dir/test_ipusim_engine.cpp.o"
+  "CMakeFiles/test_ipusim_engine.dir/test_ipusim_engine.cpp.o.d"
+  "test_ipusim_engine"
+  "test_ipusim_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ipusim_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ipusim_matmul.dir/test_ipusim_matmul.cpp.o"
+  "CMakeFiles/test_ipusim_matmul.dir/test_ipusim_matmul.cpp.o.d"
+  "test_ipusim_matmul"
+  "test_ipusim_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ipusim_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

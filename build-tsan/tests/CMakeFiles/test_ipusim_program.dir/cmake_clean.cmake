@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ipusim_program.dir/test_ipusim_program.cpp.o"
+  "CMakeFiles/test_ipusim_program.dir/test_ipusim_program.cpp.o.d"
+  "test_ipusim_program"
+  "test_ipusim_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ipusim_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ipusim_sparse.dir/test_ipusim_sparse.cpp.o"
+  "CMakeFiles/test_ipusim_sparse.dir/test_ipusim_sparse.cpp.o.d"
+  "test_ipusim_sparse"
+  "test_ipusim_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ipusim_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_ipu.dir/test_multi_ipu.cpp.o"
+  "CMakeFiles/test_multi_ipu.dir/test_multi_ipu.cpp.o.d"
+  "test_multi_ipu"
+  "test_multi_ipu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_ipu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

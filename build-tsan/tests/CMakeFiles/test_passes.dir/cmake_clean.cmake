@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_passes.dir/test_passes.cpp.o"
+  "CMakeFiles/test_passes.dir/test_passes.cpp.o.d"
+  "test_passes"
+  "test_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

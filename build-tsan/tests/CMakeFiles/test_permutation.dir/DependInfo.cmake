@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_permutation.cpp" "tests/CMakeFiles/test_permutation.dir/test_permutation.cpp.o" "gcc" "tests/CMakeFiles/test_permutation.dir/test_permutation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/repro_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ipusim/CMakeFiles/repro_ipusim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gpusim/CMakeFiles/repro_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/repro_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/repro_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nn/CMakeFiles/repro_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pixelfly.dir/test_pixelfly.cpp.o"
+  "CMakeFiles/test_pixelfly.dir/test_pixelfly.cpp.o.d"
+  "test_pixelfly"
+  "test_pixelfly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pixelfly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

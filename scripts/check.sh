@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus bench JSON schema checks:
+#   1. configure + build + ctest (the tier-1 gate from ROADMAP.md);
+#   2. run every --json bench in --fast mode;
+#   3. compare the set of JSON keys each bench emits against the checked-in
+#      schema in scripts/bench_schemas/<bench>.keys. A missing or renamed key
+#      fails the run; a new key fails too, so schema growth is an explicit,
+#      reviewed change (update the .keys file in the same commit).
+#
+# Usage: scripts/check.sh [build-dir]      (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+schema_dir="$repo_root/scripts/bench_schemas"
+
+echo "== configure + build =="
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j
+
+echo "== tier-1 tests =="
+ctest --test-dir "$build_dir" --output-on-failure -j
+
+echo "== bench --json schemas =="
+json_benches=(
+  bench_fig3_exchange
+  bench_fig4_skew
+  bench_fig5_memusage
+  bench_fig6_layers
+  bench_fig7_computesets
+  bench_table2_mm
+  bench_table4_shl
+  bench_table5_sweep
+)
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "$tmp_dir"' EXIT
+failed=0
+for bench in "${json_benches[@]}"; do
+  out="$tmp_dir/$bench.json"
+  "$build_dir/bench/$bench" --fast --json "$out" > "$tmp_dir/$bench.log"
+  # The schema is the sorted set of distinct object keys in the output.
+  grep -o '"[A-Za-z_][A-Za-z_0-9]*":' "$out" | sort -u > "$tmp_dir/$bench.keys"
+  expected="$schema_dir/$bench.keys"
+  if [[ ! -f "$expected" ]]; then
+    echo "FAIL: $bench has no checked-in schema ($expected)"
+    failed=1
+  elif ! diff -u "$expected" "$tmp_dir/$bench.keys"; then
+    echo "FAIL: $bench JSON keys changed (left: expected, right: actual)"
+    failed=1
+  else
+    echo "ok: $bench"
+  fi
+done
+if [[ "$failed" -ne 0 ]]; then
+  echo "bench JSON schema check FAILED"
+  exit 1
+fi
+echo "all checks passed"

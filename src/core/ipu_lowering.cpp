@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "ipusim/codelet.h"
 #include "ipusim/matmul.h"
@@ -46,9 +47,27 @@ IpuLayerTiming StreamingFallback(const ipu::IpuArch& arch, double flops,
   return t;
 }
 
-// Session options for all lowering passes: timing only, fast Repeat scaling.
-ipu::SessionOptions TimingOptions() {
-  return ipu::SessionOptions{.execute = false, .fast_repeat = true};
+// Session options for all lowering passes: timing only, fast Repeat scaling,
+// compiler pass flags forwarded from the lowering options.
+ipu::SessionOptions TimingOptions(const IpuLoweringOptions& opts = {}) {
+  return ipu::SessionOptions{.execute = false,
+                             .fast_repeat = true,
+                             .fuse_compute_sets = opts.fuse_compute_sets,
+                             .reuse_variable_memory =
+                                 opts.reuse_variable_memory};
+}
+
+// Maps an n-row staging tensor to tiles offset by half the device from the
+// linear mapping, so a stage materialisation exchanges nearly everything (a
+// real gather/rearrange does).
+void MapRowsOffset(Graph& g, const Tensor& t, std::size_t n) {
+  const std::size_t num_tiles = g.arch().num_tiles;
+  const std::size_t rows_per_tile =
+      std::max<std::size_t>(1, CeilDiv(n, num_tiles));
+  for (std::size_t r = 0, i = 0; r < n; r += rows_per_tile, ++i) {
+    const std::size_t count = std::min(rows_per_tile, n - r);
+    g.setTileMapping(t.rowRange(r, count), (i + num_tiles / 2) % num_tiles);
+  }
 }
 
 IpuLayerTiming RunTimingOnly(ipu::Session& session, Program prog,
@@ -133,7 +152,7 @@ IpuLayerTiming TimeLinearIpu(const ipu::IpuArch& arch, std::size_t batch,
 IpuLayerTiming TimeButterflyIpu(const ipu::IpuArch& arch, std::size_t batch,
                                 std::size_t n, const IpuLoweringOptions& opts) {
   REPRO_REQUIRE(IsPow2(n), "butterfly lowering needs power-of-two n");
-  ipu::Session session(arch, TimingOptions());
+  ipu::Session session(arch, TimingOptions(opts));
   Graph& g = session.graph();
   const unsigned factors = Log2(n);
   const double flops = 8.0 * static_cast<double>(n / 2) * batch * factors;
@@ -155,19 +174,6 @@ IpuLayerTiming TimeButterflyIpu(const ipu::IpuArch& arch, std::size_t batch,
 
   Tensor x = g.addVariable("bfly_x", n, batch);
   g.mapLinearly(x, batch);
-  Tensor shadow;
-  if (opts.poptorch_parity) {
-    // Offset-mapped staging tensor: copying x -> shadow -> x models the
-    // unfused reshape/materialisation between stages.
-    shadow = g.addVariable("bfly_shadow", n, batch);
-    const std::size_t rows_per_tile =
-        std::max<std::size_t>(1, CeilDiv(n, g.arch().num_tiles));
-    for (std::size_t r = 0, i = 0; r < n; r += rows_per_tile, ++i) {
-      const std::size_t count = std::min(rows_per_tile, n - r);
-      g.setTileMapping(shadow.rowRange(r, count),
-                       (i + g.arch().num_tiles / 2) % g.arch().num_tiles);
-    }
-  }
   Program seq = Program::Sequence({});
   for (unsigned f = 0; f < factors; ++f) {
     const std::size_t stride = std::size_t{1} << f;
@@ -175,9 +181,19 @@ IpuLayerTiming TimeButterflyIpu(const ipu::IpuArch& arch, std::size_t batch,
     g.mapLinearly(w, 4);
     if (opts.poptorch_parity) {
       // One gather materialisation per stage (the scatter back is fused
-      // into the next op's exchange).
-      seq.add(Program::Copy(x, shadow));
-      std::swap(x, shadow);
+      // into the next op's exchange): the unfused framework writes each
+      // stage into a fresh staging tensor. Mappings alternate offset /
+      // linear so every materialisation crosses tiles; with
+      // reuse_variable_memory the liveness pass collapses all the staging
+      // tensors back onto two ping-pong arena slots.
+      Tensor staged = g.addVariable("bfly_stage" + std::to_string(f), n, batch);
+      if (f % 2 == 0) {
+        MapRowsOffset(g, staged, n);
+      } else {
+        g.mapLinearly(staged, batch);
+      }
+      seq.add(Program::Copy(x, staged));
+      x = staged;
     }
     ipu::ComputeSetId cs = AddPairStage(g, x, n, batch, stride,
                                         ipu::codelets::kButterfly2x2, &w, cpm);
@@ -190,10 +206,11 @@ IpuLayerTiming TimeButterflyIpu(const ipu::IpuArch& arch, std::size_t batch,
 }
 
 IpuLayerTiming TimePixelflyIpu(const ipu::IpuArch& arch, std::size_t batch,
-                               const PixelflyConfig& config) {
+                               const PixelflyConfig& config,
+                               const IpuLoweringOptions& opts) {
   const std::size_t n = config.n;
   const std::size_t b = config.block_size;
-  ipu::Session session(arch, TimingOptions());
+  ipu::Session session(arch, TimingOptions(opts));
   Graph& g = session.graph();
   const auto pattern = FlatButterflyPattern(n, b, config.butterfly_size);
   const double block_flops =
@@ -212,20 +229,29 @@ IpuLayerTiming TimePixelflyIpu(const ipu::IpuArch& arch, std::size_t batch,
   Tensor w = g.addVariable("pf_w", pattern.size(), b * b);
   g.mapLinearly(w, b * b);
 
-  // One BlockGemmAmp vertex per (output block-row, butterfly level): the
-  // flat sum's addends are computed as per-level partials in one compute
-  // set, then summed (with the residual) in a second -- two supersteps
-  // total, pixelfly's "few compute sets" contrast to butterfly (Fig. 7).
+  // One BlockGemmAmp vertex per (output block-row, butterfly level). The
+  // lowering emits one compute set per butterfly level -- the natural
+  // unfused framework form. All levels write disjoint partial rows and only
+  // read x/w, so the fusion pass merges them into a single superstep; the
+  // partials are then summed (with the residual) in one more -- two
+  // supersteps total, pixelfly's "few compute sets" contrast to butterfly
+  // (Fig. 7). With fusion off, each level stays its own superstep.
   const std::size_t grid = config.grid();
   const std::size_t levels = Log2(config.butterfly_size);
   Tensor partials = g.addVariable("pf_partials", grid * levels, b * batch);
-  ipu::ComputeSetId cs = g.addComputeSet("pf_blocksparse");
+  std::vector<ipu::ComputeSetId> level_cs;
+  level_cs.reserve(levels);
+  for (std::size_t lv = 0; lv < levels; ++lv) {
+    level_cs.push_back(
+        g.addComputeSet("pf_blocksparse_lv" + std::to_string(lv)));
+  }
   for (std::size_t bi = 0; bi < grid; ++bi) {
     for (std::size_t lv = 0; lv < levels; ++lv) {
       const std::size_t tile =
           (bi * levels + lv) * 977 % g.arch().num_tiles;  // spread
       g.setTileMapping(partials.row(bi * levels + lv), tile);
-      ipu::VertexId v = g.addVertex(cs, ipu::codelets::kBlockGemmAmp, tile);
+      ipu::VertexId v =
+          g.addVertex(level_cs[lv], ipu::codelets::kBlockGemmAmp, tile);
       // Pattern is level-major: level lv holds blocks [lv*2*grid, ...).
       for (std::size_t q = lv * 2 * grid; q < (lv + 1) * 2 * grid; ++q) {
         if (pattern[q].bi != bi) continue;
@@ -254,8 +280,13 @@ IpuLayerTiming TimePixelflyIpu(const ipu::IpuArch& arch, std::size_t batch,
     }
     g.connect(v, "out", y.rowRange(bi * b, b), true);
   }
-  Program seq = Program::Sequence(
-      {Program::Execute(cs), Program::Execute(cs_sum)});
+  std::vector<Program> steps;
+  steps.reserve(levels + 1);
+  for (std::size_t lv = 0; lv < levels; ++lv) {
+    steps.push_back(Program::Execute(level_cs[lv]));
+  }
+  steps.push_back(Program::Execute(cs_sum));
+  Program seq = Program::Sequence(std::move(steps));
   // Fallback efficiency: AMP block efficiency times the fraction of tiles a
   // (grid x levels)-vertex graph can occupy.
   const double util = std::min(
@@ -298,15 +329,7 @@ IpuLayerTiming TimeFastfoodIpu(const ipu::IpuArch& arch, std::size_t batch,
   // Permutation target: same shape, deliberately offset mapping so the
   // gather crosses tiles (a real shuffle exchanges nearly everything).
   Tensor xp = g.addVariable("ff_xp", n, batch);
-  {
-    const std::size_t rows_per_tile =
-        std::max<std::size_t>(1, CeilDiv(n, arch.num_tiles));
-    for (std::size_t r = 0, i = 0; r < n; r += rows_per_tile, ++i) {
-      const std::size_t count = std::min(rows_per_tile, n - r);
-      g.setTileMapping(xp.rowRange(r, count),
-                       (i + arch.num_tiles / 2) % arch.num_tiles);
-    }
-  }
+  MapRowsOffset(g, xp, n);
   Tensor diag = g.addVariable("ff_diag", 3, n);  // B, G, S scaling vectors
   g.mapLinearly(diag, 1);
 

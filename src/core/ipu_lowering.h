@@ -31,6 +31,13 @@ struct IpuLoweringOptions {
   // locality). Turning this off models hand-written custom vertices, the
   // optimisation opportunity the paper's Section 5 discussion points at.
   bool poptorch_parity = true;
+  // Compiler pass flags (SessionOptions passthrough). The lowerings emit
+  // their natural unfused form -- one compute set per butterfly level, a
+  // fresh staging tensor per materialised stage -- and rely on the fusion
+  // and liveness passes to recover the fused/ping-pong cost. Turning these
+  // off exposes what the graph costs without the passes (bench_ablations).
+  bool fuse_compute_sets = true;
+  bool reuse_variable_memory = true;
 };
 
 // torch.nn.Linear equivalent: poplin matmul (batch x in) * (in x out).
@@ -42,10 +49,12 @@ IpuLayerTiming TimeButterflyIpu(const ipu::IpuArch& arch, std::size_t batch,
                                 std::size_t n,
                                 const IpuLoweringOptions& opts = {});
 
-// Pixelfly: one BlockGemmAmp compute set over the flat pattern + two skinny
-// poplin matmuls for the low-rank term + residual add.
+// Pixelfly: one BlockGemmAmp compute set per butterfly level over the flat
+// pattern (the fusion pass merges them back to a single superstep) + two
+// skinny poplin matmuls for the low-rank term + residual add.
 IpuLayerTiming TimePixelflyIpu(const ipu::IpuArch& arch, std::size_t batch,
-                               const PixelflyConfig& config);
+                               const PixelflyConfig& config,
+                               const IpuLoweringOptions& opts = {});
 
 // Fastfood: 2 x log2(n) Hadamard stages + 3 diagonal scalings + permutation.
 IpuLayerTiming TimeFastfoodIpu(const ipu::IpuArch& arch, std::size_t batch,

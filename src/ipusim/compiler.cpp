@@ -1,126 +1,52 @@
 #include "ipusim/compiler.h"
 
 #include <algorithm>
-#include <functional>
-#include <set>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <sstream>
 
-#include "ipusim/codelet.h"
+#include "ipusim/passes/exchange_plan_pass.h"
+#include "ipusim/passes/fusion_pass.h"
+#include "ipusim/passes/ledger_pass.h"
+#include "ipusim/passes/liveness_pass.h"
+#include "ipusim/passes/pass.h"
+#include "ipusim/passes/validate_pass.h"
 
 namespace repro::ipu {
-namespace {
 
-// Bytes of an edge descriptor (pointer + size) in vertex state.
-constexpr std::size_t kEdgePointerBytes = 8;
-// Control code per tile that participates in a compute set.
-constexpr std::size_t kControlBytesPerCs = 64;
-// Base control/supervisor code per active tile.
-constexpr std::size_t kControlBaseBytes = 128;
-
-Status ValidateMappings(const Graph& graph) {
-  for (const auto& var : graph.variables()) {
-    if (var.numel == 0) continue;
-    std::size_t covered = 0;
-    std::size_t cursor = 0;
-    for (const auto& iv : var.mapping) {
-      if (iv.begin != cursor) {
-        return Status::InvalidArgument("variable '" + var.name +
-                                       "' has unmapped or misordered elements");
-      }
-      covered += iv.end - iv.begin;
-      cursor = iv.end;
-    }
-    if (covered != var.numel) {
-      return Status::InvalidArgument("variable '" + var.name +
-                                     "' is not fully tile-mapped");
-    }
-  }
-  return Status::Ok();
+std::string PassReport::ToJson() const {
+  char sec_buf[64];
+  std::snprintf(sec_buf, sizeof(sec_buf), "%.6g", seconds);
+  std::ostringstream os;
+  os << "{\"pass\": \"" << pass << "\", \"objects_before\": " << objects_before
+     << ", \"objects_after\": " << objects_after
+     << ", \"bytes_saved\": " << bytes_saved << ", \"seconds\": " << sec_buf
+     << "}";
+  return os.str();
 }
 
-void CollectComputeSets(const Program& p, std::set<ComputeSetId>& out) {
-  if (p.kind == Program::Kind::kExecute) out.insert(p.cs);
-  for (const auto& child : p.children) CollectComputeSets(child, out);
-}
-
-// Sweep-line frontier over intervals of one variable: remembers the furthest
-// interval end seen so far and, separately, the furthest end contributed by
-// any *other* vertex, which is all a later interval needs to detect an
-// overlap with foreign work.
-struct SweepFrontier {
-  std::size_t end1 = 0;           // furthest end overall
-  VertexId v1 = kInvalidId;       // vertex owning end1
-  std::size_t end2 = 0;           // furthest end among vertices != v1
-
-  void add(std::size_t end, VertexId v) {
-    if (v == v1) {
-      end1 = std::max(end1, end);
-    } else if (end >= end1) {
-      if (v1 != kInvalidId) end2 = std::max(end2, end1);
-      end1 = end;
-      v1 = v;
-    } else {
-      end2 = std::max(end2, end);
-    }
+std::string CompileStats::ToJson() const {
+  std::ostringstream os;
+  os << "{\"num_variables\": " << num_variables
+     << ", \"num_vertices\": " << num_vertices
+     << ", \"num_edges\": " << num_edges
+     << ", \"num_compute_sets\": " << num_compute_sets
+     << ", \"total_bytes\": " << total_bytes
+     << ", \"max_tile_bytes\": " << max_tile_bytes
+     << ", \"free_bytes\": " << free_bytes << ", \"category_bytes\": {";
+  for (std::size_t c = 0; c < kNumMemCategories; ++c) {
+    os << (c == 0 ? "" : ", ") << "\""
+       << MemCategoryName(static_cast<MemCategory>(c))
+       << "\": " << category_bytes[c];
   }
-  // Furthest end among intervals owned by vertices other than v.
-  std::size_t otherEnd(VertexId v) const { return v == v1 ? end2 : end1; }
-};
-
-// Vertices in one compute set execute concurrently (on device tiles and,
-// since the engine went multithreaded, on host threads), so the BSP contract
-// requires their memory footprints to be disjoint: no two vertices may write
-// the same elements, and no vertex may read elements another vertex writes.
-// A vertex overlapping with *itself* (in-place ops like Relu or ScaledAdd)
-// is fine -- each vertex runs serially inside one thread.
-Status ValidateComputeSetDisjointness(const Graph& graph) {
-  struct Interval {
-    VarId var;
-    std::size_t begin;
-    std::size_t end;
-    VertexId vertex;
-    bool is_output;
-  };
-  std::vector<Interval> intervals;
-  for (ComputeSetId cs = 0; cs < graph.computeSets().size(); ++cs) {
-    intervals.clear();
-    for (VertexId vid : graph.verticesInCs(cs)) {
-      for (const Edge& e : graph.vertices()[vid].edges) {
-        if (e.view.numel == 0) continue;
-        intervals.push_back({e.view.var, e.view.offset,
-                             e.view.offset + e.view.numel, vid, e.is_output});
-      }
-    }
-    std::sort(intervals.begin(), intervals.end(),
-              [](const Interval& a, const Interval& b) {
-                return a.var != b.var ? a.var < b.var : a.begin < b.begin;
-              });
-    SweepFrontier outputs, inputs;
-    VarId current_var = kInvalidId;
-    for (const Interval& iv : intervals) {
-      if (iv.var != current_var) {
-        outputs = SweepFrontier{};
-        inputs = SweepFrontier{};
-        current_var = iv.var;
-      }
-      // Reads racing a foreign write, or two foreign writes, are conflicts;
-      // concurrent reads are not.
-      const bool conflict =
-          iv.begin < outputs.otherEnd(iv.vertex) ||
-          (iv.is_output && iv.begin < inputs.otherEnd(iv.vertex));
-      if (conflict) {
-        return Status::InvalidArgument(
-            "compute set " + std::to_string(cs) + ": vertices overlap on '" +
-            graph.variables()[iv.var].name + "' elements near " +
-            std::to_string(iv.begin) +
-            " (BSP requires disjoint per-vertex footprints)");
-      }
-      (iv.is_output ? outputs : inputs).add(iv.end, iv.vertex);
-    }
+  os << "}, \"passes\": [";
+  for (std::size_t i = 0; i < pass_reports.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << pass_reports[i].ToJson();
   }
-  return Status::Ok();
+  os << "]}";
+  return os.str();
 }
-
-}  // namespace
 
 void ForEachMappedRange(
     const Graph& graph, const Tensor& view,
@@ -148,129 +74,59 @@ void ForEachMappedRange(
 
 StatusOr<Executable> Compile(const Graph& graph, Program program,
                              const CompileOptions& options) {
-  if (Status s = ValidateMappings(graph); !s.ok()) return s;
-  if (Status s = ValidateComputeSetDisjointness(graph); !s.ok()) return s;
+  LoweringContext ctx;
+  ctx.graph = &graph;
+  ctx.options = options;
+  ctx.program = std::move(program);
 
-  const IpuArch& arch = graph.arch();
+  // Identity lowering: one lowered compute set per graph compute set, one
+  // arena slot per variable. The optimization passes refine both.
+  ctx.lowered.reserve(graph.computeSets().size());
+  for (ComputeSetId cs = 0; cs < graph.computeSets().size(); ++cs) {
+    ctx.lowered.push_back(
+        {graph.computeSets()[cs].name,
+         graph.verticesInCs(cs)});
+  }
+  ctx.slot_of_var.resize(graph.variables().size());
+  ctx.slot_bytes_var.resize(graph.variables().size());
+  for (VarId v = 0; v < graph.variables().size(); ++v) {
+    ctx.slot_of_var[v] = v;
+    ctx.slot_bytes_var[v] = v;
+  }
+
+  std::vector<std::unique_ptr<CompilerPass>> pipeline;
+  pipeline.push_back(std::make_unique<ValidatePass>());
+  if (options.fuse_compute_sets) {
+    pipeline.push_back(std::make_unique<ComputeSetFusionPass>());
+  }
+  if (options.reuse_variable_memory) {
+    pipeline.push_back(std::make_unique<VariableLivenessPass>());
+  }
+  pipeline.push_back(std::make_unique<ExchangePlanPass>());
+  pipeline.push_back(std::make_unique<LedgerPass>());
+
+  for (auto& pass : pipeline) {
+    // Reachability can change only when the program tree is rewritten, but
+    // recomputing it per pass keeps every pass free to do so.
+    ctx.reachable = ReachableComputeSets(ctx.program);
+    PassReport report;
+    report.pass = pass->name();
+    const auto t0 = std::chrono::steady_clock::now();
+    Status s = pass->Run(ctx, report);
+    report.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    ctx.stats.pass_reports.push_back(report);
+    if (!s.ok()) return s;
+  }
+
   Executable exe;
   exe.graph = &graph;
-  exe.program = std::move(program);
-  exe.tiles.assign(arch.num_tiles, TileLedger{});
-  exe.cs_exchange.assign(graph.computeSets().size(), ExchangePlan{});
-
-  auto& registry = CodeletRegistry::Get();
-
-  // --- variables ---
-  for (const auto& var : graph.variables()) {
-    for (const auto& iv : var.mapping) {
-      exe.tiles[iv.tile][MemCategory::kVariables] +=
-          (iv.end - iv.begin) * sizeof(float);
-    }
-  }
-
-  // --- vertices: state, code, edge pointers, exchange ---
-  // Code is charged once per (tile, codelet); control once per (tile, cs).
-  std::vector<std::set<std::string>> tile_codelets(arch.num_tiles);
-  std::vector<std::set<ComputeSetId>> tile_cs(arch.num_tiles);
-  std::vector<std::size_t> incoming(arch.num_tiles, 0);
-  std::vector<std::size_t> touched;  // tiles with nonzero incoming, per CS
-  // Exchange buffers are live only for the duration of one compute set and
-  // reused across them (as Poplar's liveness analysis does), so each tile is
-  // charged the *maximum* buffer bytes over compute sets, not the sum.
-  std::vector<std::size_t> cs_buffer(arch.num_tiles, 0);
-  std::vector<std::size_t> buffer_touched;
-
-  for (ComputeSetId cs = 0; cs < graph.computeSets().size(); ++cs) {
-    touched.clear();
-    buffer_touched.clear();
-    for (VertexId vid : graph.verticesInCs(cs)) {
-      const Vertex& v = graph.vertices()[vid];
-      if (!registry.Has(v.codelet)) {
-        return Status::InvalidArgument("unknown codelet '" + v.codelet + "'");
-      }
-      const Codelet& codelet = registry.Lookup(v.codelet);
-      TileLedger& ledger = exe.tiles[v.tile];
-      ledger[MemCategory::kVertexState] +=
-          codelet.base_state_bytes + v.state.size() * sizeof(float);
-      tile_codelets[v.tile].insert(v.codelet);
-      tile_cs[v.tile].insert(cs);
-
-      for (const Edge& e : v.edges) {
-        std::size_t intervals = 0;
-        ForEachMappedRange(
-            graph, e.view,
-            [&](std::size_t tile, std::size_t /*begin*/, std::size_t len) {
-              ++intervals;
-              if (tile == v.tile) return;
-              const std::size_t bytes = len * sizeof(float);
-              // Inputs are gathered to the vertex tile before compute;
-              // outputs are staged on the vertex tile and scattered to the
-              // variable's home tiles afterwards. Both need a buffer on the
-              // vertex tile and receive bandwidth at the destination.
-              if (cs_buffer[v.tile] == 0) buffer_touched.push_back(v.tile);
-              // Gathered data streams through the exchange in chunks with
-              // double buffering, so the resident buffer is about half the
-              // transferred bytes.
-              cs_buffer[v.tile] += bytes / 2;
-              const std::size_t dest = e.is_output ? tile : v.tile;
-              if (incoming[dest] == 0) touched.push_back(dest);
-              incoming[dest] += bytes;
-              exe.cs_exchange[cs].total_bytes += bytes;
-            });
-        ledger[MemCategory::kEdgePointers] += intervals * kEdgePointerBytes;
-      }
-    }
-    std::size_t max_in = 0;
-    for (std::size_t t : touched) {
-      max_in = std::max(max_in, incoming[t]);
-      incoming[t] = 0;
-    }
-    exe.cs_exchange[cs].max_tile_incoming = max_in;
-    for (std::size_t t : buffer_touched) {
-      exe.tiles[t][MemCategory::kExchangeBuffers] =
-          std::max(exe.tiles[t][MemCategory::kExchangeBuffers], cs_buffer[t]);
-      cs_buffer[t] = 0;
-    }
-  }
-
-  for (std::size_t t = 0; t < arch.num_tiles; ++t) {
-    for (const auto& name : tile_codelets[t]) {
-      exe.tiles[t][MemCategory::kVertexCode] += registry.Lookup(name).code_bytes;
-    }
-    if (!tile_cs[t].empty() || exe.tiles[t][MemCategory::kVariables] > 0) {
-      exe.tiles[t][MemCategory::kControlCode] +=
-          kControlBaseBytes + tile_cs[t].size() * kControlBytesPerCs;
-    }
-  }
-
-  // --- stats ---
-  CompileStats& stats = exe.stats;
-  stats.num_variables = graph.variables().size();
-  stats.num_vertices = graph.vertices().size();
-  stats.num_edges = graph.numEdges();
-  std::set<ComputeSetId> used;
-  CollectComputeSets(exe.program, used);
-  stats.num_compute_sets = used.size();
-
-  for (std::size_t t = 0; t < arch.num_tiles; ++t) {
-    const std::size_t tile_total = exe.tiles[t].total();
-    stats.max_tile_bytes = std::max(stats.max_tile_bytes, tile_total);
-    stats.total_bytes += tile_total;
-    for (std::size_t c = 0; c < kNumMemCategories; ++c) {
-      stats.category_bytes[c] += exe.tiles[t].bytes[c];
-    }
-  }
-  stats.free_bytes = arch.total_memory_bytes() > stats.total_bytes
-                         ? arch.total_memory_bytes() - stats.total_bytes
-                         : 0;
-
-  if (!options.allow_oversubscription &&
-      stats.max_tile_bytes > arch.tile_memory_bytes) {
-    return Status::OutOfMemory(
-        "tile memory exceeded: " + std::to_string(stats.max_tile_bytes) +
-        " bytes needed on the fullest tile, " +
-        std::to_string(arch.tile_memory_bytes) + " available");
-  }
+  exe.program = std::move(ctx.program);
+  exe.stats = std::move(ctx.stats);
+  exe.tiles = std::move(ctx.tiles);
+  exe.cs_exchange = std::move(ctx.cs_exchange);
+  exe.lowered_cs = std::move(ctx.lowered);
   return exe;
 }
 

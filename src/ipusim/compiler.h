@@ -1,11 +1,14 @@
-// Graph compilation: validates tile mappings, builds per-compute-set
-// exchange plans, and produces the per-tile memory ledger that drives the
-// paper's Observation 3 (memory overhead scales with graph structure --
-// edges, vertices, compute sets -- not just data footprint).
+// Graph compilation: a pipeline of passes (src/ipusim/passes/) that
+// validates tile mappings, optionally fuses compute sets and reuses
+// variable memory, builds per-compute-set exchange plans, and produces the
+// per-tile memory ledger that drives the paper's Observation 3 (memory
+// overhead scales with graph structure -- edges, vertices, compute sets --
+// not just data footprint).
 #pragma once
 
 #include <array>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "ipusim/graph.h"
@@ -39,6 +42,27 @@ struct ExchangePlan {
   std::size_t max_tile_incoming = 0;  // bottleneck tile's receive bytes
 };
 
+// A compute set as the engine runs it. Ids [0, graph.computeSets().size())
+// mirror the graph's compute sets; fusion appends merged entries beyond
+// them and rewrites the program to execute the merged id instead.
+struct LoweredComputeSet {
+  std::string name;
+  // Execution order: program order of the merged members, emission order
+  // within each member. The engine's serial flop accumulation follows it.
+  std::vector<VertexId> vertices;
+};
+
+// What one compiler pass did, for CompileStats::ToJson() and the profiler.
+struct PassReport {
+  std::string pass;
+  std::size_t objects_before = 0;  // pass-specific unit (CSs, variables, ...)
+  std::size_t objects_after = 0;
+  std::size_t bytes_saved = 0;
+  double seconds = 0.0;  // host wall clock; excluded from determinism checks
+
+  std::string ToJson() const;
+};
+
 struct CompileStats {
   std::size_t num_variables = 0;
   std::size_t num_vertices = 0;
@@ -48,10 +72,14 @@ struct CompileStats {
   std::size_t total_bytes = 0;
   std::size_t max_tile_bytes = 0;
   std::size_t free_bytes = 0;  // device total minus allocated
+  std::vector<PassReport> pass_reports;
 
   std::size_t bytesFor(MemCategory c) const {
     return category_bytes[static_cast<std::size_t>(c)];
   }
+
+  // Counts, category bytes and the per-pass reports as one JSON object.
+  std::string ToJson() const;
 };
 
 struct Executable {
@@ -59,8 +87,12 @@ struct Executable {
   Program program;
   CompileStats stats;
   std::vector<TileLedger> tiles;
-  // Indexed by ComputeSetId; zero-filled entries for unused compute sets.
+  // Indexed by lowered ComputeSetId; zero-filled entries for compute sets
+  // the program never executes.
   std::vector<ExchangePlan> cs_exchange;
+  // Compute sets by lowered id: graph compute sets first, fused merges
+  // after. The engine executes these, never graph.verticesInCs().
+  std::vector<LoweredComputeSet> lowered_cs;
 };
 
 struct CompileOptions {
@@ -68,6 +100,13 @@ struct CompileOptions {
   // still record the oversubscription). Used by memory-limit experiments
   // that want to *report* the overflow rather than fail.
   bool allow_oversubscription = false;
+  // Merge adjacent Execute steps with provably disjoint vertex footprints
+  // into one compute set (fewer syncs, less per-CS control code).
+  bool fuse_compute_sets = true;
+  // Let variables with non-overlapping lifetimes and identical tile
+  // mappings share per-tile arena slots in the ledger. Accounting only:
+  // engine storage and results are unaffected.
+  bool reuse_variable_memory = true;
 };
 
 // Validates the graph + program and produces an Executable, or an

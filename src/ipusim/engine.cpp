@@ -74,12 +74,14 @@ Engine::Engine(Internal, const Graph& graph, Executable exe, Options opts)
       },
       /*min_grain=*/64);
 
-  // Per compute set: bottleneck tile's compute cycles and the flop total.
-  // Compute sets are independent, so they shard across threads; within one
-  // compute set the walk stays serial in vertex order, which keeps the
-  // floating-point flop sum bit-identical for every thread count.
+  // Per lowered compute set (the executable's table, which includes the
+  // fusion pass's merges): bottleneck tile's compute cycles and the flop
+  // total. Compute sets are independent, so they shard across threads;
+  // within one compute set the walk stays serial in lowered vertex order,
+  // which keeps the floating-point flop sum bit-identical for every thread
+  // count.
   const IpuArch& arch = graph_.arch();
-  const std::size_t num_cs = graph_.computeSets().size();
+  const std::size_t num_cs = exe_.lowered_cs.size();
   cs_compute_cycles_.assign(num_cs, 0.0);
   cs_flops_.assign(num_cs, 0.0);
   ParallelForWith(workers, 0, num_cs, [&](std::size_t lo, std::size_t hi) {
@@ -87,7 +89,7 @@ Engine::Engine(Internal, const Graph& graph, Executable exe, Options opts)
     for (std::size_t cs = lo; cs < hi; ++cs) {
       tile_cycles.clear();
       double flops = 0.0;
-      for (VertexId vid : graph_.verticesInCs(static_cast<ComputeSetId>(cs))) {
+      for (VertexId vid : exe_.lowered_cs[cs].vertices) {
         tile_cycles[vertices[vid].tile] +=
             vertex_cycles_[vid] + arch.vertex_dispatch_cycles;
         flops += vertex_flops_[vid];
@@ -203,7 +205,7 @@ void Engine::execComputeSet(ComputeSetId cs, RunReport& r) {
     // vertices write disjoint regions (validated at compile time), so the
     // stores never race and the results match serial execution bitwise.
     auto& registry = CodeletRegistry::Get();
-    const std::vector<VertexId>& vids = graph_.verticesInCs(cs);
+    const std::vector<VertexId>& vids = exe_.lowered_cs[cs].vertices;
     const auto& vertices = graph_.vertices();
     ParallelForWith(hostWorkers(), 0, vids.size(),
                     [&](std::size_t lo, std::size_t hi) {

@@ -9,8 +9,8 @@
 // The cycle/flop accounting stays serial, so reports and tensor results are
 // bitwise identical for every REPRO_THREADS / host_threads setting.
 //
-// Prefer ipu::Session (session.h) over constructing an Engine directly: the
-// direct constructor is a deprecated shim kept for out-of-tree callers.
+// Engines are constructed by ipu::Session (session.h), the only entry
+// point; the old direct-construction shim is gone.
 #pragma once
 
 #include <map>
@@ -69,12 +69,6 @@ class Engine {
   // Tag for the supported construction path (used by Session).
   struct Internal {};
   Engine(Internal, const Graph& graph, Executable exe, Options opts);
-
-  // Deprecated shim: construct an ipu::Session instead, which owns the
-  // graph/compile/engine lifecycle behind one option set.
-  [[deprecated("construct engines via ipu::Session")]]
-  Engine(const Graph& graph, Executable exe, Options opts = Options())
-      : Engine(Internal{}, graph, std::move(exe), opts) {}
 
   // Host data access (requires Options::execute).
   void writeTensor(const Tensor& t, std::span<const float> data);

@@ -360,34 +360,17 @@ Matrix UnpackC(const MatMulPlan& plan, std::span<const float> c_blocks) {
   return c;
 }
 
-namespace {
-
-// Shared by the Session and (deprecated) Engine entry points, which expose
-// the same writeTensor/run/readTensor surface.
-template <typename Runner>
-Matrix RunMatMulOn(const MatMulPlan& plan, Runner& runner, const Matrix& a,
-                   const Matrix& b, RunReport* report) {
-  const auto a_packed = PackA(plan, a);
-  const auto b_packed = PackB(plan, b);
-  runner.writeTensor(plan.a, a_packed);
-  runner.writeTensor(plan.b, b_packed);
-  RunReport r = runner.run();
-  if (report != nullptr) *report = r;
-  std::vector<float> c_packed(plan.c.numel);
-  runner.readTensor(plan.c, c_packed);
-  return UnpackC(plan, c_packed);
-}
-
-}  // namespace
-
 Matrix RunMatMul(const MatMulPlan& plan, Session& session, const Matrix& a,
                  const Matrix& b, RunReport* report) {
-  return RunMatMulOn(plan, session, a, b, report);
-}
-
-Matrix RunMatMul(const MatMulPlan& plan, Engine& engine, const Matrix& a,
-                 const Matrix& b, RunReport* report) {
-  return RunMatMulOn(plan, engine, a, b, report);
+  const auto a_packed = PackA(plan, a);
+  const auto b_packed = PackB(plan, b);
+  session.writeTensor(plan.a, a_packed);
+  session.writeTensor(plan.b, b_packed);
+  RunReport r = session.run();
+  if (report != nullptr) *report = r;
+  std::vector<float> c_packed(plan.c.numel);
+  session.readTensor(plan.c, c_packed);
+  return UnpackC(plan, c_packed);
 }
 
 }  // namespace repro::ipu

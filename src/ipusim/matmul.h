@@ -67,7 +67,5 @@ Matrix UnpackC(const MatMulPlan& plan, std::span<const float> c_blocks);
 // must have compiled plan.prog against the graph the plan was built on.
 Matrix RunMatMul(const MatMulPlan& plan, Session& session, const Matrix& a,
                  const Matrix& b, RunReport* report = nullptr);
-Matrix RunMatMul(const MatMulPlan& plan, Engine& engine, const Matrix& a,
-                 const Matrix& b, RunReport* report = nullptr);
 
 }  // namespace repro::ipu

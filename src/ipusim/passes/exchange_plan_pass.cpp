@@ -1,0 +1,64 @@
+#include "ipusim/passes/exchange_plan_pass.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace repro::ipu {
+
+Status ExchangePlanPass::Run(LoweringContext& ctx, PassReport& report) {
+  const Graph& graph = *ctx.graph;
+  const IpuArch& arch = graph.arch();
+  ctx.cs_exchange.assign(ctx.lowered.size(), ExchangePlan{});
+  ctx.exchange_buffer_bytes.assign(arch.num_tiles, 0);
+
+  std::vector<std::size_t> incoming(arch.num_tiles, 0);
+  std::vector<std::size_t> touched;  // tiles with nonzero incoming, per CS
+  std::vector<std::size_t> cs_buffer(arch.num_tiles, 0);
+  std::vector<std::size_t> buffer_touched;
+
+  for (ComputeSetId cs : ctx.reachable) {
+    touched.clear();
+    buffer_touched.clear();
+    for (VertexId vid : ctx.lowered[cs].vertices) {
+      const Vertex& v = graph.vertices()[vid];
+      for (const Edge& e : v.edges) {
+        ForEachMappedRange(
+            graph, e.view,
+            [&](std::size_t tile, std::size_t /*begin*/, std::size_t len) {
+              if (tile == v.tile) return;
+              const std::size_t bytes = len * sizeof(float);
+              // Inputs are gathered to the vertex tile before compute;
+              // outputs are staged on the vertex tile and scattered to the
+              // variable's home tiles afterwards. Both need a buffer on the
+              // vertex tile and receive bandwidth at the destination.
+              if (cs_buffer[v.tile] == 0) buffer_touched.push_back(v.tile);
+              // Gathered data streams through the exchange in chunks with
+              // double buffering, so the resident buffer is about half the
+              // transferred bytes.
+              cs_buffer[v.tile] += bytes / 2;
+              const std::size_t dest = e.is_output ? tile : v.tile;
+              if (incoming[dest] == 0) touched.push_back(dest);
+              incoming[dest] += bytes;
+              ctx.cs_exchange[cs].total_bytes += bytes;
+            });
+      }
+    }
+    std::size_t max_in = 0;
+    for (std::size_t t : touched) {
+      max_in = std::max(max_in, incoming[t]);
+      incoming[t] = 0;
+    }
+    ctx.cs_exchange[cs].max_tile_incoming = max_in;
+    for (std::size_t t : buffer_touched) {
+      ctx.exchange_buffer_bytes[t] =
+          std::max(ctx.exchange_buffer_bytes[t], cs_buffer[t]);
+      cs_buffer[t] = 0;
+    }
+  }
+
+  report.objects_before = ctx.lowered.size();
+  report.objects_after = ctx.reachable.size();
+  return Status::Ok();
+}
+
+}  // namespace repro::ipu

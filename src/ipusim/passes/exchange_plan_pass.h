@@ -1,0 +1,25 @@
+#pragma once
+
+#include "ipusim/passes/pass.h"
+
+namespace repro::ipu {
+
+// Builds the per-compute-set exchange plans (total bytes crossing tile
+// boundaries and the bottleneck tile's receive bytes -- Observation 1:
+// exchange cost is distance-independent) plus each tile's exchange-buffer
+// residency. Iterates only compute sets reachable from the program, so
+// orphaned compute sets cost nothing (they are never executed and Poplar
+// would have pruned them).
+//
+// Exchange buffers are live only for the duration of one compute set and
+// reused across them (as Poplar's liveness analysis does), so each tile is
+// charged the *maximum* buffer bytes over compute sets, not the sum. A
+// fused compute set needs all its members' buffers at once -- fusion trades
+// buffer residency for fewer syncs.
+class ExchangePlanPass : public CompilerPass {
+ public:
+  const char* name() const override { return "plan-exchange"; }
+  Status Run(LoweringContext& ctx, PassReport& report) override;
+};
+
+}  // namespace repro::ipu

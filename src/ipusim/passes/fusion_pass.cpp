@@ -1,0 +1,112 @@
+#include "ipusim/passes/fusion_pass.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ipusim/passes/interval_sweep.h"
+
+namespace repro::ipu {
+namespace {
+
+class Fuser {
+ public:
+  explicit Fuser(LoweringContext& ctx) : ctx_(ctx) {}
+
+  void rewrite(Program& p) {
+    // Fusion only looks at directly adjacent Execute steps of one Sequence;
+    // Repeat bodies and nested sequences fuse internally but never across
+    // their boundary (the loop back-edge re-runs the body, so a cross-
+    // boundary merge would change iteration structure).
+    for (Program& child : p.children) rewrite(child);
+    if (p.kind != Program::Kind::kSequence) return;
+
+    std::vector<Program> out;
+    std::vector<ComputeSetId> run;  // adjacent Executes merged so far
+    std::vector<VertexId> run_vertices;
+
+    auto flush = [&] {
+      if (run.empty()) return;
+      if (run.size() == 1) {
+        out.push_back(Program::Execute(run.front()));
+      } else {
+        out.push_back(Program::Execute(merge(run, run_vertices)));
+      }
+      run.clear();
+      run_vertices.clear();
+    };
+
+    for (Program& child : p.children) {
+      if (child.kind != Program::Kind::kExecute) {
+        flush();
+        out.push_back(std::move(child));
+        continue;
+      }
+      const ComputeSetId cs = child.cs;
+      const auto& verts = ctx_.lowered[cs].vertices;
+      if (!run.empty()) {
+        const bool repeated = std::find(run.begin(), run.end(), cs) != run.end();
+        std::vector<VertexId> combined = run_vertices;
+        combined.insert(combined.end(), verts.begin(), verts.end());
+        if (repeated ||
+            !CheckVertexFootprintsDisjoint(*ctx_.graph, combined, "fusion")
+                 .ok()) {
+          flush();
+        } else {
+          run.push_back(cs);
+          run_vertices = std::move(combined);
+          continue;
+        }
+      }
+      run.push_back(cs);
+      run_vertices.insert(run_vertices.end(), verts.begin(), verts.end());
+    }
+    flush();
+    p.children = std::move(out);
+  }
+
+  std::size_t bytes_saved() const { return bytes_saved_; }
+
+ private:
+  ComputeSetId merge(const std::vector<ComputeSetId>& members,
+                     std::vector<VertexId> vertices) {
+    std::string name = "fused(";
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      name += (i == 0 ? "" : "+") + ctx_.lowered[members[i]].name;
+    }
+    name += ")";
+    // Each member used to charge control code on every tile it touches; the
+    // merged set charges those tiles once.
+    std::map<std::size_t, std::size_t> cs_per_tile;
+    for (ComputeSetId cs : members) {
+      std::map<std::size_t, bool> seen;
+      for (VertexId vid : ctx_.lowered[cs].vertices) {
+        seen[ctx_.graph->vertices()[vid].tile] = true;
+      }
+      for (const auto& [tile, _] : seen) ++cs_per_tile[tile];
+    }
+    for (const auto& [tile, count] : cs_per_tile) {
+      bytes_saved_ += (count - 1) * kControlBytesPerCs;
+    }
+    const auto id = static_cast<ComputeSetId>(ctx_.lowered.size());
+    ctx_.lowered.push_back({std::move(name), std::move(vertices)});
+    return id;
+  }
+
+  LoweringContext& ctx_;
+  std::size_t bytes_saved_ = 0;
+};
+
+}  // namespace
+
+Status ComputeSetFusionPass::Run(LoweringContext& ctx, PassReport& report) {
+  report.objects_before = ReachableComputeSets(ctx.program).size();
+  Fuser fuser(ctx);
+  fuser.rewrite(ctx.program);
+  report.objects_after = ReachableComputeSets(ctx.program).size();
+  report.bytes_saved = fuser.bytes_saved();
+  return Status::Ok();
+}
+
+}  // namespace repro::ipu

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "ipusim/passes/pass.h"
+
+namespace repro::ipu {
+
+// Merges maximal runs of adjacent Execute steps whose combined vertex
+// footprints still satisfy BSP disjointness into one lowered compute set:
+// one exchange + one sync instead of one per member, and one per-tile
+// control-code charge instead of one per member. A step that reads what an
+// earlier run member writes fails the sweep and closes the run, so
+// data-dependent chains (butterfly stages) are never merged. Runs never
+// cross non-Execute steps or Repeat boundaries, and never include the same
+// compute set twice (the second Execute is a genuine re-run).
+//
+// Preserves: engine-visible semantics (merged vertices are disjoint, so any
+// execution order yields the same tensors) and per-vertex memory charges
+// (state, code, edge pointers are per vertex, not per compute set).
+class ComputeSetFusionPass : public CompilerPass {
+ public:
+  const char* name() const override { return "fuse-compute-sets"; }
+  Status Run(LoweringContext& ctx, PassReport& report) override;
+};
+
+}  // namespace repro::ipu

@@ -1,0 +1,81 @@
+#include "ipusim/passes/interval_sweep.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace repro::ipu {
+namespace {
+
+// Sweep-line frontier over intervals of one variable: remembers the furthest
+// interval end seen so far and, separately, the furthest end contributed by
+// any *other* vertex, which is all a later interval needs to detect an
+// overlap with foreign work.
+struct SweepFrontier {
+  std::size_t end1 = 0;      // furthest end overall
+  VertexId v1 = kInvalidId;  // vertex owning end1
+  std::size_t end2 = 0;      // furthest end among vertices != v1
+
+  void add(std::size_t end, VertexId v) {
+    if (v == v1) {
+      end1 = std::max(end1, end);
+    } else if (end >= end1) {
+      if (v1 != kInvalidId) end2 = std::max(end2, end1);
+      end1 = end;
+      v1 = v;
+    } else {
+      end2 = std::max(end2, end);
+    }
+  }
+  // Furthest end among intervals owned by vertices other than v.
+  std::size_t otherEnd(VertexId v) const { return v == v1 ? end2 : end1; }
+};
+
+}  // namespace
+
+Status CheckVertexFootprintsDisjoint(const Graph& graph,
+                                     std::span<const VertexId> vertices,
+                                     const std::string& what) {
+  struct Interval {
+    VarId var;
+    std::size_t begin;
+    std::size_t end;
+    VertexId vertex;
+    bool is_output;
+  };
+  std::vector<Interval> intervals;
+  for (VertexId vid : vertices) {
+    for (const Edge& e : graph.vertices()[vid].edges) {
+      if (e.view.numel == 0) continue;
+      intervals.push_back({e.view.var, e.view.offset,
+                           e.view.offset + e.view.numel, vid, e.is_output});
+    }
+  }
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.var != b.var ? a.var < b.var : a.begin < b.begin;
+            });
+  SweepFrontier outputs, inputs;
+  VarId current_var = kInvalidId;
+  for (const Interval& iv : intervals) {
+    if (iv.var != current_var) {
+      outputs = SweepFrontier{};
+      inputs = SweepFrontier{};
+      current_var = iv.var;
+    }
+    // Reads racing a foreign write, or two foreign writes, are conflicts;
+    // concurrent reads are not.
+    const bool conflict =
+        iv.begin < outputs.otherEnd(iv.vertex) ||
+        (iv.is_output && iv.begin < inputs.otherEnd(iv.vertex));
+    if (conflict) {
+      return Status::InvalidArgument(
+          what + ": vertices overlap on '" + graph.variables()[iv.var].name +
+          "' elements near " + std::to_string(iv.begin) +
+          " (BSP requires disjoint per-vertex footprints)");
+    }
+    (iv.is_output ? outputs : inputs).add(iv.end, iv.vertex);
+  }
+  return Status::Ok();
+}
+
+}  // namespace repro::ipu

@@ -1,0 +1,25 @@
+// Interval-sweep disjointness check over vertex footprints, shared by the
+// validate pass (every graph compute set must satisfy BSP disjointness) and
+// the fusion pass (a merge is legal only if the merged vertex set still
+// satisfies it).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "ipusim/graph.h"
+#include "util/error.h"
+
+namespace repro::ipu {
+
+// Vertices that run concurrently (one BSP superstep) must have disjoint
+// memory footprints: no two vertices may write the same elements, and no
+// vertex may read elements another vertex writes. A vertex overlapping with
+// *itself* (in-place ops like Relu or ScaledAdd) is fine -- each vertex runs
+// serially inside one thread. `what` names the compute set for the error
+// message.
+Status CheckVertexFootprintsDisjoint(const Graph& graph,
+                                     std::span<const VertexId> vertices,
+                                     const std::string& what);
+
+}  // namespace repro::ipu

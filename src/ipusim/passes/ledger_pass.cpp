@@ -1,0 +1,90 @@
+#include "ipusim/passes/ledger_pass.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ipusim/codelet.h"
+
+namespace repro::ipu {
+
+Status LedgerPass::Run(LoweringContext& ctx, PassReport& report) {
+  const Graph& graph = *ctx.graph;
+  const IpuArch& arch = graph.arch();
+  auto& registry = CodeletRegistry::Get();
+  ctx.tiles.assign(arch.num_tiles, TileLedger{});
+  report.objects_before = report.objects_after = arch.num_tiles;
+
+  // --- variables: one charge per arena slot ---
+  for (VarId rep : ctx.slot_bytes_var) {
+    for (const auto& iv : graph.variables()[rep].mapping) {
+      ctx.tiles[iv.tile][MemCategory::kVariables] +=
+          (iv.end - iv.begin) * sizeof(float);
+    }
+  }
+
+  // --- vertices of reachable compute sets: state, code, edge pointers ---
+  // Code is charged once per (tile, codelet); control once per (tile, cs).
+  std::vector<std::set<std::string>> tile_codelets(arch.num_tiles);
+  std::vector<std::set<ComputeSetId>> tile_cs(arch.num_tiles);
+  for (ComputeSetId cs : ctx.reachable) {
+    for (VertexId vid : ctx.lowered[cs].vertices) {
+      const Vertex& v = graph.vertices()[vid];
+      const Codelet& codelet = registry.Lookup(v.codelet);
+      TileLedger& ledger = ctx.tiles[v.tile];
+      ledger[MemCategory::kVertexState] +=
+          codelet.base_state_bytes + v.state.size() * sizeof(float);
+      tile_codelets[v.tile].insert(v.codelet);
+      tile_cs[v.tile].insert(cs);
+      for (const Edge& e : v.edges) {
+        std::size_t intervals = 0;
+        ForEachMappedRange(graph, e.view,
+                           [&](std::size_t, std::size_t, std::size_t) {
+                             ++intervals;
+                           });
+        ledger[MemCategory::kEdgePointers] += intervals * kEdgePointerBytes;
+      }
+    }
+  }
+
+  for (std::size_t t = 0; t < arch.num_tiles; ++t) {
+    ctx.tiles[t][MemCategory::kExchangeBuffers] = ctx.exchange_buffer_bytes[t];
+    for (const auto& name : tile_codelets[t]) {
+      ctx.tiles[t][MemCategory::kVertexCode] += registry.Lookup(name).code_bytes;
+    }
+    if (!tile_cs[t].empty() || ctx.tiles[t][MemCategory::kVariables] > 0) {
+      ctx.tiles[t][MemCategory::kControlCode] +=
+          kControlBaseBytes + tile_cs[t].size() * kControlBytesPerCs;
+    }
+  }
+
+  // --- stats ---
+  CompileStats& stats = ctx.stats;
+  stats.num_variables = graph.variables().size();
+  stats.num_vertices = graph.vertices().size();
+  stats.num_edges = graph.numEdges();
+  stats.num_compute_sets = ctx.reachable.size();
+  for (std::size_t t = 0; t < arch.num_tiles; ++t) {
+    const std::size_t tile_total = ctx.tiles[t].total();
+    stats.max_tile_bytes = std::max(stats.max_tile_bytes, tile_total);
+    stats.total_bytes += tile_total;
+    for (std::size_t c = 0; c < kNumMemCategories; ++c) {
+      stats.category_bytes[c] += ctx.tiles[t].bytes[c];
+    }
+  }
+  stats.free_bytes = arch.total_memory_bytes() > stats.total_bytes
+                         ? arch.total_memory_bytes() - stats.total_bytes
+                         : 0;
+
+  if (!ctx.options.allow_oversubscription &&
+      stats.max_tile_bytes > arch.tile_memory_bytes) {
+    return Status::OutOfMemory(
+        "tile memory exceeded: " + std::to_string(stats.max_tile_bytes) +
+        " bytes needed on the fullest tile, " +
+        std::to_string(arch.tile_memory_bytes) + " available");
+  }
+  return Status::Ok();
+}
+
+}  // namespace repro::ipu

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "ipusim/passes/pass.h"
+
+namespace repro::ipu {
+
+// Assembles the per-tile memory ledgers and the compile stats from
+// everything the earlier passes produced: arena-adjusted variable bytes
+// (one charge per slot, not per variable), vertex state / code / edge
+// pointers for program-reachable compute sets only, the exchange-buffer
+// residency from the exchange pass, and per-(tile, compute-set) control
+// code over the *lowered* compute sets (so fusion's savings land here).
+// Fails with OutOfMemory when the fullest tile exceeds its budget, unless
+// CompileOptions::allow_oversubscription.
+class LedgerPass : public CompilerPass {
+ public:
+  const char* name() const override { return "build-ledger"; }
+  Status Run(LoweringContext& ctx, PassReport& report) override;
+};
+
+}  // namespace repro::ipu

@@ -1,0 +1,211 @@
+#include "ipusim/passes/liveness_pass.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <vector>
+
+namespace repro::ipu {
+namespace {
+
+constexpr std::size_t kForever = std::numeric_limits<std::size_t>::max();
+
+struct Access {
+  VarId var;
+  std::size_t first;  // step of the access (widened over Repeat bodies)
+  std::size_t last;
+  bool is_write;
+};
+
+// Flattens the program into leaf steps (Execute / Copy / CopyBundle /
+// HostWrite / HostRead each take one step) and records every variable
+// access. Accesses inside a Repeat are widened to the repeat's whole span
+// afterwards; outer repeats widen further since they are processed last.
+class AccessWalker {
+ public:
+  AccessWalker(const LoweringContext& ctx) : ctx_(ctx) {}
+
+  void walk(const Program& p) {
+    switch (p.kind) {
+      case Program::Kind::kSequence:
+        for (const auto& child : p.children) walk(child);
+        break;
+      case Program::Kind::kExecute: {
+        for (VertexId vid : ctx_.lowered[p.cs].vertices) {
+          for (const Edge& e : ctx_.graph->vertices()[vid].edges) {
+            add(e.view.var, e.is_output);
+          }
+        }
+        ++step_;
+        break;
+      }
+      case Program::Kind::kCopy:
+        add(p.src.var, false);
+        add(p.dst.var, true);
+        ++step_;
+        break;
+      case Program::Kind::kCopyBundle:
+        for (const auto& c : p.children) {
+          add(c.src.var, false);
+          add(c.dst.var, true);
+        }
+        ++step_;
+        break;
+      case Program::Kind::kRepeat: {
+        const std::size_t start = step_;
+        const std::size_t first_access = accesses_.size();
+        for (const auto& child : p.children) walk(child);
+        if (step_ > start) {
+          for (std::size_t i = first_access; i < accesses_.size(); ++i) {
+            accesses_[i].first = start;
+            accesses_[i].last = step_ - 1;
+          }
+        }
+        break;
+      }
+      case Program::Kind::kHostWrite:
+        add(p.dst.var, true);
+        ++step_;
+        break;
+      case Program::Kind::kHostRead:
+        add(p.src.var, false);
+        ++step_;
+        break;
+    }
+  }
+
+  const std::vector<Access>& accesses() const { return accesses_; }
+
+ private:
+  void add(VarId var, bool is_write) {
+    accesses_.push_back({var, step_, step_, is_write});
+  }
+
+  const LoweringContext& ctx_;
+  std::size_t step_ = 0;
+  std::vector<Access> accesses_;
+};
+
+struct Lifetime {
+  std::size_t start = 0;
+  std::size_t end = kForever;
+};
+
+}  // namespace
+
+Status VariableLivenessPass::Run(LoweringContext& ctx, PassReport& report) {
+  const Graph& graph = *ctx.graph;
+  const auto& vars = graph.variables();
+
+  AccessWalker walker(ctx);
+  walker.walk(ctx.program);
+
+  // Fold accesses into per-variable [first, last] with the access kinds at
+  // the boundary steps (any read at the earliest step keeps the variable
+  // host-writable, i.e. live-in; any write at the latest step keeps it
+  // host-readable, i.e. live-out).
+  struct Bounds {
+    bool accessed = false;
+    std::size_t first = 0, last = 0;
+    bool first_has_read = false, last_has_write = false;
+  };
+  std::vector<Bounds> bounds(vars.size());
+  for (const Access& a : walker.accesses()) {
+    Bounds& b = bounds[a.var];
+    if (!b.accessed) {
+      b = {true, a.first, a.last, !a.is_write, a.is_write};
+      continue;
+    }
+    if (a.first < b.first) {
+      b.first = a.first;
+      b.first_has_read = !a.is_write;
+    } else if (a.first == b.first) {
+      b.first_has_read |= !a.is_write;
+    }
+    if (a.last > b.last) {
+      b.last = a.last;
+      b.last_has_write = a.is_write;
+    } else if (a.last == b.last) {
+      b.last_has_write |= a.is_write;
+    }
+  }
+  std::vector<Lifetime> life(vars.size());
+  for (VarId v = 0; v < vars.size(); ++v) {
+    const Bounds& b = bounds[v];
+    if (!b.accessed) continue;  // never accessed: always live
+    life[v].start = b.first_has_read ? 0 : b.first;
+    life[v].end = b.last_has_write ? kForever : b.last;
+  }
+
+  // Group variables by exact mapping signature: a slot's members occupy the
+  // same elements of the same tiles, so the ledger charges one member per
+  // slot with no approximation.
+  std::map<std::vector<std::size_t>, std::vector<VarId>> groups;
+  std::size_t mapped_vars = 0;
+  for (VarId v = 0; v < vars.size(); ++v) {
+    if (vars[v].numel == 0) continue;
+    ++mapped_vars;
+    std::vector<std::size_t> key;
+    key.reserve(vars[v].mapping.size() * 3);
+    for (const auto& iv : vars[v].mapping) {
+      key.push_back(iv.begin);
+      key.push_back(iv.end);
+      key.push_back(iv.tile);
+    }
+    groups[std::move(key)].push_back(v);
+  }
+
+  // Greedy first-fit interval scheduling within each group (members sorted
+  // by lifetime start, ties by creation order -- deterministic).
+  ctx.slot_of_var.assign(vars.size(), 0);
+  for (VarId v = 0; v < vars.size(); ++v) ctx.slot_of_var[v] = v;
+  ctx.slot_bytes_var.clear();
+  std::size_t bytes_saved = 0;
+  std::size_t num_slots = 0;
+  std::vector<bool> grouped(vars.size(), false);
+  for (auto& [key, members] : groups) {
+    std::sort(members.begin(), members.end(), [&](VarId a, VarId b) {
+      return life[a].start != life[b].start ? life[a].start < life[b].start
+                                            : a < b;
+    });
+    struct Slot {
+      std::size_t last_end;
+      std::size_t id;
+      VarId rep;
+    };
+    std::vector<Slot> slots;
+    for (VarId v : members) {
+      grouped[v] = true;
+      Slot* fit = nullptr;
+      for (Slot& s : slots) {
+        if (s.last_end != kForever && s.last_end < life[v].start) {
+          fit = &s;
+          break;
+        }
+      }
+      if (fit == nullptr) {
+        slots.push_back({life[v].end, num_slots++, v});
+        ctx.slot_of_var[v] = slots.back().id;
+        ctx.slot_bytes_var.push_back(v);
+      } else {
+        fit->last_end = std::max(fit->last_end, life[v].end);
+        ctx.slot_of_var[v] = fit->id;
+        bytes_saved += vars[v].numel * sizeof(float);
+      }
+    }
+  }
+  // Unmapped (numel == 0) variables get their own inert slots so the
+  // slot_of_var table stays total.
+  for (VarId v = 0; v < vars.size(); ++v) {
+    if (grouped[v]) continue;
+    ctx.slot_of_var[v] = num_slots++;
+    ctx.slot_bytes_var.push_back(v);
+  }
+
+  report.objects_before = mapped_vars;
+  report.objects_after = num_slots - (vars.size() - mapped_vars);
+  report.bytes_saved = bytes_saved;
+  return Status::Ok();
+}
+
+}  // namespace repro::ipu

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "ipusim/passes/pass.h"
+
+namespace repro::ipu {
+
+// Poplar-style variable liveness: computes a conservative [first-def,
+// last-use] interval for every variable over the lowered program order,
+// then lets variables with identical tile mappings and non-overlapping
+// lifetimes share one per-tile arena slot in the ledger. Unfused lowerings
+// that materialise each stage into a fresh staging tensor collapse back to
+// ping-pong-buffer memory cost.
+//
+// Conservative lifetime rules (accounting model, never touches storage):
+//  * first program access is a read  -> live-in from step 0 (the host may
+//    have written it before run());
+//  * last program access is a write  -> live-out forever (the host may read
+//    it back);
+//  * any access inside a Repeat body -> extended over the whole repeat
+//    (the back edge re-reads earlier steps);
+//  * never accessed                  -> always live.
+// Slots only group variables whose interval mappings are element-for-
+// element identical, so a slot's per-tile bytes are exactly one member's
+// and the ledger stays an under-approximation-free model.
+//
+// Preserves: engine results bitwise (storage_ stays per-variable on the
+// host); every ledger category except kVariables.
+class VariableLivenessPass : public CompilerPass {
+ public:
+  const char* name() const override { return "reuse-variable-memory"; }
+  Status Run(LoweringContext& ctx, PassReport& report) override;
+};
+
+}  // namespace repro::ipu

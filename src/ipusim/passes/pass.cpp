@@ -1,0 +1,23 @@
+#include "ipusim/passes/pass.h"
+
+#include <algorithm>
+
+namespace repro::ipu {
+namespace {
+
+void Collect(const Program& p, std::vector<ComputeSetId>& out) {
+  if (p.kind == Program::Kind::kExecute) out.push_back(p.cs);
+  for (const auto& child : p.children) Collect(child, out);
+}
+
+}  // namespace
+
+std::vector<ComputeSetId> ReachableComputeSets(const Program& p) {
+  std::vector<ComputeSetId> out;
+  Collect(p, out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace repro::ipu

@@ -1,0 +1,71 @@
+#include "ipusim/passes/validate_pass.h"
+
+#include <string>
+
+#include "ipusim/codelet.h"
+#include "ipusim/passes/interval_sweep.h"
+
+namespace repro::ipu {
+namespace {
+
+Status ValidateMappings(const Graph& graph) {
+  for (const auto& var : graph.variables()) {
+    if (var.numel == 0) continue;
+    std::size_t covered = 0;
+    std::size_t cursor = 0;
+    for (const auto& iv : var.mapping) {
+      if (iv.begin != cursor) {
+        return Status::InvalidArgument("variable '" + var.name +
+                                       "' has unmapped or misordered elements");
+      }
+      covered += iv.end - iv.begin;
+      cursor = iv.end;
+    }
+    if (covered != var.numel) {
+      return Status::InvalidArgument("variable '" + var.name +
+                                     "' is not fully tile-mapped");
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateProgramTargets(const Program& p, std::size_t num_cs) {
+  if (p.kind == Program::Kind::kExecute && p.cs >= num_cs) {
+    return Status::InvalidArgument("program executes unknown compute set " +
+                                   std::to_string(p.cs));
+  }
+  for (const auto& child : p.children) {
+    if (Status s = ValidateProgramTargets(child, num_cs); !s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ValidatePass::Run(LoweringContext& ctx, PassReport& report) {
+  const Graph& graph = *ctx.graph;
+  report.objects_before = report.objects_after = graph.computeSets().size();
+
+  if (Status s = ValidateMappings(graph); !s.ok()) return s;
+  if (Status s = ValidateProgramTargets(ctx.program, graph.computeSets().size());
+      !s.ok()) {
+    return s;
+  }
+  auto& registry = CodeletRegistry::Get();
+  for (const Vertex& v : graph.vertices()) {
+    if (!registry.Has(v.codelet)) {
+      return Status::InvalidArgument("unknown codelet '" + v.codelet + "'");
+    }
+  }
+  for (ComputeSetId cs = 0; cs < graph.computeSets().size(); ++cs) {
+    if (Status s = CheckVertexFootprintsDisjoint(
+            graph, graph.verticesInCs(cs),
+            "compute set " + std::to_string(cs));
+        !s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace repro::ipu

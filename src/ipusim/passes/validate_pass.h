@@ -1,0 +1,18 @@
+#pragma once
+
+#include "ipusim/passes/pass.h"
+
+namespace repro::ipu {
+
+// Rejects graphs that violate the simulator's contracts before any
+// optimization runs: every variable fully and contiguously tile-mapped,
+// every vertex codelet registered, every executed compute-set id in range,
+// and every graph compute set BSP-disjoint (interval_sweep.h). Mutates
+// nothing; later passes may assume all of the above.
+class ValidatePass : public CompilerPass {
+ public:
+  const char* name() const override { return "validate"; }
+  Status Run(LoweringContext& ctx, PassReport& report) override;
+};
+
+}  // namespace repro::ipu

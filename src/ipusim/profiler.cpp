@@ -40,6 +40,14 @@ std::string MemoryReport(const Executable& exe) {
   out << "  fullest tile:   " << HumanBytes(s.max_tile_bytes) << " / "
       << HumanBytes(exe.graph->arch().tile_memory_bytes) << "\n";
   out << "  free on device: " << HumanBytes(s.free_bytes) << "\n";
+  for (const PassReport& p : s.pass_reports) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "  pass %-22s %zu -> %zu objects, saved %s (%.3f ms)\n",
+                  (p.pass + ":").c_str(), p.objects_before, p.objects_after,
+                  HumanBytes(p.bytes_saved).c_str(), p.seconds * 1e3);
+    out << buf;
+  }
   return out.str();
 }
 

@@ -41,6 +41,13 @@ struct SessionOptions {
   bool fast_repeat = true;
   // Let compilation succeed past per-tile memory limits (memory studies).
   bool allow_oversubscription = false;
+  // Merge adjacent disjoint Execute steps into one compute set (compiler
+  // fusion pass). Off reproduces the unfused per-step accounting.
+  bool fuse_compute_sets = true;
+  // Share per-tile arena slots between variables with non-overlapping
+  // lifetimes (compiler liveness pass). Ledger-only: engine results are
+  // bitwise identical either way.
+  bool reuse_variable_memory = true;
   // Host worker threads for engine execution; 0 defers to REPRO_THREADS /
   // hardware concurrency. Never affects simulated results.
   std::size_t host_threads = 0;
@@ -54,7 +61,9 @@ struct SessionOptions {
                          .host_threads = host_threads};
   }
   CompileOptions compileOptions() const {
-    return CompileOptions{.allow_oversubscription = allow_oversubscription};
+    return CompileOptions{.allow_oversubscription = allow_oversubscription,
+                          .fuse_compute_sets = fuse_compute_sets,
+                          .reuse_variable_memory = reuse_variable_memory};
   }
 };
 

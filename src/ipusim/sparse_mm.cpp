@@ -281,30 +281,15 @@ Matrix UnpackCSparse(const SpmmPlan& plan, std::span<const float> c_blocks) {
   return c;
 }
 
-namespace {
-
-template <typename Runner>
-Matrix RunSparseMatMulOn(const SpmmPlan& plan, Runner& runner, const Matrix& b,
-                         RunReport* report) {
-  const auto packed = PackBSparse(plan, b);
-  runner.writeTensor(plan.b, packed);
-  RunReport r = runner.run();
-  if (report != nullptr) *report = r;
-  std::vector<float> c_packed(plan.c.numel);
-  runner.readTensor(plan.c, c_packed);
-  return UnpackCSparse(plan, c_packed);
-}
-
-}  // namespace
-
 Matrix RunSparseMatMul(const SpmmPlan& plan, Session& session, const Matrix& b,
                        RunReport* report) {
-  return RunSparseMatMulOn(plan, session, b, report);
-}
-
-Matrix RunSparseMatMul(const SpmmPlan& plan, Engine& engine, const Matrix& b,
-                       RunReport* report) {
-  return RunSparseMatMulOn(plan, engine, b, report);
+  const auto packed = PackBSparse(plan, b);
+  session.writeTensor(plan.b, packed);
+  RunReport r = session.run();
+  if (report != nullptr) *report = r;
+  std::vector<float> c_packed(plan.c.numel);
+  session.readTensor(plan.c, c_packed);
+  return UnpackCSparse(plan, c_packed);
 }
 
 }  // namespace repro::ipu

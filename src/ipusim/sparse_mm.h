@@ -44,7 +44,5 @@ Matrix UnpackCSparse(const SpmmPlan& plan, std::span<const float> c_blocks);
 
 Matrix RunSparseMatMul(const SpmmPlan& plan, Session& session, const Matrix& b,
                        RunReport* report = nullptr);
-Matrix RunSparseMatMul(const SpmmPlan& plan, Engine& engine, const Matrix& b,
-                       RunReport* report = nullptr);
 
 }  // namespace repro::ipu

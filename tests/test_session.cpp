@@ -171,12 +171,17 @@ TEST(SessionOptionsTest, OptionFieldsFlowToEngineAndCompiler) {
   opts.execute = false;
   opts.fast_repeat = false;
   opts.allow_oversubscription = true;
+  opts.fuse_compute_sets = false;
+  opts.reuse_variable_memory = false;
   opts.host_threads = 2;
   const EngineOptions eo = opts.engineOptions();
   EXPECT_FALSE(eo.execute);
   EXPECT_FALSE(eo.fast_repeat);
   EXPECT_EQ(eo.host_threads, 2u);
-  EXPECT_TRUE(opts.compileOptions().allow_oversubscription);
+  const CompileOptions co = opts.compileOptions();
+  EXPECT_TRUE(co.allow_oversubscription);
+  EXPECT_FALSE(co.fuse_compute_sets);
+  EXPECT_FALSE(co.reuse_variable_memory);
 }
 
 TEST(SessionOptionsTest, OversubscriptionAllowsMemoryStudies) {
