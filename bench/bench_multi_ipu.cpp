@@ -6,7 +6,9 @@
 // memory footprint, so butterfly scales with near-perfect efficiency while
 // the dense baseline pays for 1.06 M gradients every step.
 #include <cstdio>
+#include <string>
 
+#include "bench_json.h"
 #include "core/device_time.h"
 #include "ipusim/multi_ipu.h"
 #include "util/cli.h"
@@ -16,7 +18,7 @@ using namespace repro;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
-  (void)cli;
+  BenchJsonWriter json("multi_ipu", cli.GetString("json", ""));
   ipu::M2000Arch pod;
   core::ShlShape shape;
 
@@ -38,6 +40,16 @@ int main(int argc, char** argv) {
       case core::Method::kPixelfly: params = 404490; break;
     }
     auto pts = ipu::DataParallelScaling(pod, step, floor_s, params);
+    for (const ipu::ScalingPoint& pt : pts) {
+      char rec[256];
+      std::snprintf(rec, sizeof rec,
+                    "{\"method\": \"%s\", \"params\": %zu, \"ipus\": %zu, "
+                    "\"step_us\": %.17g, \"speedup\": %.17g, "
+                    "\"efficiency\": %.17g}",
+                    core::MethodName(m), params, pt.ipus,
+                    pt.step_seconds * 1e6, pt.speedup, pt.efficiency);
+      json.Add(rec);
+    }
     t.AddRow({core::MethodName(m), Table::Int(static_cast<long long>(params)),
               Table::Num(pts[0].step_seconds * 1e6, 1),
               Table::Num(pts[1].step_seconds * 1e6, 1),
@@ -56,5 +68,6 @@ int main(int argc, char** argv) {
       "%.1f us\n(%.0fx less inter-chip traffic -- the same 98.5%% compression "
       "that saves\non-chip memory also buys scale-out efficiency).\n",
       dense_ar, bfly_ar, dense_ar / bfly_ar);
+  json.Write();
   return 0;
 }

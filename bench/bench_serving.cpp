@@ -1,0 +1,179 @@
+// Serving-capacity comparison: dense vs butterfly vs pixelfly at a fixed
+// per-tile memory budget (the paper's memory argument turned into a serving
+// claim). For each method the bench
+//   1. exports the SHL forward pass and probes MaxReplicasPerIpu -- how many
+//      timing-plan replicas of the compiled graph fit on one simulated GC200
+//      when the device is carved into equal tile slices;
+//   2. runs a closed-loop load (enough clients to keep every replica's batch
+//      slots full) to measure sustained QPS at that replica count;
+//   3. runs an open-loop Poisson load at a fraction of the sustained rate to
+//      measure p50/p95/p99 latency and load shedding under headroom.
+// Arrivals are deterministic (seeded Rng), so --json output is reproducible
+// bit for bit for a fixed flag set.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/device_time.h"
+#include "core/method.h"
+#include "ipusim/arch.h"
+#include "nn/export.h"
+#include "nn/model.h"
+#include "serve/model_plan.h"
+#include "serve/replica_pool.h"
+#include "serve/server.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace repro;
+
+namespace {
+
+struct MethodResult {
+  core::Method method = core::Method::kBaseline;
+  std::size_t replicas = 0;
+  std::size_t tiles_per_replica = 0;
+  double service_us = 0.0;
+  double closed_qps = 0.0;
+  serve::ServeMetrics closed{1};
+  serve::ServeMetrics open{1};
+  double offered_qps = 0.0;
+  ipu::GraphCounts counts;
+};
+
+std::string Record(const MethodResult& r, const char* mode,
+                   const serve::ServeMetrics& m, double offered_qps,
+                   std::size_t n) {
+  char head[512];
+  std::snprintf(head, sizeof head,
+                "{\"method\": \"%s\", \"mode\": \"%s\", \"n\": %zu, "
+                "\"replicas\": %zu, \"tiles_per_replica\": %zu, "
+                "\"service_us\": %.17g, \"offered_qps\": %.17g, ",
+                core::MethodName(r.method), mode, n, r.replicas,
+                r.tiles_per_replica, r.service_us, offered_qps);
+  return std::string(head) + "\"counts\": " + r.counts.ToJson() +
+         ", \"metrics\": " + m.ToJson() + "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const bool fast = cli.Fast();
+  const std::size_t n = cli.GetInt("n", 1024);
+  const std::size_t max_batch = cli.GetInt("batch", 32);
+  const double delay_s = cli.GetDouble("delay-us", 200.0) * 1e-6;
+  const std::size_t cap = cli.GetInt("cap", 256);
+  const double rate_frac = cli.GetDouble("rate-frac", 0.7);
+  const std::uint64_t seed = cli.GetInt("seed", 1);
+  BenchJsonWriter json("serving", cli.GetString("json", ""));
+
+  core::ShlShape shape;
+  shape.input = n;
+  shape.hidden = n;
+  shape.pixelfly = core::ScaledPixelflyConfig(n);
+  const ipu::IpuArch arch = ipu::Gc200();
+
+  PrintBanner("Serving capacity at fixed per-tile memory: replicated "
+              "forward plans on one GC200");
+  std::printf("n = %zu, max_batch = %zu, batching delay = %.0f us, replica "
+              "cap = %zu\n\n",
+              n, max_batch, delay_s * 1e6, cap);
+
+  const core::Method methods[] = {core::Method::kBaseline,
+                                  core::Method::kButterfly,
+                                  core::Method::kPixelfly};
+  std::vector<MethodResult> results;
+  for (core::Method method : methods) {
+    Rng rng(seed);
+    nn::Sequential model = nn::BuildShl(method, shape, rng);
+    nn::ForwardSpec spec = nn::ExportForward(model);
+
+    const serve::PlanOptions probe{.max_batch = max_batch, .execute = false};
+    MethodResult r;
+    r.method = method;
+    r.replicas = serve::MaxReplicasPerIpu(spec, arch, probe, cap);
+    if (r.replicas == 0) {
+      std::printf("%-10s does not fit even one replica, skipping\n",
+                  core::MethodName(method));
+      continue;
+    }
+    r.tiles_per_replica = arch.num_tiles / r.replicas;
+
+    serve::PlanOptions opts = probe;
+    opts.num_tiles = r.tiles_per_replica;
+    auto plan = serve::ModelPlan::Build(spec, arch, opts);
+    REPRO_REQUIRE(plan.ok(), "replica plan for %s: %s",
+                  core::MethodName(method), plan.status().message().c_str());
+    r.service_us = plan.value()->batchSeconds() * 1e6;
+    r.counts = plan.value()->counts();
+
+    serve::ReplicaPool pool(*plan.value(), r.replicas);
+    serve::ServerConfig cfg;
+    cfg.batch = serve::BatchPolicy{.max_batch = max_batch,
+                                   .max_delay_s = delay_s};
+
+    // Closed loop: enough clients to fill every replica's batch slots,
+    // queue sized to the client count (the backpressure contract).
+    const std::size_t clients = r.replicas * max_batch;
+    cfg.queue_capacity = clients;
+    const std::size_t closed_requests =
+        cli.GetInt("requests", clients * (fast ? 4 : 16));
+    {
+      serve::Server server(pool, cfg);
+      serve::ServeResult res = server.RunClosedLoop(
+          serve::ClosedLoopLoad{.clients = clients,
+                                .requests = closed_requests,
+                                .think_s = 0.0});
+      r.closed_qps = res.metrics.qps();
+      r.closed = res.metrics;
+    }
+
+    // Open loop at a fraction of sustained capacity: the latency picture.
+    r.offered_qps = rate_frac * r.closed_qps;
+    {
+      serve::Server server(pool, cfg);
+      serve::ServeResult res = server.RunOpenLoop(
+          serve::OpenLoopLoad{.qps = r.offered_qps,
+                              .requests = closed_requests,
+                              .seed = seed});
+      r.open = res.metrics;
+    }
+
+    json.Add(Record(r, "closed", r.closed, 0.0, n));
+    json.Add(Record(r, "open", r.open, r.offered_qps, n));
+    results.push_back(std::move(r));
+  }
+
+  Table t({"Method", "replicas", "tiles/rep", "service [us]", "closed QPS",
+           "open p50 [us]", "open p99 [us]", "occupancy", "rejected"});
+  for (const MethodResult& r : results) {
+    t.AddRow({core::MethodName(r.method),
+              Table::Int(static_cast<long long>(r.replicas)),
+              Table::Int(static_cast<long long>(r.tiles_per_replica)),
+              Table::Num(r.service_us, 1), Table::Num(r.closed_qps, 0),
+              Table::Num(r.open.LatencyPercentile(50.0) * 1e6, 1),
+              Table::Num(r.open.LatencyPercentile(99.0) * 1e6, 1),
+              Table::Num(r.open.meanOccupancy(), 2),
+              Table::Int(static_cast<long long>(r.open.rejected()))});
+  }
+  t.Print();
+
+  if (results.size() == 3) {
+    const MethodResult& dense = results[0];
+    std::printf(
+        "\nReplicas per GC200 at n = %zu: dense %zu, butterfly %zu (%.1fx), "
+        "pixelfly %zu (%.1fx)\n-- the O(n log n) / block-sparse factorizations "
+        "turn the saved per-tile memory\ninto extra replicas, and replicas "
+        "into serving throughput (%.0f -> %.0f QPS).\n",
+        n, dense.replicas, results[1].replicas,
+        double(results[1].replicas) / double(dense.replicas),
+        results[2].replicas,
+        double(results[2].replicas) / double(dense.replicas),
+        dense.closed_qps, results[1].closed_qps);
+  }
+  json.Write();
+  return 0;
+}

@@ -31,6 +31,8 @@ json_benches=(
   bench_table2_mm
   bench_table4_shl
   bench_table5_sweep
+  bench_multi_ipu
+  bench_serving
 )
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "$tmp_dir"' EXIT

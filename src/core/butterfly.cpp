@@ -168,6 +168,15 @@ void Butterfly::Backward(const Workspace& ws, const Matrix& dy, Matrix& dx) {
   }
 }
 
+std::vector<float> Butterfly::FactorCoeffs(std::size_t f) const {
+  REPRO_REQUIRE(f < num_factors_, "factor %zu out of %zu", f, num_factors_);
+  std::vector<float> w(4 * (n_ / 2));
+  for (std::size_t p = 0; p < n_ / 2; ++p) {
+    blockCoeffs(f, p, w[4 * p + 0], w[4 * p + 1], w[4 * p + 2], w[4 * p + 3]);
+  }
+  return w;
+}
+
 Matrix Butterfly::ToDense() const {
   Matrix basis = Matrix::Identity(n_);
   Matrix out(n_, n_);

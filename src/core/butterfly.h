@@ -52,6 +52,15 @@ class Butterfly {
   // vectors), for validation.
   Matrix ToDense() const;
 
+  // Factor f's 2x2 blocks expanded to (a, b, c, d) rows in traversal order
+  // (the pair order applyFactor and the device Butterfly2x2 lowering share).
+  // Used by the forward-only serving export, which uploads the expanded
+  // coefficients as the device weight tensor for stage f.
+  std::vector<float> FactorCoeffs(std::size_t f) const;
+
+  // The fixed input permutation P of T = B P (size 0 means identity).
+  const Permutation& permutation() const { return perm_; }
+
   std::span<float> params() { return params_; }
   std::span<const float> params() const { return params_; }
   std::span<float> grads() { return grads_; }

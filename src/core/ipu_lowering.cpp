@@ -57,19 +57,6 @@ ipu::SessionOptions TimingOptions(const IpuLoweringOptions& opts = {}) {
                                  opts.reuse_variable_memory};
 }
 
-// Maps an n-row staging tensor to tiles offset by half the device from the
-// linear mapping, so a stage materialisation exchanges nearly everything (a
-// real gather/rearrange does).
-void MapRowsOffset(Graph& g, const Tensor& t, std::size_t n) {
-  const std::size_t num_tiles = g.arch().num_tiles;
-  const std::size_t rows_per_tile =
-      std::max<std::size_t>(1, CeilDiv(n, num_tiles));
-  for (std::size_t r = 0, i = 0; r < n; r += rows_per_tile, ++i) {
-    const std::size_t count = std::min(rows_per_tile, n - r);
-    g.setTileMapping(t.rowRange(r, count), (i + num_tiles / 2) % num_tiles);
-  }
-}
-
 IpuLayerTiming RunTimingOnly(ipu::Session& session, Program prog,
                              double fallback_flops, double fallback_bytes,
                              double fallback_eff = 0.55) {
@@ -98,9 +85,30 @@ void MergeCounts(ipu::GraphCounts& into, const ipu::GraphCounts& other) {
   into.free_bytes = std::min(into.free_bytes, other.free_bytes);
 }
 
-// Builds one stage of 2x2-pair compute sets (butterfly / Hadamard) over the
-// feature-major activation tensor x (n rows of `batch` columns). Returns the
-// compute set; `codelet` is Butterfly2x2 (with weights w) or Hadamard2.
+}  // namespace
+
+void MapRowsOffset(Graph& g, const Tensor& t, std::size_t n) {
+  const std::size_t num_tiles = g.arch().num_tiles;
+  const std::size_t rows_per_tile =
+      std::max<std::size_t>(1, CeilDiv(n, num_tiles));
+  for (std::size_t r = 0, i = 0; r < n; r += rows_per_tile, ++i) {
+    const std::size_t count = std::min(rows_per_tile, n - r);
+    g.setTileMapping(t.rowRange(r, count), (i + num_tiles / 2) % num_tiles);
+  }
+}
+
+double ButterflyCyclesPerMac(std::size_t n, bool parity) {
+  // PopTorch-parity cost model, calibrated against Fig. 6 (right) and
+  // Table 4: the framework's generic-codelet cycles-per-MAC grows with
+  // tensor size as gather lists and rearrangement buffers thrash tile SRAM.
+  // Custom vertices (parity off) run fused and SIMD-tight.
+  return parity
+             ? std::clamp(1.05 * std::pow(static_cast<double>(n) / 1024.0,
+                                          1.17),
+                          0.25, 40.0)
+             : 0.5;
+}
+
 ipu::ComputeSetId AddPairStage(Graph& g, const Tensor& x, std::size_t n,
                                std::size_t batch, std::size_t stride,
                                const char* codelet, const Tensor* w,
@@ -134,8 +142,6 @@ ipu::ComputeSetId AddPairStage(Graph& g, const Tensor& x, std::size_t n,
   return cs;
 }
 
-}  // namespace
-
 IpuLayerTiming TimeLinearIpu(const ipu::IpuArch& arch, std::size_t batch,
                              std::size_t in, std::size_t out) {
   ipu::Session session(arch, TimingOptions());
@@ -158,19 +164,13 @@ IpuLayerTiming TimeButterflyIpu(const ipu::IpuArch& arch, std::size_t batch,
   const double flops = 8.0 * static_cast<double>(n / 2) * batch * factors;
   const double bytes = 4.0 * (static_cast<double>(n) * batch +
                               4.0 * static_cast<double>(n / 2) * factors);
-  // PopTorch-parity cost model, calibrated against Fig. 6 (right) and
-  // Table 4: (a) the framework materialises every stage through gather /
-  // scatter copies (two full-tensor exchanges per factor), and (b) its
-  // generic-codelet cycles-per-MAC grows with tensor size as gather lists
-  // and rearrangement buffers thrash tile SRAM. Together these put the
-  // butterfly/Linear break-even at N ~ 2^10 and cap the large-N speedup
-  // near the paper's 1.6x. Custom vertices (parity off) run fused and
-  // SIMD-tight -- the optimisation headroom Section 5 points at.
-  const double cpm =
-      opts.poptorch_parity
-          ? std::clamp(1.05 * std::pow(static_cast<double>(n) / 1024.0, 1.17),
-                       0.25, 40.0)
-          : 0.5;
+  // PopTorch-parity cost model (see ButterflyCyclesPerMac): the framework
+  // materialises every stage through gather / scatter copies (two
+  // full-tensor exchanges per factor) and its generic-codelet cycles-per-MAC
+  // grows with tensor size. Together these put the butterfly/Linear
+  // break-even at N ~ 2^10 and cap the large-N speedup near the paper's
+  // 1.6x -- the optimisation headroom Section 5 points at.
+  const double cpm = ButterflyCyclesPerMac(n, opts.poptorch_parity);
 
   Tensor x = g.addVariable("bfly_x", n, batch);
   g.mapLinearly(x, batch);

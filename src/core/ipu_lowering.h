@@ -10,10 +10,32 @@
 
 #include "core/pixelfly.h"
 #include "ipusim/arch.h"
+#include "ipusim/graph.h"
 #include "ipusim/profiler.h"
 #include "util/error.h"
 
 namespace repro::core {
+
+// --- graph-building helpers shared with the serving lowering (serve/) ---
+
+// PopTorch-parity cycles-per-MAC for the Butterfly2x2 codelet at width n:
+// the calibration that puts the butterfly/Linear crossover at N ~ 2^10 and
+// the large-N speedup near 1.6x (Fig. 6 right). `parity` false models
+// hand-written custom vertices.
+double ButterflyCyclesPerMac(std::size_t n, bool parity = true);
+
+// Maps an n-row staging tensor to tiles offset by half the device from the
+// linear mapping, so a stage materialisation exchanges nearly everything (a
+// real gather/rearrange does).
+void MapRowsOffset(ipu::Graph& g, const ipu::Tensor& t, std::size_t n);
+
+// Builds one stage of 2x2-pair compute sets (butterfly / Hadamard) over the
+// feature-major activation tensor x (n rows of `batch` columns). Returns the
+// compute set; `codelet` is Butterfly2x2 (with weights w) or Hadamard2.
+ipu::ComputeSetId AddPairStage(ipu::Graph& g, const ipu::Tensor& x,
+                               std::size_t n, std::size_t batch,
+                               std::size_t stride, const char* codelet,
+                               const ipu::Tensor* w, double cpm);
 
 struct IpuLayerTiming {
   double fwd_seconds = 0.0;

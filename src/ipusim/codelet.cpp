@@ -157,6 +157,44 @@ void RegisterDense(CodeletRegistry& reg) {
           },
   });
 
+  // BiasRelu: y[l, j] = act(x[l, j] + bias[l]) over L feature rows of
+  // `batch` columns ("relu" immediate 0 => identity). The fused bias +
+  // activation epilogue of the serving forward pass; vectorises like the
+  // other elementwise codelets.
+  reg.Register(Codelet{
+      .name = codelets::kBiasRelu,
+      .code_bytes = 128,
+      .base_state_bytes = 24,
+      .compute =
+          [](VertexArgs& v) {
+            const auto batch = static_cast<std::size_t>(v.imm("batch"));
+            const bool relu = v.imm("relu", 1.0) != 0.0;
+            auto bias = v.in("bias");
+            auto x = v.in("x");
+            auto y = v.out("y");
+            REPRO_REQUIRE(x.size() == bias.size() * batch &&
+                              y.size() == x.size(),
+                          "BiasRelu shape mismatch");
+            for (std::size_t l = 0; l < bias.size(); ++l) {
+              const float b = bias[l];
+              for (std::size_t j = 0; j < batch; ++j) {
+                const float s = x[l * batch + j] + b;
+                y[l * batch + j] = relu && s < 0.0f ? 0.0f : s;
+              }
+            }
+          },
+      .cycles =
+          [](const VertexArgs& v) {
+            return 2.0 * static_cast<double>(v.totalElems("x")) /
+                       v.arch().simd_flops_per_cycle +
+                   10.0;
+          },
+      .flops =
+          [](const VertexArgs& v) {
+            return 2.0 * static_cast<double>(v.totalElems("x"));
+          },
+  });
+
   // DiagMul: y[l, j] = d[l] * x[l, j] for L rows of `batch` columns.
   reg.Register(Codelet{
       .name = codelets::kDiagMul,

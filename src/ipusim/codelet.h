@@ -120,6 +120,7 @@ inline constexpr const char* kHadamard2 = "Hadamard2";
 inline constexpr const char* kSparseRowsMac = "SparseRowsMac";
 inline constexpr const char* kSparseCooMac = "SparseCooMac";
 inline constexpr const char* kBlockGemmAmp = "BlockGemmAmp";
+inline constexpr const char* kBiasRelu = "BiasRelu";
 }  // namespace codelets
 
 }  // namespace repro::ipu

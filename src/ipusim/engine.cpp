@@ -29,9 +29,15 @@ std::size_t Engine::hostWorkers() const {
   return opts_.host_threads != 0 ? opts_.host_threads : ParallelWorkers();
 }
 
-Engine::Engine(Internal, const Graph& graph, Executable exe, Options opts)
+Engine::Engine(Internal tag, const Graph& graph, Executable exe, Options opts)
+    : Engine(tag, graph, std::make_shared<const Executable>(std::move(exe)),
+             opts) {}
+
+Engine::Engine(Internal, const Graph& graph,
+               std::shared_ptr<const Executable> exe, Options opts)
     : graph_(graph), exe_(std::move(exe)), opts_(opts) {
-  REPRO_REQUIRE(exe_.graph == &graph_, "executable compiled from another graph");
+  REPRO_REQUIRE(exe_ != nullptr && exe_->graph == &graph_,
+                "executable compiled from another graph");
   const std::size_t workers = hostWorkers();
   const auto& vars = graph_.variables();
   if (opts_.execute) {
@@ -81,7 +87,7 @@ Engine::Engine(Internal, const Graph& graph, Executable exe, Options opts)
   // which keeps the floating-point flop sum bit-identical for every thread
   // count.
   const IpuArch& arch = graph_.arch();
-  const std::size_t num_cs = exe_.lowered_cs.size();
+  const std::size_t num_cs = exe_->lowered_cs.size();
   cs_compute_cycles_.assign(num_cs, 0.0);
   cs_flops_.assign(num_cs, 0.0);
   ParallelForWith(workers, 0, num_cs, [&](std::size_t lo, std::size_t hi) {
@@ -89,7 +95,7 @@ Engine::Engine(Internal, const Graph& graph, Executable exe, Options opts)
     for (std::size_t cs = lo; cs < hi; ++cs) {
       tile_cycles.clear();
       double flops = 0.0;
-      for (VertexId vid : exe_.lowered_cs[cs].vertices) {
+      for (VertexId vid : exe_->lowered_cs[cs].vertices) {
         tile_cycles[vertices[vid].tile] +=
             vertex_cycles_[vid] + arch.vertex_dispatch_cycles;
         flops += vertex_flops_[vid];
@@ -121,7 +127,7 @@ void Engine::readTensor(const Tensor& t, std::span<float> out) const {
 
 RunReport Engine::run() {
   RunReport r;
-  runProgram(exe_.program, r);
+  runProgram(exe_->program, r);
   return r;
 }
 
@@ -181,7 +187,7 @@ void Engine::execComputeSet(ComputeSetId cs, RunReport& r) {
   // Exchange phase: gather inputs / scatter previous outputs. The cost is
   // the bottleneck tile's receive bytes -- independent of tile distance,
   // which is the paper's Observation 1.
-  const ExchangePlan& plan = exe_.cs_exchange[cs];
+  const ExchangePlan& plan = exe_->cs_exchange[cs];
   if (plan.total_bytes > 0) {
     const auto cycles = static_cast<std::uint64_t>(
         arch.exchange_sync_cycles +
@@ -205,7 +211,7 @@ void Engine::execComputeSet(ComputeSetId cs, RunReport& r) {
     // vertices write disjoint regions (validated at compile time), so the
     // stores never race and the results match serial execution bitwise.
     auto& registry = CodeletRegistry::Get();
-    const std::vector<VertexId>& vids = exe_.lowered_cs[cs].vertices;
+    const std::vector<VertexId>& vids = exe_->lowered_cs[cs].vertices;
     const auto& vertices = graph_.vertices();
     ParallelForWith(hostWorkers(), 0, vids.size(),
                     [&](std::size_t lo, std::size_t hi) {

@@ -15,6 +15,7 @@
 
 #include <map>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -69,6 +70,12 @@ class Engine {
   // Tag for the supported construction path (used by Session).
   struct Internal {};
   Engine(Internal, const Graph& graph, Executable exe, Options opts);
+  // Replica construction: shares an already-compiled executable instead of
+  // owning a private copy. Every replica engine gets its own tensor storage
+  // and cost tables, so replicas run concurrently; the compile artifacts
+  // (program, ledgers, exchange plans) are compiled once and shared.
+  Engine(Internal, const Graph& graph, std::shared_ptr<const Executable> exe,
+         Options opts);
 
   // Host data access (requires Options::execute).
   void writeTensor(const Tensor& t, std::span<const float> data);
@@ -77,7 +84,9 @@ class Engine {
   // Runs the compiled program once and returns its cost report.
   RunReport run();
 
-  const Executable& executable() const { return exe_; }
+  const Executable& executable() const { return *exe_; }
+  // The shared compile artifact, for spawning further replicas off it.
+  std::shared_ptr<const Executable> executableShared() const { return exe_; }
 
  private:
   void runProgram(const Program& p, RunReport& r);
@@ -96,7 +105,7 @@ class Engine {
   std::size_t hostWorkers() const;
 
   const Graph& graph_;
-  Executable exe_;
+  std::shared_ptr<const Executable> exe_;
   Options opts_;
   std::vector<std::vector<float>> storage_;  // per variable (execute mode)
   std::vector<VertexArgs> args_;             // resolved per vertex

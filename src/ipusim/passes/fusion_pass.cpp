@@ -44,7 +44,9 @@ class Fuser {
         continue;
       }
       const ComputeSetId cs = child.cs;
-      const auto& verts = ctx_.lowered[cs].vertices;
+      // Copy, not a reference: flush() -> merge() appends to ctx_.lowered,
+      // which may reallocate and would invalidate a reference held here.
+      const std::vector<VertexId> verts = ctx_.lowered[cs].vertices;
       if (!run.empty()) {
         const bool repeated = std::find(run.begin(), run.end(), cs) != run.end();
         std::vector<VertexId> combined = run_vertices;

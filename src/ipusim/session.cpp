@@ -18,6 +18,22 @@ Status SessionOptions::Validate() const {
         "SessionOptions::host_threads " + std::to_string(host_threads) +
         " exceeds the sanity limit of " + std::to_string(kMaxHostThreads));
   }
+  if (execute && allow_oversubscription) {
+    // An oversubscribed graph has no valid on-device placement; executing
+    // arithmetic against it would fabricate results a real device cannot
+    // produce. Memory studies that oversubscribe are timing-only.
+    return Status::InvalidArgument(
+        "SessionOptions::allow_oversubscription requires execute = false "
+        "(oversubscribed graphs are memory studies, not runnable programs)");
+  }
+  if (!execute && host_threads > 0) {
+    // Timing-only runs never touch tensor storage, so host threads cannot
+    // change anything; a nonzero count is a sign the caller mixed up the
+    // timing-only and executing configurations.
+    return Status::InvalidArgument(
+        "SessionOptions::host_threads set on a timing-only session "
+        "(execute = false runs are serial by construction)");
+  }
   return Status::Ok();
 }
 
@@ -41,6 +57,14 @@ Status Session::compile(Program program) {
 RunReport Session::run() {
   REPRO_REQUIRE(engine_.has_value(), "Session::run before compile");
   return engine_->run();
+}
+
+std::unique_ptr<Engine> Session::makeReplica(std::size_t host_threads) const {
+  REPRO_REQUIRE(engine_.has_value(), "Session::makeReplica before compile");
+  EngineOptions eo = opts_.engineOptions();
+  if (host_threads != 0) eo.host_threads = host_threads;
+  return std::make_unique<Engine>(Engine::Internal{}, graph_,
+                                  engine_->executableShared(), eo);
 }
 
 void Session::writeTensor(const Tensor& t, std::span<const float> data) {

@@ -21,6 +21,7 @@
 // across thread counts.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "ipusim/engine.h"
@@ -93,6 +94,15 @@ class Session {
   // Runs the compiled program once, reusing the executable. Fatal before a
   // successful compile().
   RunReport run();
+
+  // Spawns an independent engine over this session's compiled executable:
+  // compilation runs once, every replica shares the same program, ledgers
+  // and exchange plans, and each replica owns private tensor storage so
+  // replicas execute concurrently (the serving replica pool's substrate).
+  // The replica's execute/fast_repeat flags follow the session options;
+  // `host_threads` caps the replica's own host parallelism (0 defers to the
+  // session's setting). Fatal before a successful compile().
+  std::unique_ptr<Engine> makeReplica(std::size_t host_threads = 0) const;
 
   // Host tensor IO (requires options().execute and a compiled session).
   void writeTensor(const Tensor& t, std::span<const float> data);

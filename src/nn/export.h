@@ -1,0 +1,61 @@
+// Forward-only export of a trained Sequential for inference serving.
+//
+// Training owns the layers' internal representations (Givens angles,
+// pixelfly block tables, row-major host weights); the serving lowering
+// (serve/model_plan.h) wants device-layout tensors it can upload once per
+// replica. ExportForward walks the SHL model [hidden -> ReLU -> Linear
+// classifier] and materialises exactly that: butterfly factors expanded to
+// per-pair 2x2 coefficient rows, dense/classifier weights transposed to the
+// feature-major layout the device graph uses, pixelfly block/low-rank
+// parameters flattened next to their sparsity pattern. The spec is a pure
+// value object -- exporting does not mutate or alias the model, so the
+// trainer can keep updating while previously exported replicas serve.
+#pragma once
+
+#include <vector>
+
+#include "core/method.h"
+#include "core/pixelfly.h"
+#include "nn/model.h"
+
+namespace repro::nn {
+
+// Everything serve::ModelPlan needs to lower one trained SHL forward pass.
+// Only the fields of the exported method are populated.
+struct ForwardSpec {
+  core::Method method = core::Method::kBaseline;
+  std::size_t input = 0;    // hidden-layer input width
+  std::size_t hidden = 0;   // hidden width n
+  std::size_t classes = 0;  // classifier output width
+
+  // Baseline: hidden W^T in feature-major layout (hidden x input).
+  Matrix dense_wt;
+
+  // Butterfly: fixed input permutation (empty = identity) and, per factor f,
+  // (n/2) rows of (a, b, c, d) block coefficients in traversal order --
+  // exactly the weight tensor layout of the Butterfly2x2 stage lowering.
+  std::vector<std::uint32_t> butterfly_perm;
+  std::vector<std::vector<float>> butterfly_factors;
+
+  // Pixelfly: config + pattern plus the flattened parameters. `pf_vt` and
+  // `pf_u` are already in the device's feature-major (rank x n) / (n x rank)
+  // layouts.
+  core::PixelflyConfig pixelfly;
+  std::vector<core::BlockCoord> pf_pattern;
+  std::vector<float> pf_blocks;  // pattern.size() x b*b
+  Matrix pf_vt;                  // rank x n (V^T)
+  Matrix pf_u;                   // n x rank
+
+  std::vector<float> hidden_bias;      // size hidden
+  Matrix classifier_wt;                // classes x hidden (W^T)
+  std::vector<float> classifier_bias;  // size classes
+
+  std::size_t paramCount() const;
+};
+
+// Extracts the forward spec from a (trained) BuildShl model. Supported
+// hidden layers: Linear (baseline), ButterflyLayer, PixelflyLayer -- the
+// methods the serving subsystem deploys. Fatal on any other architecture.
+ForwardSpec ExportForward(Sequential& model);
+
+}  // namespace repro::nn

@@ -1,0 +1,46 @@
+#include "serve/batcher.h"
+
+#include <limits>
+
+#include "util/error.h"
+
+namespace repro::serve {
+
+MicroBatcher::MicroBatcher(BatchPolicy policy) : policy_(policy) {
+  REPRO_REQUIRE(policy.max_batch > 0, "batch policy needs max_batch >= 1");
+  REPRO_REQUIRE(policy.max_delay_s >= 0.0, "negative batching delay");
+}
+
+std::size_t MicroBatcher::Drain(BoundedMpmcQueue<Request>& queue) {
+  std::size_t taken = 0;
+  Request r;
+  while (pending_.size() < policy_.max_batch && queue.TryPop(r)) {
+    pending_.push_back(r);
+    ++taken;
+  }
+  return taken;
+}
+
+bool MicroBatcher::Ready(double now) const {
+  if (pending_.empty()) return false;
+  if (pending_.size() >= policy_.max_batch) return true;
+  // Compare against the exact double the scheduler's deadline event carries,
+  // so Ready(deadline) is true bit-for-bit.
+  return now >= Deadline();
+}
+
+double MicroBatcher::Deadline() const {
+  if (pending_.empty()) return std::numeric_limits<double>::infinity();
+  return pending_.front().arrival_s + policy_.max_delay_s;
+}
+
+std::vector<Request> MicroBatcher::Pop() {
+  const std::size_t count = std::min(pending_.size(), policy_.max_batch);
+  REPRO_REQUIRE(count > 0, "Pop on an empty batcher");
+  std::vector<Request> batch(pending_.begin(),
+                             pending_.begin() + static_cast<long>(count));
+  pending_.erase(pending_.begin(), pending_.begin() + static_cast<long>(count));
+  return batch;
+}
+
+}  // namespace repro::serve

@@ -1,0 +1,123 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace repro::serve {
+namespace {
+
+// %.17g round-trips every double exactly, which is what makes the metrics
+// JSON a bitwise determinism witness and not just an approximate report.
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string Num(std::size_t v) { return std::to_string(v); }
+
+}  // namespace
+
+ServeMetrics::ServeMetrics(std::size_t max_batch)
+    : max_batch_(max_batch), occ_hist_(max_batch + 1, 0) {
+  REPRO_REQUIRE(max_batch > 0, "max_batch must be positive");
+}
+
+void ServeMetrics::RecordBatch(std::size_t occupancy) {
+  REPRO_REQUIRE(occupancy >= 1 && occupancy <= max_batch_,
+                "batch occupancy %zu outside [1, %zu]", occupancy, max_batch_);
+  ++batches_;
+  occupied_slots_ += occupancy;
+  ++occ_hist_[occupancy];
+}
+
+void ServeMetrics::RecordCompletion(double latency_s, double queue_delay_s) {
+  latencies_.push_back(latency_s);
+  latency_sum_s_ += latency_s;
+  latency_max_s_ = std::max(latency_max_s_, latency_s);
+  queue_delay_sum_s_ += queue_delay_s;
+}
+
+void ServeMetrics::Finalize(double horizon_s) { horizon_s_ = horizon_s; }
+
+double ServeMetrics::qps() const {
+  return horizon_s_ > 0.0 ? static_cast<double>(completed()) / horizon_s_
+                          : 0.0;
+}
+
+double ServeMetrics::LatencyPercentile(double p) const {
+  if (latencies_.empty()) return 0.0;
+  REPRO_REQUIRE(p > 0.0 && p <= 100.0, "percentile %g outside (0, 100]", p);
+  std::vector<double> sorted = latencies_;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[std::max<std::size_t>(rank, 1) - 1];
+}
+
+double ServeMetrics::meanLatency() const {
+  return latencies_.empty()
+             ? 0.0
+             : latency_sum_s_ / static_cast<double>(latencies_.size());
+}
+
+double ServeMetrics::maxLatency() const { return latency_max_s_; }
+
+double ServeMetrics::meanQueueDelay() const {
+  return latencies_.empty()
+             ? 0.0
+             : queue_delay_sum_s_ / static_cast<double>(latencies_.size());
+}
+
+double ServeMetrics::meanOccupancy() const {
+  return batches_ == 0 ? 0.0
+                       : static_cast<double>(occupied_slots_) /
+                             static_cast<double>(batches_);
+}
+
+double ServeMetrics::paddingFraction() const {
+  return batches_ == 0 ? 0.0
+                       : 1.0 - static_cast<double>(occupied_slots_) /
+                                   static_cast<double>(batches_ * max_batch_);
+}
+
+std::string ServeMetrics::ToJson() const {
+  std::string s = "{";
+  auto field = [&s](const char* key, const std::string& value, bool first =
+                                                                   false) {
+    if (!first) s += ", ";
+    s += '"';
+    s += key;
+    s += "\": ";
+    s += value;
+  };
+  field("max_batch", Num(max_batch_), true);
+  field("admitted", Num(admitted_));
+  field("rejected", Num(rejected_));
+  field("completed", Num(completed()));
+  field("batches", Num(batches_));
+  field("horizon_s", Num(horizon_s_));
+  field("qps", Num(qps()));
+  field("latency_p50_us", Num(LatencyPercentile(50.0) * 1e6));
+  field("latency_p95_us", Num(LatencyPercentile(95.0) * 1e6));
+  field("latency_p99_us", Num(LatencyPercentile(99.0) * 1e6));
+  field("latency_mean_us", Num(meanLatency() * 1e6));
+  field("latency_max_us", Num(maxLatency() * 1e6));
+  field("queue_delay_mean_us", Num(meanQueueDelay() * 1e6));
+  field("mean_occupancy", Num(meanOccupancy()));
+  field("padding_fraction", Num(paddingFraction()));
+  std::string hist = "[";
+  for (std::size_t k = 0; k < occ_hist_.size(); ++k) {
+    if (k > 0) hist += ", ";
+    hist += Num(occ_hist_[k]);
+  }
+  hist += "]";
+  field("occupancy_hist", hist);
+  s += "}";
+  return s;
+}
+
+}  // namespace repro::serve

@@ -1,0 +1,72 @@
+// Serving metrics: what the operator of the replica pool watches.
+//
+//  * throughput (completed / horizon, in simulated seconds),
+//  * batch-occupancy histogram (how much of each compiled max-batch slot the
+//    micro-batcher actually fills -- the padding the fixed-shape graph pays),
+//  * p50/p95/p99 end-to-end latency (nearest-rank over completed requests),
+//  * rejected-request count (admission-control load shedding).
+//
+// Everything derives from simulated event times recorded by the
+// single-threaded scheduler, so ToJson() is bitwise identical for a given
+// (seed, config) regardless of host thread count -- the determinism contract
+// test_serve.cpp pins down.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace repro::serve {
+
+class ServeMetrics {
+ public:
+  explicit ServeMetrics(std::size_t max_batch);
+
+  void RecordAdmitted() { ++admitted_; }
+  void RecordRejected() { ++rejected_; }
+  // One dispatched micro-batch with `occupancy` real requests (the rest of
+  // the compiled max-batch shape is padding).
+  void RecordBatch(std::size_t occupancy);
+  // One completed request: end-to-end latency and its queue-wait component.
+  void RecordCompletion(double latency_s, double queue_delay_s);
+  // Called once at end of run with the simulated makespan.
+  void Finalize(double horizon_s);
+
+  std::size_t admitted() const { return admitted_; }
+  std::size_t rejected() const { return rejected_; }
+  std::size_t completed() const { return latencies_.size(); }
+  std::size_t batches() const { return batches_; }
+  double horizonSeconds() const { return horizon_s_; }
+  // Completed requests per simulated second.
+  double qps() const;
+  // Nearest-rank percentile of end-to-end latency, p in (0, 100].
+  double LatencyPercentile(double p) const;
+  double meanLatency() const;
+  double maxLatency() const;
+  double meanQueueDelay() const;
+  // Mean real requests per dispatched batch.
+  double meanOccupancy() const;
+  // Fraction of executed batch slots that were padding.
+  double paddingFraction() const;
+  // hist[k] = number of batches that carried exactly k requests, k in
+  // [0, max_batch].
+  const std::vector<std::size_t>& occupancyHist() const { return occ_hist_; }
+
+  // Flat JSON object; stable key order, %.17g doubles (round-trip exact).
+  std::string ToJson() const;
+
+ private:
+  std::size_t max_batch_;
+  std::size_t admitted_ = 0;
+  std::size_t rejected_ = 0;
+  std::size_t batches_ = 0;
+  std::size_t occupied_slots_ = 0;
+  double horizon_s_ = 0.0;
+  double latency_sum_s_ = 0.0;
+  double latency_max_s_ = 0.0;
+  double queue_delay_sum_s_ = 0.0;
+  std::vector<double> latencies_;  // completion order
+  std::vector<std::size_t> occ_hist_;
+};
+
+}  // namespace repro::serve

@@ -1,0 +1,112 @@
+// ModelPlan: one trained forward pass, lowered and compiled exactly once.
+//
+// Takes the ForwardSpec exported from a trained nn::Sequential (dense,
+// butterfly, or pixelfly hidden layer) and builds the executing device
+// graph for
+//
+//   logits = Wc * act + bc,  act = relu(hidden(x) + bh)
+//
+// in the feature-major layout (features x max_batch) the repo's lowerings
+// use, bracketed by HostWrite/HostRead steps so every batch pays its
+// host-link streaming cost. The graph is compiled at a fixed max_batch;
+// smaller micro-batches run zero-padded (the batcher's occupancy histogram
+// makes that padding visible).
+//
+// Replication: MakeReplica() spawns engines off the one compiled executable
+// (Session::makeReplica) -- program, ledgers and exchange plans are shared,
+// tensor storage is private per replica, so a pool of replicas runs
+// concurrently. Capacity probes build timing-only plans on a carved-down
+// tile slice (PlanOptions::num_tiles); a plan that fails to compile is how
+// "this method does not fit K replicas per IPU" is detected
+// (replica_pool.h).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ipusim/session.h"
+#include "linalg/matrix.h"
+#include "nn/export.h"
+#include "util/error.h"
+
+namespace repro::serve {
+
+struct PlanOptions {
+  std::size_t max_batch = 32;
+  // Execute arithmetic (serving) or timing/memory only (capacity probes).
+  bool execute = true;
+  // 0 = whole device; otherwise the replica's tile-slice size.
+  std::size_t num_tiles = 0;
+  // Butterfly stages at PopTorch-parity cost (the calibrated default).
+  bool poptorch_parity = true;
+};
+
+class ModelPlan {
+ public:
+  // Lowers + compiles; OutOfMemory status when the graph does not fit the
+  // (possibly carved-down) device.
+  static StatusOr<std::unique_ptr<ModelPlan>> Build(
+      const nn::ForwardSpec& spec, const ipu::IpuArch& arch,
+      const PlanOptions& opts);
+
+  const nn::ForwardSpec& spec() const { return spec_; }
+  const PlanOptions& options() const { return opts_; }
+  const ipu::IpuArch& arch() const { return arch_; }
+  std::size_t maxBatch() const { return opts_.max_batch; }
+
+  // Simulated service time of one (max_batch-shaped) batch, including
+  // host-link input/output streaming. Constant per plan: the cycle model is
+  // data-independent, so this is measured once at build time.
+  double batchSeconds() const { return batch_seconds_; }
+  ipu::GraphCounts counts() const { return session_->counts(); }
+
+  // Fresh engine over the shared executable, with this plan's trained
+  // weights written into its private storage (execute plans; timing-only
+  // replicas carry no storage). `host_threads` bounds the replica's own
+  // host-side parallelism -- the pool parallelises across replicas, so 1
+  // keeps one replica = one worker.
+  std::unique_ptr<ipu::Engine> MakeReplica(std::size_t host_threads = 1) const;
+
+  // Runs one micro-batch (1..max_batch rows of spec().input features) on a
+  // replica engine and returns its logits (rows x classes). Execute plans
+  // only. The butterfly input permutation is applied host-side here, so
+  // callers pass plain row-major features for every method.
+  Matrix RunBatch(ipu::Engine& engine, const Matrix& inputs,
+                  ipu::RunReport* report = nullptr) const;
+
+ private:
+  ModelPlan() = default;
+
+  // Weight-upload handles (block-major GEMM weights carry their packing
+  // geometry; see model_plan.cpp).
+  struct GemmWeights {
+    ipu::Tensor w;
+    std::size_t m = 0, k = 0, mb = 0, kc = 0, gm = 0, gk = 0;
+  };
+
+  Status buildGraph();
+  void buildDenseHidden(ipu::Program& seq);
+  void buildButterflyHidden(ipu::Program& seq);
+  void buildPixelflyHidden(ipu::Program& seq);
+  // Feature-major k-split GEMM out = W * x (W is m x k, packed block-major)
+  // lowered as AmpGemm partial products + a ReduceAdd stage.
+  GemmWeights addGemm(ipu::Program& seq, const std::string& name,
+                      const ipu::Tensor& x, const ipu::Tensor& out,
+                      std::size_t m, std::size_t k, bool accumulate);
+  static std::vector<float> packBlocks(const GemmWeights& gw, const float* w);
+  void writeWeights(ipu::Engine& engine) const;
+
+  nn::ForwardSpec spec_;
+  PlanOptions opts_;
+  ipu::IpuArch arch_;                      // replica-slice arch
+  std::unique_ptr<ipu::Session> session_;  // non-movable; owns graph+engine
+  double batch_seconds_ = 0.0;
+  ipu::Tensor x_, hidden_, logits_;
+  GemmWeights dense_w_, lr_vt_, lr_u_, cls_w_;
+  std::vector<ipu::Tensor> bfly_w_;  // per factor, (n/2) x 4
+  ipu::Tensor pf_w_;                 // pattern.size() x b*b
+  ipu::Tensor hidden_bias_, cls_bias_;
+};
+
+}  // namespace repro::serve

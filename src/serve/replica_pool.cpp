@@ -1,0 +1,50 @@
+#include "serve/replica_pool.h"
+
+#include <algorithm>
+
+namespace repro::serve {
+
+ReplicaPool::ReplicaPool(const ModelPlan& plan, std::size_t replicas,
+                         std::size_t host_threads_per_replica)
+    : plan_(&plan) {
+  REPRO_REQUIRE(replicas > 0, "pool needs at least one replica");
+  engines_.reserve(replicas);
+  for (std::size_t i = 0; i < replicas; ++i) {
+    engines_.push_back(plan.MakeReplica(host_threads_per_replica));
+  }
+}
+
+std::size_t MaxReplicasPerIpu(const nn::ForwardSpec& spec,
+                              const ipu::IpuArch& arch,
+                              const PlanOptions& opts, std::size_t cap) {
+  REPRO_REQUIRE(cap >= 1, "capacity search cap must be >= 1");
+  auto fits = [&](std::size_t k) {
+    const std::size_t tiles = arch.num_tiles / k;
+    if (tiles < 2) return false;
+    PlanOptions probe = opts;
+    probe.execute = false;  // memory/timing probe, no storage
+    probe.num_tiles = tiles;
+    return ModelPlan::Build(spec, arch, probe).ok();
+  };
+  if (!fits(1)) return 0;
+  // Doubling phase establishes [lo fits, hi does not]; binary search closes.
+  std::size_t lo = 1;
+  std::size_t hi = 1;
+  while (hi < cap) {
+    hi = std::min(cap, hi * 2);
+    if (!fits(hi)) break;
+    lo = hi;
+  }
+  if (lo == hi) return lo;  // cap reached while still fitting
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (fits(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace repro::serve

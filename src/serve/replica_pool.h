@@ -1,0 +1,49 @@
+// Replica pool: K independent engines over one compiled executable.
+//
+// Replication model: K replicas carve the device into equal tile slices of
+// num_tiles / K tiles, each with the full fixed per-tile SRAM (624 KB on
+// GC200). Whether a method's forward graph *compiles* on such a slice is
+// the capacity question the paper's memory argument turns into a serving
+// claim: butterfly/pixelfly weights are O(n log n) instead of O(n^2), so
+// strictly more replicas fit per simulated IPU at equal hidden width --
+// more replicas = more concurrent batches = higher sustained QPS.
+//
+// MaxReplicasPerIpu probes that limit with timing-only plans (no tensor
+// storage, one compile per probe) via doubling + binary search; the pool
+// then instantiates the chosen K with private per-replica storage.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "serve/model_plan.h"
+
+namespace repro::serve {
+
+class ReplicaPool {
+ public:
+  // Spawns `replicas` engines off the plan's compiled executable. For
+  // execute plans each replica gets the trained weights written into its
+  // private storage; `host_threads_per_replica` bounds each engine's own
+  // host parallelism (the pool's caller parallelises across replicas).
+  ReplicaPool(const ModelPlan& plan, std::size_t replicas,
+              std::size_t host_threads_per_replica = 1);
+
+  const ModelPlan& plan() const { return *plan_; }
+  std::size_t size() const { return engines_.size(); }
+  ipu::Engine& engine(std::size_t i) { return *engines_[i]; }
+
+ private:
+  const ModelPlan* plan_;
+  std::vector<std::unique_ptr<ipu::Engine>> engines_;
+};
+
+// Largest K such that the forward graph still compiles on a
+// (arch.num_tiles / K)-tile slice, searched with timing-only plans
+// (opts.execute/num_tiles are overridden per probe). 0 when the model does
+// not even fit the whole device. `cap` bounds the search.
+std::size_t MaxReplicasPerIpu(const nn::ForwardSpec& spec,
+                              const ipu::IpuArch& arch,
+                              const PlanOptions& opts, std::size_t cap = 256);
+
+}  // namespace repro::serve

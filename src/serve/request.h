@@ -1,0 +1,21 @@
+// Core value types of the inference-serving subsystem.
+//
+// A Request is what crosses the admission boundary: an id (also the row of
+// the result matrix its logits land in), its arrival time on the serving
+// clock, and the index of its input row in the caller-provided feature
+// matrix. Scheduling runs in *simulated* seconds -- the same virtual time
+// domain as the IPU cycle model -- so every latency the metrics report is
+// device time, never host wall clock, and results are bitwise reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace repro::serve {
+
+struct Request {
+  std::uint64_t id = 0;   // dense, assigned at admission; result row index
+  double arrival_s = 0.0; // simulated arrival time
+  std::uint32_t row = 0;  // row of the server's input matrix to run
+};
+
+}  // namespace repro::serve

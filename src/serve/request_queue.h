@@ -1,0 +1,114 @@
+// Bounded multi-producer/multi-consumer queue: the serving ingress.
+//
+// The capacity bound IS the admission-control contract: TryPush refuses
+// instead of growing, so overload turns into an explicit rejected-request
+// count (metrics.h) and bounded memory, never an unbounded backlog with
+// unbounded latency. Producers that prefer backpressure to load-shedding
+// call the blocking Push instead.
+//
+// The template is deliberately tiny (mutex + two condvars); serving pushes
+// thousands of requests per second, not tens of millions, and the simple
+// lock keeps the close/drain semantics easy to reason about: after Close(),
+// pushes fail, pops drain the remaining items, then fail.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "util/error.h"
+
+namespace repro::serve {
+
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  explicit BoundedMpmcQueue(std::size_t capacity) : capacity_(capacity) {
+    REPRO_REQUIRE(capacity > 0, "queue capacity must be positive");
+  }
+
+  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  // Admission control: false when the queue is full (load shed) or closed.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Backpressure: blocks while full; false only when closed.
+  bool Push(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  bool TryPop(T& out) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty()) return false;
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item arrives; false once closed AND drained.
+  bool Pop(T& out) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return false;
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+  // Idempotent; wakes every waiter. Queued items stay poppable.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace repro::serve

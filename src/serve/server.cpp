@@ -1,0 +1,224 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <set>
+#include <utility>
+
+#include "serve/request_queue.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace repro::serve {
+namespace {
+
+struct Event {
+  enum Kind { kArrival, kDeadline, kDone };
+  double time = 0.0;
+  std::uint64_t seq = 0;  // creation order: the deterministic tie-break
+  Kind kind = kArrival;
+  Request req;             // kArrival
+  std::size_t replica = 0; // kDone
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+// The discrete-event scheduler. Single-threaded over virtual time; the only
+// multithreaded phase is the numerics replay at the end, which cannot touch
+// any recorded time.
+class Simulation {
+ public:
+  Simulation(ReplicaPool& pool, const ServerConfig& cfg,
+             std::size_t total_requests, const Matrix* inputs)
+      : pool_(pool),
+        cfg_(cfg),
+        queue_(cfg.queue_capacity),
+        batcher_(cfg.batch),
+        metrics_(cfg.batch.max_batch),
+        service_s_(pool.plan().batchSeconds()),
+        inputs_(inputs),
+        total_(total_requests),
+        inflight_(pool.size()),
+        schedule_(pool.size()) {
+    for (std::size_t r = 0; r < pool.size(); ++r) free_.insert(r);
+  }
+
+  void AddArrival(double t) {
+    Request req;
+    req.id = issued_++;
+    req.arrival_s = t;
+    req.row = inputs_ != nullptr && inputs_->rows() > 0
+                  ? static_cast<std::uint32_t>(req.id % inputs_->rows())
+                  : 0;
+    Push(Event{t, seq_++, Event::kArrival, req, 0});
+  }
+
+  std::size_t issued() const { return issued_; }
+
+  ServeResult Run(bool closed_loop, double think_s) {
+    while (!events_.empty()) {
+      Event e = events_.top();
+      events_.pop();
+      const double now = e.time;
+      switch (e.kind) {
+        case Event::kArrival:
+          if (queue_.TryPush(e.req)) {
+            metrics_.RecordAdmitted();
+          } else {
+            metrics_.RecordRejected();
+          }
+          break;
+        case Event::kDeadline:
+          --pending_deadlines_;
+          break;
+        case Event::kDone: {
+          InFlight done = std::move(inflight_[e.replica]);
+          inflight_[e.replica].batch.clear();
+          free_.insert(e.replica);
+          last_completion_s_ = std::max(last_completion_s_, now);
+          for (const Request& req : done.batch) {
+            metrics_.RecordCompletion(now - req.arrival_s,
+                                      done.dispatch_s - req.arrival_s);
+            if (closed_loop && issued_ < total_) {
+              AddArrival(now + think_s);
+            }
+          }
+          break;
+        }
+      }
+      Pump(now);
+      ScheduleDeadline(now);
+    }
+    metrics_.Finalize(last_completion_s_);
+    ServeResult result{std::move(metrics_), Matrix()};
+    ReplayNumerics(result);
+    return result;
+  }
+
+ private:
+  struct InFlight {
+    double dispatch_s = 0.0;
+    std::vector<Request> batch;
+  };
+
+  void Push(Event e) { events_.push(std::move(e)); }
+
+  // Alternates draining the bounded queue into the forming batch and
+  // dispatching ready batches to free replicas until neither makes progress.
+  // The batcher holds at most one forming batch, so backlog accumulates in
+  // the queue where TryPush enforces the admission bound.
+  void Pump(double now) {
+    for (;;) {
+      batcher_.Drain(queue_);
+      if (free_.empty() || !batcher_.Ready(now)) return;
+      std::vector<Request> batch = batcher_.Pop();
+      const std::size_t r = *free_.begin();
+      free_.erase(free_.begin());
+      metrics_.RecordBatch(batch.size());
+      schedule_[r].push_back(batch);
+      inflight_[r] = InFlight{now, std::move(batch)};
+      Push(Event{now + service_s_, seq_++, Event::kDone, Request{}, r});
+    }
+  }
+
+  // A partial batch left waiting needs a future wake-up at its flush
+  // deadline -- but only when a replica is free (otherwise the next kDone
+  // re-evaluates) and no earlier deadline event is already pending (front
+  // arrivals are FIFO, so pending deadline times never exceed the current
+  // one).
+  void ScheduleDeadline(double now) {
+    if (batcher_.empty() || free_.empty() || pending_deadlines_ > 0) return;
+    const double d = batcher_.Deadline();
+    if (!std::isfinite(d)) return;
+    Push(Event{std::max(d, now), seq_++, Event::kDeadline, Request{}, 0});
+    ++pending_deadlines_;
+  }
+
+  // Replays the recorded dispatch schedule through the replica engines to
+  // produce logits. Parallel across replicas, sequential within one; batch
+  // composition is fixed by the DES, so results are independent of
+  // host_threads.
+  void ReplayNumerics(ServeResult& result) {
+    if (inputs_ == nullptr || !pool_.plan().options().execute) return;
+    const nn::ForwardSpec& spec = pool_.plan().spec();
+    result.logits = Matrix(total_, spec.classes);
+    ParallelForWith(
+        cfg_.host_threads, 0, pool_.size(),
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t r = begin; r < end; ++r) {
+            for (const std::vector<Request>& batch : schedule_[r]) {
+              Matrix in(batch.size(), spec.input);
+              for (std::size_t i = 0; i < batch.size(); ++i) {
+                auto src = inputs_->row(batch[i].row);
+                std::copy(src.begin(), src.end(), in.row(i).begin());
+              }
+              Matrix out = pool_.plan().RunBatch(pool_.engine(r), in);
+              for (std::size_t i = 0; i < batch.size(); ++i) {
+                auto dst = result.logits.row(batch[i].id);
+                std::copy(out.row(i).begin(), out.row(i).end(), dst.begin());
+              }
+            }
+          }
+        },
+        /*min_grain=*/1);
+  }
+
+  ReplicaPool& pool_;
+  const ServerConfig& cfg_;
+  BoundedMpmcQueue<Request> queue_;
+  MicroBatcher batcher_;
+  ServeMetrics metrics_;
+  const double service_s_;
+  const Matrix* inputs_;
+  const std::size_t total_;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t issued_ = 0;
+  std::set<std::size_t> free_;  // free replicas, lowest id dispatches first
+  std::vector<InFlight> inflight_;
+  std::vector<std::vector<std::vector<Request>>> schedule_;  // per replica
+  std::size_t pending_deadlines_ = 0;
+  double last_completion_s_ = 0.0;
+};
+
+}  // namespace
+
+Server::Server(ReplicaPool& pool, ServerConfig config)
+    : pool_(&pool), config_(config) {
+  REPRO_REQUIRE(config.queue_capacity > 0, "queue capacity must be positive");
+}
+
+ServeResult Server::RunOpenLoop(const OpenLoopLoad& load,
+                                const Matrix* inputs) {
+  REPRO_REQUIRE(load.qps > 0.0, "open-loop rate must be positive");
+  Simulation sim(*pool_, config_, load.requests, inputs);
+  Rng rng(load.seed);
+  double t = 0.0;
+  for (std::size_t i = 0; i < load.requests; ++i) {
+    t += -std::log(1.0 - rng.Uniform()) / load.qps;  // Exp(qps) gaps
+    sim.AddArrival(t);
+  }
+  return sim.Run(/*closed_loop=*/false, /*think_s=*/0.0);
+}
+
+ServeResult Server::RunClosedLoop(const ClosedLoopLoad& load,
+                                  const Matrix* inputs) {
+  REPRO_REQUIRE(load.clients > 0, "closed loop needs at least one client");
+  REPRO_REQUIRE(load.clients <= config_.queue_capacity,
+                "closed-loop clients (%zu) exceed the queue bound (%zu): the "
+                "backpressure contract caps outstanding work at the queue",
+                load.clients, config_.queue_capacity);
+  Simulation sim(*pool_, config_, load.requests, inputs);
+  const std::size_t initial = std::min(load.clients, load.requests);
+  for (std::size_t c = 0; c < initial; ++c) sim.AddArrival(0.0);
+  return sim.Run(/*closed_loop=*/true, load.think_s);
+}
+
+}  // namespace repro::serve

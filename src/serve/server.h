@@ -1,0 +1,78 @@
+// The serving front end: queue -> micro-batcher -> replica pool -> metrics.
+//
+// Scheduling runs as a deterministic discrete-event simulation on the same
+// virtual clock as the IPU cycle model. Arrivals (open-loop Poisson from a
+// seeded Rng, or closed-loop clients that re-issue on completion) enter the
+// bounded ingress queue -- a full queue load-sheds and counts a rejection
+// (open loop) while closed-loop clients are capped by the queue bound, the
+// backpressure contract. The micro-batcher drains the queue and dispatches
+// a batch to the lowest-numbered free replica when it is full or the oldest
+// request has waited out max_delay; each dispatch occupies that replica for
+// the plan's constant batchSeconds().
+//
+// Determinism contract: every metric derives from simulated event times
+// produced by this single-threaded scheduler, so the metrics JSON is
+// bitwise identical across host_threads for a fixed (seed, config). Host
+// threads only replay the recorded batch schedule through the replica
+// engines to produce logits (execute plans); batches of one replica stay
+// sequential, replicas run in parallel.
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/matrix.h"
+#include "serve/batcher.h"
+#include "serve/metrics.h"
+#include "serve/replica_pool.h"
+
+namespace repro::serve {
+
+struct ServerConfig {
+  BatchPolicy batch;
+  std::size_t queue_capacity = 256;  // admission bound (backpressure)
+  // Host workers for replaying batch numerics across replicas (execute
+  // plans); 0 defers to REPRO_THREADS. Never affects the metrics.
+  std::size_t host_threads = 0;
+};
+
+// Open loop: `requests` Poisson arrivals at `qps` offered load; rejected
+// requests are dropped (load shedding).
+struct OpenLoopLoad {
+  double qps = 1e5;
+  std::size_t requests = 1000;
+  std::uint64_t seed = 1;
+};
+
+// Closed loop: `clients` outstanding requests, each re-issued `think_s`
+// after its completion, until `requests` total have been issued. Requires
+// clients <= queue_capacity, so nothing is ever rejected.
+struct ClosedLoopLoad {
+  std::size_t clients = 8;
+  std::size_t requests = 1000;
+  double think_s = 0.0;
+};
+
+struct ServeResult {
+  ServeMetrics metrics;
+  // Per-request logits (row = request id; rejected requests stay zero).
+  // Only filled for execute plans given a non-empty input matrix.
+  Matrix logits;
+};
+
+class Server {
+ public:
+  Server(ReplicaPool& pool, ServerConfig config);
+
+  // `inputs` supplies request features (request i runs row i % inputs.rows());
+  // pass nullptr for timing-only serving (no numerics replayed).
+  ServeResult RunOpenLoop(const OpenLoopLoad& load,
+                          const Matrix* inputs = nullptr);
+  ServeResult RunClosedLoop(const ClosedLoopLoad& load,
+                            const Matrix* inputs = nullptr);
+
+ private:
+  ReplicaPool* pool_;
+  ServerConfig config_;
+};
+
+}  // namespace repro::serve

@@ -1,0 +1,396 @@
+// Tests for the serving subsystem (src/serve): ingress queue semantics,
+// micro-batcher policy, metrics arithmetic, device-vs-host numerics parity
+// for all three deployed methods, replica sharing, the butterfly > dense
+// capacity ordering, the determinism contract, and backpressure.
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/device_time.h"
+#include "core/method.h"
+#include "ipusim/arch.h"
+#include "linalg/matrix.h"
+#include "nn/export.h"
+#include "nn/model.h"
+#include "serve/batcher.h"
+#include "serve/metrics.h"
+#include "serve/model_plan.h"
+#include "serve/replica_pool.h"
+#include "serve/request_queue.h"
+#include "serve/server.h"
+#include "util/rng.h"
+
+namespace repro::serve {
+namespace {
+
+using core::Method;
+
+// ---------------------------------------------------------------------------
+// BoundedMpmcQueue
+
+TEST(RequestQueueTest, TryPushShedsAtCapacity) {
+  BoundedMpmcQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));  // full: admission control refuses
+  EXPECT_EQ(q.size(), 2u);
+  int v = 0;
+  EXPECT_TRUE(q.TryPop(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.TryPush(3));  // slot freed
+}
+
+TEST(RequestQueueTest, CloseDrainsThenFails) {
+  BoundedMpmcQueue<int> q(4);
+  ASSERT_TRUE(q.TryPush(7));
+  ASSERT_TRUE(q.TryPush(8));
+  q.Close();
+  q.Close();  // idempotent
+  EXPECT_FALSE(q.TryPush(9));
+  int v = 0;
+  EXPECT_TRUE(q.Pop(v));
+  EXPECT_EQ(v, 7);
+  EXPECT_TRUE(q.Pop(v));
+  EXPECT_EQ(v, 8);
+  EXPECT_FALSE(q.Pop(v));  // closed and drained
+  EXPECT_FALSE(q.TryPop(v));
+}
+
+TEST(RequestQueueTest, ConcurrentProducersConsumersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 500;
+  BoundedMpmcQueue<int> q(16);
+  std::atomic<long long> sum{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      int v;
+      while (q.Pop(v)) {
+        sum.fetch_add(v);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));  // backpressure, not shed
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+
+  const long long n = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+// ---------------------------------------------------------------------------
+// MicroBatcher
+
+TEST(MicroBatcherTest, FullBatchIsReadyImmediately) {
+  MicroBatcher b(BatchPolicy{.max_batch = 4, .max_delay_s = 1.0});
+  for (std::uint64_t i = 0; i < 4; ++i) b.Add(Request{i, 0.0, 0});
+  EXPECT_TRUE(b.Ready(0.0));  // full: no need to wait out the delay
+  std::vector<Request> batch = b.Pop();
+  EXPECT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch[0].id, 0u);
+  EXPECT_EQ(batch[3].id, 3u);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(MicroBatcherTest, PartialBatchWaitsOutTheDeadline) {
+  MicroBatcher b(BatchPolicy{.max_batch = 8, .max_delay_s = 100e-6});
+  b.Add(Request{0, 1.0, 0});
+  EXPECT_FALSE(b.Ready(1.0));
+  EXPECT_FALSE(b.Ready(1.0 + 99e-6));
+  EXPECT_DOUBLE_EQ(b.Deadline(), 1.0 + 100e-6);
+  EXPECT_TRUE(b.Ready(1.0 + 100e-6));
+  EXPECT_EQ(b.Pop().size(), 1u);
+  EXPECT_TRUE(std::isinf(b.Deadline()));  // nothing pending
+}
+
+TEST(MicroBatcherTest, PopTakesOldestUpToMaxBatch) {
+  MicroBatcher b(BatchPolicy{.max_batch = 3, .max_delay_s = 1.0});
+  for (std::uint64_t i = 0; i < 5; ++i) b.Add(Request{i, 0.1 * double(i), 0});
+  std::vector<Request> first = b.Pop();
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[0].id, 0u);
+  EXPECT_EQ(first[2].id, 2u);
+  EXPECT_EQ(b.pending(), 2u);
+  // The remaining partial batch's deadline is anchored on request 3.
+  EXPECT_DOUBLE_EQ(b.Deadline(), 0.3 + 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// ServeMetrics
+
+TEST(ServeMetricsTest, NearestRankPercentiles) {
+  ServeMetrics m(4);
+  // 10 latencies 1ms..10ms in shuffled completion order.
+  const double ms[] = {5, 1, 9, 2, 10, 3, 8, 4, 7, 6};
+  for (double v : ms) m.RecordCompletion(v * 1e-3, 0.0);
+  m.Finalize(10e-3);
+  EXPECT_DOUBLE_EQ(m.LatencyPercentile(50.0), 5e-3);   // ceil(0.5*10) = 5th
+  EXPECT_DOUBLE_EQ(m.LatencyPercentile(95.0), 10e-3);  // ceil(0.95*10) = 10th
+  EXPECT_DOUBLE_EQ(m.LatencyPercentile(99.0), 10e-3);
+  EXPECT_DOUBLE_EQ(m.maxLatency(), 10e-3);
+  EXPECT_NEAR(m.meanLatency(), 5.5e-3, 1e-12);
+  EXPECT_DOUBLE_EQ(m.qps(), 10 / 10e-3);
+}
+
+TEST(ServeMetricsTest, OccupancyHistogramAndPadding) {
+  ServeMetrics m(4);
+  m.RecordBatch(4);
+  m.RecordBatch(4);
+  m.RecordBatch(1);
+  EXPECT_EQ(m.batches(), 3u);
+  ASSERT_EQ(m.occupancyHist().size(), 5u);  // slots 0..max_batch
+  EXPECT_EQ(m.occupancyHist()[4], 2u);
+  EXPECT_EQ(m.occupancyHist()[1], 1u);
+  EXPECT_DOUBLE_EQ(m.meanOccupancy(), 3.0);
+  // 3 batches * 4 slots = 12 executed, 9 occupied -> 25% padding.
+  EXPECT_DOUBLE_EQ(m.paddingFraction(), 0.25);
+}
+
+TEST(ServeMetricsTest, ToJsonCarriesTheContract) {
+  ServeMetrics m(2);
+  m.RecordAdmitted();
+  m.RecordAdmitted();
+  m.RecordRejected();
+  m.RecordBatch(2);
+  m.RecordCompletion(1e-3, 2e-4);
+  m.RecordCompletion(2e-3, 1e-4);
+  m.Finalize(4e-3);
+  const std::string json = m.ToJson();
+  EXPECT_NE(json.find("\"admitted\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rejected\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"completed\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"latency_p99_us\": 2000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"occupancy_hist\": [0, 0, 1]"), std::string::npos)
+      << json;
+}
+
+// ---------------------------------------------------------------------------
+// ModelPlan numerics: device logits must match the host forward pass.
+
+core::ShlShape SmallShape(std::size_t n) {
+  core::ShlShape shape;
+  shape.input = n;
+  shape.hidden = n;
+  shape.classes = 10;
+  shape.pixelfly = core::PixelflyConfig{
+      .n = n, .block_size = 16, .butterfly_size = 4, .low_rank = 16};
+  return shape;
+}
+
+// Builds + exports an (untrained but randomly initialised) SHL model and
+// checks RunBatch against the host Forward on the same inputs.
+void CheckParity(Method method, std::size_t rows) {
+  const std::size_t n = 64;
+  const std::size_t max_batch = 8;
+  Rng rng(41);
+  nn::Sequential model = nn::BuildShl(method, SmallShape(n), rng);
+  nn::ForwardSpec spec = nn::ExportForward(model);
+
+  auto plan = ModelPlan::Build(spec, ipu::Gc200(),
+                               PlanOptions{.max_batch = max_batch});
+  ASSERT_TRUE(plan.ok()) << plan.status().message();
+
+  Matrix x(rows, n);
+  Rng data_rng(7);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      x(i, j) = float(data_rng.Uniform(-1.0, 1.0));
+
+  const Matrix& host = model.Forward(x, /*train=*/false);
+  std::unique_ptr<ipu::Engine> engine = plan.value()->MakeReplica();
+  Matrix device = plan.value()->RunBatch(*engine, x);
+
+  ASSERT_EQ(device.rows(), rows);
+  ASSERT_EQ(device.cols(), 10u);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < 10u; ++j) {
+      EXPECT_NEAR(device(i, j), host(i, j), 5e-4)
+          << MethodName(method) << " logit (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(ModelPlanTest, DenseMatchesHostForward) { CheckParity(Method::kBaseline, 8); }
+
+TEST(ModelPlanTest, ButterflyMatchesHostForward) {
+  CheckParity(Method::kButterfly, 8);
+}
+
+TEST(ModelPlanTest, PixelflyMatchesHostForward) {
+  CheckParity(Method::kPixelfly, 8);
+}
+
+TEST(ModelPlanTest, PartialBatchIsZeroPaddedCorrectly) {
+  // rows < max_batch exercises the padding path end to end.
+  CheckParity(Method::kButterfly, 3);
+}
+
+TEST(ModelPlanTest, TooSmallTileSliceIsInvalid) {
+  Rng rng(1);
+  nn::Sequential model = nn::BuildShl(Method::kBaseline, SmallShape(64), rng);
+  nn::ForwardSpec spec = nn::ExportForward(model);
+  auto plan = ModelPlan::Build(
+      spec, ipu::Gc200(),
+      PlanOptions{.max_batch = 8, .execute = false, .num_tiles = 1});
+  EXPECT_FALSE(plan.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Replication
+
+TEST(ReplicaPoolTest, ReplicasShareExecutableButNotStorage) {
+  Rng rng(3);
+  nn::Sequential model = nn::BuildShl(Method::kButterfly, SmallShape(64), rng);
+  nn::ForwardSpec spec = nn::ExportForward(model);
+  auto plan =
+      ModelPlan::Build(spec, ipu::Gc200(), PlanOptions{.max_batch = 4});
+  ASSERT_TRUE(plan.ok()) << plan.status().message();
+
+  ReplicaPool pool(*plan.value(), /*replicas=*/3);
+  ASSERT_EQ(pool.size(), 3u);
+  // One compiled executable behind every engine.
+  EXPECT_EQ(&pool.engine(0).executable(), &pool.engine(1).executable());
+  EXPECT_EQ(&pool.engine(0).executable(), &pool.engine(2).executable());
+
+  Matrix x(4, 64);
+  Rng data_rng(9);
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    for (std::size_t j = 0; j < x.cols(); ++j)
+      x(i, j) = float(data_rng.Normal());
+  Matrix a = plan.value()->RunBatch(pool.engine(0), x);
+  Matrix b = plan.value()->RunBatch(pool.engine(2), x);
+  // Same weights, same inputs, independent storage: bitwise-equal outputs.
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      EXPECT_EQ(a(i, j), b(i, j)) << "(" << i << ", " << j << ")";
+}
+
+TEST(ReplicaPoolTest, ButterflyFitsMoreReplicasThanDenseAtN1024) {
+  // The acceptance claim of the serving subsystem: at n = 1024, the
+  // O(n log n) butterfly weights fit strictly more timing-plan replicas per
+  // simulated GC200 than the O(n^2) dense baseline.
+  core::ShlShape shape;  // defaults: 1024 -> 1024 -> 10
+  const PlanOptions probe{.max_batch = 32, .execute = false};
+
+  Rng rng_d(11);
+  nn::Sequential dense = nn::BuildShl(Method::kBaseline, shape, rng_d);
+  nn::ForwardSpec dense_spec = nn::ExportForward(dense);
+  const std::size_t dense_k =
+      MaxReplicasPerIpu(dense_spec, ipu::Gc200(), probe, /*cap=*/256);
+
+  Rng rng_b(11);
+  nn::Sequential bfly = nn::BuildShl(Method::kButterfly, shape, rng_b);
+  nn::ForwardSpec bfly_spec = nn::ExportForward(bfly);
+  const std::size_t bfly_k =
+      MaxReplicasPerIpu(bfly_spec, ipu::Gc200(), probe, /*cap=*/256);
+
+  EXPECT_GE(dense_k, 1u);
+  EXPECT_GT(bfly_k, dense_k)
+      << "butterfly should fit strictly more replicas (dense " << dense_k
+      << ", butterfly " << bfly_k << ")";
+}
+
+// ---------------------------------------------------------------------------
+// Server: determinism + backpressure contracts
+
+struct ServeFixture {
+  std::unique_ptr<ModelPlan> plan;
+  Matrix inputs;
+
+  explicit ServeFixture(std::size_t max_batch = 4) {
+    Rng rng(5);
+    nn::Sequential model =
+        nn::BuildShl(Method::kButterfly, SmallShape(64), rng);
+    nn::ForwardSpec spec = nn::ExportForward(model);
+    auto built = ModelPlan::Build(spec, ipu::Gc200(),
+                                  PlanOptions{.max_batch = max_batch});
+    REPRO_REQUIRE(built.ok(), "fixture plan: %s", built.status().message().c_str());
+    plan = built.take();
+    inputs = Matrix(16, 64);
+    Rng data_rng(13);
+    for (std::size_t i = 0; i < inputs.rows(); ++i)
+      for (std::size_t j = 0; j < inputs.cols(); ++j)
+        inputs(i, j) = float(data_rng.Uniform(-1.0, 1.0));
+  }
+};
+
+TEST(ServerTest, MetricsAndLogitsAreHostThreadInvariant) {
+  ServeFixture fx;
+  const OpenLoopLoad load{.qps = 2.0 / fx.plan->batchSeconds(),
+                          .requests = 200,
+                          .seed = 42};
+
+  auto run = [&](std::size_t host_threads) {
+    ReplicaPool pool(*fx.plan, /*replicas=*/2);
+    ServerConfig cfg;
+    cfg.batch = BatchPolicy{.max_batch = 4, .max_delay_s = 100e-6};
+    cfg.queue_capacity = 32;
+    cfg.host_threads = host_threads;
+    Server server(pool, cfg);
+    return server.RunOpenLoop(load, &fx.inputs);
+  };
+
+  ServeResult one = run(1);
+  ServeResult four = run(4);
+  // Determinism contract: bitwise-identical metrics JSON and logits.
+  EXPECT_EQ(one.metrics.ToJson(), four.metrics.ToJson());
+  ASSERT_EQ(one.logits.rows(), four.logits.rows());
+  for (std::size_t i = 0; i < one.logits.rows(); ++i)
+    for (std::size_t j = 0; j < one.logits.cols(); ++j)
+      EXPECT_EQ(one.logits(i, j), four.logits(i, j));
+  EXPECT_GT(one.metrics.completed(), 0u);
+}
+
+TEST(ServerTest, OpenLoopOverloadShedsAndAccounts) {
+  ServeFixture fx;
+  ReplicaPool pool(*fx.plan, /*replicas=*/1);
+  ServerConfig cfg;
+  cfg.batch = BatchPolicy{.max_batch = 4, .max_delay_s = 50e-6};
+  cfg.queue_capacity = 4;  // tiny bound: overload must shed
+  Server server(pool, cfg);
+  // Offer ~20x what one replica can serve.
+  const OpenLoopLoad load{.qps = 80.0 / fx.plan->batchSeconds(),
+                          .requests = 400,
+                          .seed = 9};
+  ServeResult r = server.RunOpenLoop(load);
+  EXPECT_GT(r.metrics.rejected(), 0u);
+  EXPECT_EQ(r.metrics.admitted() + r.metrics.rejected(), 400u);
+  EXPECT_EQ(r.metrics.completed(), r.metrics.admitted());
+  EXPECT_EQ(r.logits.rows(), 0u);  // no inputs -> timing only
+}
+
+TEST(ServerTest, ClosedLoopNeverRejects) {
+  ServeFixture fx;
+  ReplicaPool pool(*fx.plan, /*replicas=*/2);
+  ServerConfig cfg;
+  cfg.batch = BatchPolicy{.max_batch = 4, .max_delay_s = 50e-6};
+  cfg.queue_capacity = 8;
+  Server server(pool, cfg);
+  const ClosedLoopLoad load{.clients = 8, .requests = 100, .think_s = 0.0};
+  ServeResult r = server.RunClosedLoop(load, &fx.inputs);
+  EXPECT_EQ(r.metrics.rejected(), 0u);  // backpressure contract
+  EXPECT_EQ(r.metrics.admitted(), 100u);
+  EXPECT_EQ(r.metrics.completed(), 100u);
+  EXPECT_GT(r.metrics.meanOccupancy(), 1.0);
+  // Every request's logits were replayed.
+  ASSERT_EQ(r.logits.rows(), 100u);
+}
+
+}  // namespace
+}  // namespace repro::serve

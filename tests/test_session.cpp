@@ -166,6 +166,24 @@ TEST(SessionOptionsTest, ValidateRejectsAbsurdThreadCount) {
   EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
 }
 
+TEST(SessionOptionsTest, ValidateRejectsExecutingOversubscribedGraphs) {
+  SessionOptions opts;
+  opts.execute = true;
+  opts.allow_oversubscription = true;
+  const Status s = opts.Validate();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(SessionOptionsTest, ValidateRejectsHostThreadsOnTimingOnlySessions) {
+  SessionOptions opts;
+  opts.execute = false;
+  opts.host_threads = 2;
+  const Status s = opts.Validate();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+}
+
 TEST(SessionOptionsTest, OptionFieldsFlowToEngineAndCompiler) {
   SessionOptions opts;
   opts.execute = false;
