@@ -3,10 +3,12 @@
 // (the paper uses the PopVision Graph Analyzer; we read the same quantities
 // from the compiler's ledger).
 #include <cstdio>
+#include <string>
 
 #include "bench_json.h"
 #include "core/device_time.h"
 #include "core/ipu_lowering.h"
+#include "obs/trace.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -24,16 +26,36 @@ int main(int argc, char** argv) {
   opts.fuse_compute_sets = cli.GetBool("fuse", true);
   opts.reuse_variable_memory = cli.GetBool("reuse", true);
 
+  // --trace dumps the compile-pass spans and the timing run's BSP timeline
+  // of every lowering as one Chrome trace (a process per (method, n)).
+  const std::string trace_path = cli.GetString("trace", "");
+  obs::Tracer tracer;
+  obs::Tracer* const tp = trace_path.empty() ? nullptr : &tracer;
+  // The linear lowering keeps default pass flags regardless of --fuse /
+  // --reuse (those ablate the factorized graphs only), so it gets its own
+  // options object carrying just the trace sink.
+  core::IpuLoweringOptions lin_opts;
+  std::size_t next_pid = 0;
+  auto traced = [&](core::IpuLoweringOptions base, const char* method,
+                    std::size_t n) {
+    base.tracer = tp;
+    base.trace_pid = next_pid++;
+    base.trace_label = std::string(method) + ":n" + std::to_string(n);
+    return base;
+  };
+
   PrintBanner("Fig 7: compute sets and memory vs N (IPU), batch = N");
   Table t({"N", "Linear CS", "Bfly CS", "Pixelfly CS", "Linear mem [MB]",
            "Bfly mem [MB]", "Pixelfly mem [MB]", "Bfly edges",
            "Pixelfly edges"});
   for (unsigned p = 7; p <= max_pow; ++p) {
     const std::size_t n = std::size_t{1} << p;
-    const core::IpuLayerTiming lin = core::TimeLinearIpu(arch, n, n, n);
-    const core::IpuLayerTiming bf = core::TimeButterflyIpu(arch, n, n, opts);
-    const core::IpuLayerTiming pf =
-        core::TimePixelflyIpu(arch, n, core::ScaledPixelflyConfig(n), opts);
+    const core::IpuLayerTiming lin =
+        core::TimeLinearIpu(arch, n, n, n, traced(lin_opts, "linear", n));
+    const core::IpuLayerTiming bf =
+        core::TimeButterflyIpu(arch, n, n, traced(opts, "butterfly", n));
+    const core::IpuLayerTiming pf = core::TimePixelflyIpu(
+        arch, n, core::ScaledPixelflyConfig(n), traced(opts, "pixelfly", n));
     json.Add("{\"n\": " + std::to_string(n) +
              ", \"linear\": " + lin.counts.ToJson() +
              ", \"butterfly\": " + bf.counts.ToJson() +
@@ -60,6 +82,13 @@ int main(int argc, char** argv) {
       "  denser per-vertex work. The number of compute sets correlates with\n"
       "  the number of variables, edges and vertices, and with total memory\n"
       "  -- the same correlation PopVision shows in the paper.\n");
+  if (tp != nullptr) {
+    const Status ws = tracer.WriteFile(trace_path);
+    REPRO_REQUIRE(ws.ok(), "writing trace %s: %s", trace_path.c_str(),
+                  ws.message().c_str());
+    std::printf("\ntrace: %s (load in https://ui.perfetto.dev)\ncounters: %s\n",
+                trace_path.c_str(), tracer.CountersToJson().c_str());
+  }
   json.Write();
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "core/device_time.h"
 #include "core/method.h"
 #include "ipusim/arch.h"
+#include "obs/trace.h"
 #include "nn/export.h"
 #include "nn/model.h"
 #include "serve/model_plan.h"
@@ -68,7 +69,14 @@ int main(int argc, char** argv) {
   const std::size_t cap = cli.GetInt("cap", 256);
   const double rate_frac = cli.GetDouble("rate-frac", 0.7);
   const std::uint64_t seed = cli.GetInt("seed", 1);
+  // Host workers for the serving numerics replay; trace + metrics bytes are
+  // invariant to it (scripts/check.sh cmp(1)s two --host-threads runs).
+  const std::size_t host_threads = cli.GetInt("host-threads", 0);
+  const std::string trace_path = cli.GetString("trace", "");
   BenchJsonWriter json("serving", cli.GetString("json", ""));
+
+  obs::Tracer tracer;
+  obs::Tracer* const tp = trace_path.empty() ? nullptr : &tracer;
 
   core::ShlShape shape;
   shape.input = n;
@@ -86,7 +94,9 @@ int main(int argc, char** argv) {
                                   core::Method::kButterfly,
                                   core::Method::kPixelfly};
   std::vector<MethodResult> results;
+  std::size_t mi = 0;
   for (core::Method method : methods) {
+    ++mi;
     Rng rng(seed);
     nn::Sequential model = nn::BuildShl(method, shape, rng);
     nn::ForwardSpec spec = nn::ExportForward(model);
@@ -104,6 +114,11 @@ int main(int argc, char** argv) {
 
     serve::PlanOptions opts = probe;
     opts.num_tiles = r.tiles_per_replica;
+    // The serving plan's compile passes + calibration-run BSP timeline get
+    // their own trace process; the capacity probes above stay untraced.
+    opts.tracer = tp;
+    opts.trace_pid = 3 * mi;
+    opts.trace_label = std::string("plan:") + core::MethodName(method);
     auto plan = serve::ModelPlan::Build(spec, arch, opts);
     REPRO_REQUIRE(plan.ok(), "replica plan for %s: %s",
                   core::MethodName(method), plan.status().message().c_str());
@@ -114,6 +129,8 @@ int main(int argc, char** argv) {
     serve::ServerConfig cfg;
     cfg.batch = serve::BatchPolicy{.max_batch = max_batch,
                                    .max_delay_s = delay_s};
+    cfg.host_threads = host_threads;
+    cfg.tracer = tp;
 
     // Closed loop: enough clients to fill every replica's batch slots,
     // queue sized to the client count (the backpressure contract).
@@ -122,6 +139,9 @@ int main(int argc, char** argv) {
     const std::size_t closed_requests =
         cli.GetInt("requests", clients * (fast ? 4 : 16));
     {
+      cfg.trace_pid = 3 * mi + 1;
+      cfg.trace_label =
+          std::string("serve:") + core::MethodName(method) + ":closed";
       serve::Server server(pool, cfg);
       serve::ServeResult res = server.RunClosedLoop(
           serve::ClosedLoopLoad{.clients = clients,
@@ -134,6 +154,9 @@ int main(int argc, char** argv) {
     // Open loop at a fraction of sustained capacity: the latency picture.
     r.offered_qps = rate_frac * r.closed_qps;
     {
+      cfg.trace_pid = 3 * mi + 2;
+      cfg.trace_label =
+          std::string("serve:") + core::MethodName(method) + ":open";
       serve::Server server(pool, cfg);
       serve::ServeResult res = server.RunOpenLoop(
           serve::OpenLoopLoad{.qps = r.offered_qps,
@@ -173,6 +196,13 @@ int main(int argc, char** argv) {
         results[2].replicas,
         double(results[2].replicas) / double(dense.replicas),
         dense.closed_qps, results[1].closed_qps);
+  }
+  if (tp != nullptr) {
+    const Status ws = tracer.WriteFile(trace_path);
+    REPRO_REQUIRE(ws.ok(), "writing trace %s: %s", trace_path.c_str(),
+                  ws.message().c_str());
+    std::printf("\ntrace: %s (load in https://ui.perfetto.dev)\ncounters: %s\n",
+                trace_path.c_str(), tracer.CountersToJson().c_str());
   }
   json.Write();
   return 0;

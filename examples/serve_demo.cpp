@@ -10,15 +10,22 @@
 //      queue -> micro-batcher -> replica pool, and every request's logits
 //      are checked against the host forward pass at the end.
 //
-//   $ ./serve_demo [--n 64] [--replicas 3] [--requests 600]
+//   $ ./serve_demo [--n 64] [--replicas 3] [--requests 600] [--trace t.json]
+//
+// --trace writes a Chrome trace (open in https://ui.perfetto.dev) with the
+// compile passes, the calibration run's BSP timeline, and every request's
+// queue/device spans -- all on simulated time, so the file is byte-identical
+// across runs and host thread counts.
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "core/device_time.h"
 #include "core/method.h"
 #include "ipusim/arch.h"
 #include "nn/export.h"
 #include "nn/model.h"
+#include "obs/trace.h"
 #include "serve/model_plan.h"
 #include "serve/replica_pool.h"
 #include "serve/server.h"
@@ -32,6 +39,9 @@ int main(int argc, char** argv) {
   const std::size_t replicas = cli.GetInt("replicas", 3);
   const std::size_t requests = cli.GetInt("requests", 600);
   const std::size_t max_batch = 8;
+  const std::string trace_path = cli.GetString("trace", "");
+  obs::Tracer tracer;
+  obs::Tracer* const tp = trace_path.empty() ? nullptr : &tracer;
 
   // 1. A small butterfly SHL model (random init stands in for training;
   //    serving only cares that host and device agree on the weights).
@@ -44,8 +54,12 @@ int main(int argc, char** argv) {
 
   // 2. Export the forward pass and compile it once.
   nn::ForwardSpec spec = nn::ExportForward(model);
-  auto plan = serve::ModelPlan::Build(spec, ipu::Gc200(),
-                                      serve::PlanOptions{.max_batch = max_batch});
+  auto plan = serve::ModelPlan::Build(
+      spec, ipu::Gc200(),
+      serve::PlanOptions{.max_batch = max_batch,
+                         .tracer = tp,
+                         .trace_pid = 1,
+                         .trace_label = "plan:butterfly"});
   REPRO_REQUIRE(plan.ok(), "plan: %s", plan.status().message().c_str());
   std::printf("compiled butterfly forward (n = %zu, %zu params) once; "
               "batch service time %.1f us\n",
@@ -65,6 +79,9 @@ int main(int argc, char** argv) {
   cfg.batch = serve::BatchPolicy{.max_batch = max_batch,
                                  .max_delay_s = 100e-6};
   cfg.queue_capacity = replicas * max_batch;
+  cfg.tracer = tp;
+  cfg.trace_pid = 2;
+  cfg.trace_label = "serve:butterfly";
   serve::Server server(pool, cfg);
   serve::ServeResult res = server.RunClosedLoop(
       serve::ClosedLoopLoad{.clients = replicas * max_batch,
@@ -90,5 +107,12 @@ int main(int argc, char** argv) {
               res.metrics.completed(), res.metrics.qps(),
               res.metrics.LatencyPercentile(99.0) * 1e6, max_diff);
   REPRO_REQUIRE(max_diff < 1e-3f, "served logits diverge from host forward");
+  if (tp != nullptr) {
+    const Status ws = tracer.WriteFile(trace_path);
+    REPRO_REQUIRE(ws.ok(), "writing trace %s: %s", trace_path.c_str(),
+                  ws.message().c_str());
+    std::printf("\ntrace: %s (load in https://ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
   return 0;
 }

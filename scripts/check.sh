@@ -5,7 +5,12 @@
 #   3. compare the set of JSON keys each bench emits against the checked-in
 #      schema in scripts/bench_schemas/<bench>.keys. A missing or renamed key
 #      fails the run; a new key fails too, so schema growth is an explicit,
-#      reviewed change (update the .keys file in the same commit).
+#      reviewed change (update the .keys file in the same commit);
+#   4. trace determinism: two bench_serving --trace runs at different host
+#      thread counts must produce bitwise-identical Chrome trace JSON, and
+#      that JSON's key set must match scripts/bench_schemas/trace_events.keys;
+#   5. AddressSanitizer build of the concurrency-heavy tests (test_serve,
+#      test_session, test_obs) in a side build dir.
 #
 # Usage: scripts/check.sh [build-dir]      (default: build)
 set -euo pipefail
@@ -57,4 +62,37 @@ if [[ "$failed" -ne 0 ]]; then
   echo "bench JSON schema check FAILED"
   exit 1
 fi
+
+echo "== trace determinism =="
+# The tracer's contract: simulated-time timestamps only, so the trace bytes
+# never depend on host parallelism (REPRO_THREADS or --host-threads).
+t1="$tmp_dir/trace_t1.json"
+t4="$tmp_dir/trace_t4.json"
+REPRO_THREADS=1 "$build_dir/bench/bench_serving" --fast --requests 128 \
+  --host-threads 1 --trace "$t1" > "$tmp_dir/trace_t1.log"
+REPRO_THREADS=4 "$build_dir/bench/bench_serving" --fast --requests 128 \
+  --host-threads 4 --trace "$t4" > "$tmp_dir/trace_t4.log"
+if ! cmp -s "$t1" "$t4"; then
+  echo "FAIL: trace JSON differs across host thread counts"
+  exit 1
+fi
+grep -o '"[A-Za-z_][A-Za-z_0-9]*":' "$t1" | sort -u > "$tmp_dir/trace.keys"
+if ! diff -u "$schema_dir/trace_events.keys" "$tmp_dir/trace.keys"; then
+  echo "FAIL: trace JSON keys changed (left: expected, right: actual)"
+  exit 1
+fi
+echo "ok: trace bitwise-identical across host threads, schema stable"
+
+echo "== asan build (test_serve + test_session + test_obs) =="
+asan_dir="$build_dir-asan"
+cmake -B "$asan_dir" -S "$repo_root" -DREPRO_SANITIZE=address > /dev/null
+cmake --build "$asan_dir" -j --target test_serve test_session test_obs
+"$asan_dir/tests/test_serve" > "$tmp_dir/asan_serve.log" \
+  || { echo "FAIL: asan test_serve"; tail -40 "$tmp_dir/asan_serve.log"; exit 1; }
+"$asan_dir/tests/test_session" > "$tmp_dir/asan_session.log" \
+  || { echo "FAIL: asan test_session"; tail -40 "$tmp_dir/asan_session.log"; exit 1; }
+"$asan_dir/tests/test_obs" > "$tmp_dir/asan_obs.log" \
+  || { echo "FAIL: asan test_obs"; tail -40 "$tmp_dir/asan_obs.log"; exit 1; }
+echo "ok: asan clean"
+
 echo "all checks passed"

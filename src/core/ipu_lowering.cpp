@@ -53,8 +53,10 @@ ipu::SessionOptions TimingOptions(const IpuLoweringOptions& opts = {}) {
   return ipu::SessionOptions{.execute = false,
                              .fast_repeat = true,
                              .fuse_compute_sets = opts.fuse_compute_sets,
-                             .reuse_variable_memory =
-                                 opts.reuse_variable_memory};
+                             .reuse_variable_memory = opts.reuse_variable_memory,
+                             .tracer = opts.tracer,
+                             .trace_pid = opts.trace_pid,
+                             .trace_label = opts.trace_label};
 }
 
 IpuLayerTiming RunTimingOnly(ipu::Session& session, Program prog,
@@ -143,8 +145,9 @@ ipu::ComputeSetId AddPairStage(Graph& g, const Tensor& x, std::size_t n,
 }
 
 IpuLayerTiming TimeLinearIpu(const ipu::IpuArch& arch, std::size_t batch,
-                             std::size_t in, std::size_t out) {
-  ipu::Session session(arch, TimingOptions());
+                             std::size_t in, std::size_t out,
+                             const IpuLoweringOptions& opts) {
+  ipu::Session session(arch, TimingOptions(opts));
   const double flops = 2.0 * static_cast<double>(batch) * in * out;
   const double bytes =
       4.0 * (static_cast<double>(batch) * in + static_cast<double>(in) * out +

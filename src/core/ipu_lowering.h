@@ -14,6 +14,10 @@
 #include "ipusim/profiler.h"
 #include "util/error.h"
 
+namespace repro::obs {
+class Tracer;
+}  // namespace repro::obs
+
 namespace repro::core {
 
 // --- graph-building helpers shared with the serving lowering (serve/) ---
@@ -60,11 +64,17 @@ struct IpuLoweringOptions {
   // off exposes what the graph costs without the passes (bench_ablations).
   bool fuse_compute_sets = true;
   bool reuse_variable_memory = true;
+  // Optional trace sink (SessionOptions passthrough): compile-pass spans and
+  // the BSP timeline of the timing run land on trace_pid.
+  obs::Tracer* tracer = nullptr;
+  std::size_t trace_pid = 0;
+  std::string trace_label;
 };
 
 // torch.nn.Linear equivalent: poplin matmul (batch x in) * (in x out).
 IpuLayerTiming TimeLinearIpu(const ipu::IpuArch& arch, std::size_t batch,
-                             std::size_t in, std::size_t out);
+                             std::size_t in, std::size_t out,
+                             const IpuLoweringOptions& opts = {});
 
 // Butterfly: log2(n) compute sets of Butterfly2x2 vertices.
 IpuLayerTiming TimeButterflyIpu(const ipu::IpuArch& arch, std::size_t batch,

@@ -12,6 +12,7 @@
 #include "ipusim/passes/liveness_pass.h"
 #include "ipusim/passes/pass.h"
 #include "ipusim/passes/validate_pass.h"
+#include "obs/trace.h"
 
 namespace repro::ipu {
 
@@ -105,7 +106,17 @@ StatusOr<Executable> Compile(const Graph& graph, Program program,
   pipeline.push_back(std::make_unique<ExchangePlanPass>());
   pipeline.push_back(std::make_unique<LedgerPass>());
 
-  for (auto& pass : pipeline) {
+  // Compile spans live on an ordinal clock (pass index as the timestamp):
+  // the wall-clock duration in PassReport::seconds would break the bitwise
+  // determinism contract the trace JSON is held to.
+  obs::TraceTrack* trace = nullptr;
+  if (options.tracer != nullptr) {
+    trace = &options.tracer->track(
+        options.trace_pid, obs::kLaneCompile,
+        options.trace_label.empty() ? "ipu" : options.trace_label, "compile");
+  }
+  for (std::size_t pi = 0; pi < pipeline.size(); ++pi) {
+    auto& pass = pipeline[pi];
     // Reachability can change only when the program tree is rewritten, but
     // recomputing it per pass keeps every pass free to do so.
     ctx.reachable = ReachableComputeSets(ctx.program);
@@ -117,6 +128,19 @@ StatusOr<Executable> Compile(const Graph& graph, Program program,
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
     ctx.stats.pass_reports.push_back(report);
+    if (trace != nullptr) {
+      options.tracer->Count("compile.passes");
+      if (s.ok()) {
+        trace->Complete(report.pass, "compile", static_cast<double>(pi), 1.0,
+                        {obs::Arg("objects_before", report.objects_before),
+                         obs::Arg("objects_after", report.objects_after),
+                         obs::Arg("bytes_saved", report.bytes_saved)});
+      } else {
+        trace->Instant("compile_error:" + report.pass, "compile",
+                       static_cast<double>(pi),
+                       {obs::Arg("error", s.message())});
+      }
+    }
     if (!s.ok()) return s;
   }
 

@@ -15,6 +15,10 @@
 #include "ipusim/program.h"
 #include "util/error.h"
 
+namespace repro::obs {
+class Tracer;
+}  // namespace repro::obs
+
 namespace repro::ipu {
 
 inline constexpr std::size_t kNumMemCategories =
@@ -40,6 +44,9 @@ struct TileLedger {
 struct ExchangePlan {
   std::size_t total_bytes = 0;        // bytes crossing tile boundaries
   std::size_t max_tile_incoming = 0;  // bottleneck tile's receive bytes
+  // Lowest tile id achieving max_tile_incoming (0 when nothing crosses);
+  // surfaces in the engine's exchange-phase trace spans.
+  std::size_t bottleneck_tile = 0;
 };
 
 // A compute set as the engine runs it. Ids [0, graph.computeSets().size())
@@ -107,6 +114,12 @@ struct CompileOptions {
   // mappings share per-tile arena slots in the ledger. Accounting only:
   // engine storage and results are unaffected.
   bool reuse_variable_memory = true;
+  // Optional trace sink: one span per pass on (trace_pid, obs::kLaneCompile).
+  // Pass spans use the pass index as their (ordinal) timestamp -- wall clock
+  // stays in PassReport::seconds, outside the determinism contract.
+  obs::Tracer* tracer = nullptr;
+  std::size_t trace_pid = 0;
+  std::string trace_label;
 };
 
 // Validates the graph + program and produces an Executable, or an

@@ -6,6 +6,7 @@
 #include <map>
 #include <sstream>
 
+#include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace repro::ipu {
@@ -90,6 +91,7 @@ Engine::Engine(Internal, const Graph& graph,
   const std::size_t num_cs = exe_->lowered_cs.size();
   cs_compute_cycles_.assign(num_cs, 0.0);
   cs_flops_.assign(num_cs, 0.0);
+  cs_bottleneck_tile_.assign(num_cs, 0);
   ParallelForWith(workers, 0, num_cs, [&](std::size_t lo, std::size_t hi) {
     std::map<std::size_t, double> tile_cycles;
     for (std::size_t cs = lo; cs < hi; ++cs) {
@@ -101,13 +103,43 @@ Engine::Engine(Internal, const Graph& graph,
         flops += vertex_flops_[vid];
       }
       double max_cycles = 0.0;
+      std::size_t max_tile = 0;
+      // Ascending tile order + strict > keeps the lowest tile on ties.
       for (const auto& [tile, cycles] : tile_cycles) {
-        max_cycles = std::max(max_cycles, cycles);
+        if (cycles > max_cycles) {
+          max_cycles = cycles;
+          max_tile = tile;
+        }
       }
       cs_compute_cycles_[cs] = max_cycles;
       cs_flops_[cs] = flops;
+      cs_bottleneck_tile_[cs] = max_tile;
     }
   });
+
+  if (opts_.tracer != nullptr) {
+    const std::string pname =
+        opts_.trace_label.empty() ? "ipu" : opts_.trace_label;
+    tr_compute_ = &opts_.tracer->track(opts_.trace_pid, obs::kLaneCompute,
+                                       pname, "compute");
+    tr_exchange_ = &opts_.tracer->track(opts_.trace_pid, obs::kLaneExchange,
+                                        pname, "exchange");
+    tr_sync_ =
+        &opts_.tracer->track(opts_.trace_pid, obs::kLaneSync, pname, "sync");
+    tr_host_ =
+        &opts_.tracer->track(opts_.trace_pid, obs::kLaneHost, pname, "host");
+  }
+}
+
+double Engine::traceNowUs(const RunReport& r) const {
+  return (trace_base_s_ +
+          static_cast<double>(r.total_cycles) / graph_.arch().clock_hz +
+          r.host_seconds) *
+         1e6;
+}
+
+double Engine::cyclesToUs(double cycles) const {
+  return cycles / graph_.arch().clock_hz * 1e6;
 }
 
 void Engine::writeTensor(const Tensor& t, std::span<const float> data) {
@@ -128,6 +160,12 @@ void Engine::readTensor(const Tensor& t, std::span<float> out) const {
 RunReport Engine::run() {
   RunReport r;
   runProgram(exe_->program, r);
+  if (opts_.tracer != nullptr) {
+    opts_.tracer->Count("bsp.runs");
+    trace_base_s_ +=
+        static_cast<double>(r.total_cycles) / graph_.arch().clock_hz +
+        r.host_seconds;
+  }
   return r;
 }
 
@@ -174,10 +212,10 @@ void Engine::runProgram(const Program& p, RunReport& r) {
       break;
     }
     case Program::Kind::kHostWrite:
-      chargeHostTransfer(p.dst.bytes(), r);
+      chargeHostTransfer(p.dst.bytes(), "host_write", r);
       break;
     case Program::Kind::kHostRead:
-      chargeHostTransfer(p.src.bytes(), r);
+      chargeHostTransfer(p.src.bytes(), "host_read", r);
       break;
   }
 }
@@ -193,6 +231,16 @@ void Engine::execComputeSet(ComputeSetId cs, RunReport& r) {
         arch.exchange_sync_cycles +
         static_cast<double>(plan.max_tile_incoming) /
             arch.exchange_bytes_per_cycle);
+    if (tr_exchange_ != nullptr) {
+      tr_exchange_->Complete(
+          exe_->lowered_cs[cs].name, "exchange", traceNowUs(r),
+          cyclesToUs(static_cast<double>(cycles)),
+          {obs::Arg("cycles", static_cast<std::uint64_t>(cycles)),
+           obs::Arg("total_bytes", plan.total_bytes),
+           obs::Arg("max_tile_incoming", plan.max_tile_incoming),
+           obs::Arg("bottleneck_tile", plan.bottleneck_tile)});
+      opts_.tracer->Count("bsp.exchange_bytes", plan.total_bytes);
+    }
     r.exchange_cycles += cycles;
     r.total_cycles += cycles;
     r.bytes_exchanged += plan.total_bytes;
@@ -201,6 +249,19 @@ void Engine::execComputeSet(ComputeSetId cs, RunReport& r) {
   // tile finishes. All accounting was precomputed serially at construction.
   const auto sync = static_cast<std::uint64_t>(arch.compute_sync_cycles);
   const auto compute = static_cast<std::uint64_t>(cs_compute_cycles_[cs]);
+  if (tr_sync_ != nullptr) {
+    const double t = traceNowUs(r);
+    const double sync_us = cyclesToUs(static_cast<double>(sync));
+    tr_sync_->Complete("sync", "sync", t, sync_us,
+                       {obs::Arg("cycles", static_cast<std::uint64_t>(sync))});
+    tr_compute_->Complete(
+        exe_->lowered_cs[cs].name, "compute", t + sync_us,
+        cyclesToUs(static_cast<double>(compute)),
+        {obs::Arg("cycles", static_cast<std::uint64_t>(compute)),
+         obs::Arg("flops", cs_flops_[cs]),
+         obs::Arg("bottleneck_tile", cs_bottleneck_tile_[cs])});
+    opts_.tracer->Count("bsp.supersteps");
+  }
   r.sync_cycles += sync;
   r.compute_cycles += compute;
   r.total_cycles += sync + compute;
@@ -287,18 +348,29 @@ void Engine::moveCopyData(const Program& p) {
 
 namespace {
 
-void ChargeExchange(const IpuArch& arch,
-                    const std::map<std::size_t, std::size_t>& incoming,
-                    std::size_t total, RunReport& r) {
-  if (total == 0) return;
+// Bottleneck summary of one exchange phase: the busiest receiving tile sets
+// the cycle cost (tile distance is irrelevant -- the paper's Observation 1).
+struct ExchangeCost {
+  std::uint64_t cycles = 0;
   std::size_t max_in = 0;
-  for (const auto& [tile, bytes] : incoming) max_in = std::max(max_in, bytes);
-  const auto cycles = static_cast<std::uint64_t>(
+  std::size_t bottleneck_tile = 0;
+};
+
+ExchangeCost ExchangeCostOf(const IpuArch& arch,
+                            const std::map<std::size_t, std::size_t>& incoming) {
+  ExchangeCost c;
+  // Map iteration is ascending by tile; strict > keeps the lowest tile on
+  // ties, matching the exchange-plan pass.
+  for (const auto& [tile, bytes] : incoming) {
+    if (bytes > c.max_in) {
+      c.max_in = bytes;
+      c.bottleneck_tile = tile;
+    }
+  }
+  c.cycles = static_cast<std::uint64_t>(
       arch.exchange_sync_cycles +
-      static_cast<double>(max_in) / arch.exchange_bytes_per_cycle);
-  r.exchange_cycles += cycles;
-  r.total_cycles += cycles;
-  r.bytes_exchanged += total;
+      static_cast<double>(c.max_in) / arch.exchange_bytes_per_cycle);
+  return c;
 }
 
 }  // namespace
@@ -307,7 +379,21 @@ void Engine::execCopy(const Program& p, RunReport& r) {
   std::map<std::size_t, std::size_t> incoming;
   std::size_t total = 0;
   walkCopyTraffic(p, incoming, total);
-  ChargeExchange(graph_.arch(), incoming, total, r);
+  if (total > 0) {
+    const ExchangeCost c = ExchangeCostOf(graph_.arch(), incoming);
+    if (tr_exchange_ != nullptr) {
+      tr_exchange_->Complete("copy", "exchange", traceNowUs(r),
+                             cyclesToUs(static_cast<double>(c.cycles)),
+                             {obs::Arg("cycles", c.cycles),
+                              obs::Arg("total_bytes", total),
+                              obs::Arg("max_tile_incoming", c.max_in),
+                              obs::Arg("bottleneck_tile", c.bottleneck_tile)});
+      opts_.tracer->Count("bsp.exchange_bytes", total);
+    }
+    r.exchange_cycles += c.cycles;
+    r.total_cycles += c.cycles;
+    r.bytes_exchanged += total;
+  }
   if (opts_.execute) moveCopyData(p);
 }
 
@@ -332,7 +418,21 @@ void Engine::execCopyBundle(const Program& p, RunReport& r) {
     }
     total += child_total[i];
   }
-  ChargeExchange(graph_.arch(), incoming, total, r);
+  if (total > 0) {
+    const ExchangeCost c = ExchangeCostOf(graph_.arch(), incoming);
+    if (tr_exchange_ != nullptr) {
+      tr_exchange_->Complete("copy_bundle", "exchange", traceNowUs(r),
+                             cyclesToUs(static_cast<double>(c.cycles)),
+                             {obs::Arg("cycles", c.cycles),
+                              obs::Arg("total_bytes", total),
+                              obs::Arg("max_tile_incoming", c.max_in),
+                              obs::Arg("bottleneck_tile", c.bottleneck_tile)});
+      opts_.tracer->Count("bsp.exchange_bytes", total);
+    }
+    r.exchange_cycles += c.cycles;
+    r.total_cycles += c.cycles;
+    r.bytes_exchanged += total;
+  }
   if (opts_.execute) {
     // Bundled copies may share destinations with later children; moving
     // them in child order preserves the sequential semantics while each
@@ -341,11 +441,22 @@ void Engine::execCopyBundle(const Program& p, RunReport& r) {
   }
 }
 
-void Engine::chargeHostTransfer(std::size_t bytes, RunReport& r) {
+void Engine::chargeHostTransfer(std::size_t bytes, const char* name,
+                                RunReport& r) {
   const IpuArch& arch = graph_.arch();
-  r.host_seconds +=
+  const double seconds =
       static_cast<double>(bytes) / arch.host_bandwidth_bytes_per_sec;
   const auto sync = static_cast<std::uint64_t>(arch.exchange_sync_cycles);
+  if (tr_host_ != nullptr) {
+    const double t = traceNowUs(r);
+    tr_host_->Complete(name, "host", t, seconds * 1e6,
+                       {obs::Arg("bytes", bytes)});
+    tr_sync_->Complete("host_sync", "sync", t,
+                       cyclesToUs(static_cast<double>(sync)),
+                       {obs::Arg("cycles", static_cast<std::uint64_t>(sync))});
+    opts_.tracer->Count("bsp.host_bytes", bytes);
+  }
+  r.host_seconds += seconds;
   r.sync_cycles += sync;
   r.total_cycles += sync;
 }

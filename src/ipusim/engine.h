@@ -23,6 +23,11 @@
 #include "ipusim/codelet.h"
 #include "ipusim/compiler.h"
 
+namespace repro::obs {
+class Tracer;
+class TraceTrack;
+}  // namespace repro::obs
+
 namespace repro::ipu {
 
 struct RunReport {
@@ -61,6 +66,12 @@ struct EngineOptions {
   // REPRO_THREADS / hardware concurrency (util::ParallelWorkers). Never
   // affects simulated results, only host wall clock.
   std::size_t host_threads = 0;
+  // Optional BSP-timeline sink: per-superstep compute/exchange/sync/host
+  // spans on (trace_pid, obs::kLane*) with simulated-clock timestamps. Null
+  // keeps the hot path allocation- and branch-light (one pointer test).
+  obs::Tracer* tracer = nullptr;
+  std::size_t trace_pid = 0;
+  std::string trace_label;
 };
 
 class Engine {
@@ -101,8 +112,12 @@ class Engine {
   // Performs one copy's data movement (execute mode), sharded over host
   // threads when the source and destination regions do not overlap.
   void moveCopyData(const Program& copy);
-  void chargeHostTransfer(std::size_t bytes, RunReport& r);
+  void chargeHostTransfer(std::size_t bytes, const char* name, RunReport& r);
   std::size_t hostWorkers() const;
+  // "Now" on the trace clock, in microseconds: cycles so far on the chip
+  // clock plus host streaming time, offset by the end of previous runs.
+  double traceNowUs(const RunReport& r) const;
+  double cyclesToUs(double cycles) const;
 
   const Graph& graph_;
   std::shared_ptr<const Executable> exe_;
@@ -116,6 +131,17 @@ class Engine {
   // so run() cost does not scale with vertex count in timing-only sweeps).
   std::vector<double> cs_compute_cycles_;
   std::vector<double> cs_flops_;
+  // Lowest tile achieving cs_compute_cycles_, for the compute-span args.
+  std::vector<std::size_t> cs_bottleneck_tile_;
+  // Trace lanes (null when tracing is off). Emission happens only from the
+  // serial accounting path, so the single-writer track contract holds.
+  obs::TraceTrack* tr_compute_ = nullptr;
+  obs::TraceTrack* tr_exchange_ = nullptr;
+  obs::TraceTrack* tr_sync_ = nullptr;
+  obs::TraceTrack* tr_host_ = nullptr;
+  // Simulated end time of all previous run() calls, so successive runs lay
+  // out back to back on the trace timeline.
+  double trace_base_s_ = 0.0;
 };
 
 }  // namespace repro::ipu

@@ -44,11 +44,19 @@ Status ExchangePlanPass::Run(LoweringContext& ctx, PassReport& report) {
       }
     }
     std::size_t max_in = 0;
+    std::size_t bottleneck = 0;
     for (std::size_t t : touched) {
-      max_in = std::max(max_in, incoming[t]);
+      const std::size_t in = incoming[t];
       incoming[t] = 0;
+      // Lowest tile id wins ties: `touched` is insertion order, so an
+      // explicit tie-break keeps the plan deterministic.
+      if (in > max_in || (in == max_in && in > 0 && t < bottleneck)) {
+        max_in = in;
+        bottleneck = t;
+      }
     }
     ctx.cs_exchange[cs].max_tile_incoming = max_in;
+    ctx.cs_exchange[cs].bottleneck_tile = bottleneck;
     for (std::size_t t : buffer_touched) {
       ctx.exchange_buffer_bytes[t] =
           std::max(ctx.exchange_buffer_bytes[t], cs_buffer[t]);

@@ -63,6 +63,11 @@ std::unique_ptr<Engine> Session::makeReplica(std::size_t host_threads) const {
   REPRO_REQUIRE(engine_.has_value(), "Session::makeReplica before compile");
   EngineOptions eo = opts_.engineOptions();
   if (host_threads != 0) eo.host_threads = host_threads;
+  // Replicas run from host worker threads (the serving pool's numerics
+  // replay); tracing them would race the single-writer lanes and leak
+  // host-schedule nondeterminism into the trace. The scheduler owns the
+  // serving timeline instead.
+  eo.tracer = nullptr;
   return std::make_unique<Engine>(Engine::Internal{}, graph_,
                                   engine_->executableShared(), eo);
 }

@@ -52,6 +52,13 @@ struct SessionOptions {
   // Host worker threads for engine execution; 0 defers to REPRO_THREADS /
   // hardware concurrency. Never affects simulated results.
   std::size_t host_threads = 0;
+  // Optional trace sink (obs/trace.h): compile-pass spans and the engine's
+  // per-superstep BSP timeline land on trace_pid, labeled trace_label.
+  // Simulated-clock timestamps keep the trace inside the same bitwise
+  // determinism contract as the run reports. Null = tracing off (free).
+  obs::Tracer* tracer = nullptr;
+  std::size_t trace_pid = 0;
+  std::string trace_label;
 
   // Rejects nonsensical combinations before they reach the engine.
   Status Validate() const;
@@ -59,12 +66,18 @@ struct SessionOptions {
   EngineOptions engineOptions() const {
     return EngineOptions{.execute = execute,
                          .fast_repeat = fast_repeat,
-                         .host_threads = host_threads};
+                         .host_threads = host_threads,
+                         .tracer = tracer,
+                         .trace_pid = trace_pid,
+                         .trace_label = trace_label};
   }
   CompileOptions compileOptions() const {
     return CompileOptions{.allow_oversubscription = allow_oversubscription,
                           .fuse_compute_sets = fuse_compute_sets,
-                          .reuse_variable_memory = reuse_variable_memory};
+                          .reuse_variable_memory = reuse_variable_memory,
+                          .tracer = tracer,
+                          .trace_pid = trace_pid,
+                          .trace_label = trace_label};
   }
 };
 

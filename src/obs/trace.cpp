@@ -1,0 +1,264 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace repro::obs {
+namespace {
+
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string Quoted(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void AppendArgs(std::string& s, const std::vector<TraceArg>& args) {
+  s += "\"args\": {";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += Quoted(args[i].key);
+    s += ": ";
+    s += args[i].json;
+  }
+  s += "}";
+}
+
+}  // namespace
+
+TraceArg Arg(std::string key, std::uint64_t v) {
+  return {std::move(key), std::to_string(v)};
+}
+
+TraceArg Arg(std::string key, double v) { return {std::move(key), Num(v)}; }
+
+TraceArg Arg(std::string key, const std::string& v) {
+  return {std::move(key), Quoted(v)};
+}
+
+std::string TraceEvent::ToJson() const {
+  std::string s = "{\"name\": ";
+  s += Quoted(name);
+  s += ", \"cat\": ";
+  s += Quoted(cat);
+  s += ", \"ph\": \"";
+  s += ph;
+  s += "\", \"pid\": ";
+  s += std::to_string(pid);
+  s += ", \"tid\": ";
+  s += std::to_string(tid);
+  s += ", \"ts\": ";
+  s += Num(ts_us);
+  if (ph == 'X') {
+    s += ", \"dur\": ";
+    s += Num(dur_us);
+  }
+  if (ph == 'i') s += ", \"s\": \"t\"";  // thread-scoped instant
+  if (has_id) {
+    s += ", \"id\": ";
+    s += std::to_string(id);
+  }
+  if (!args.empty()) {
+    s += ", ";
+    AppendArgs(s, args);
+  }
+  s += "}";
+  return s;
+}
+
+void TraceTrack::Emit(TraceEvent e) {
+  e.pid = pid_;
+  e.tid = tid_;
+  events_.push_back(std::move(e));
+}
+
+void TraceTrack::Complete(std::string name, std::string cat, double ts_us,
+                          double dur_us, std::vector<TraceArg> args) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.ph = 'X';
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.args = std::move(args);
+  Emit(std::move(e));
+}
+
+void TraceTrack::Instant(std::string name, std::string cat, double ts_us,
+                         std::vector<TraceArg> args) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.ph = 'i';
+  e.ts_us = ts_us;
+  e.args = std::move(args);
+  Emit(std::move(e));
+}
+
+void TraceTrack::AsyncBegin(std::string name, std::string cat, double ts_us,
+                            std::uint64_t id, std::vector<TraceArg> args) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.ph = 'b';
+  e.ts_us = ts_us;
+  e.id = id;
+  e.has_id = true;
+  e.args = std::move(args);
+  Emit(std::move(e));
+}
+
+void TraceTrack::AsyncEnd(std::string name, std::string cat, double ts_us,
+                          std::uint64_t id, std::vector<TraceArg> args) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.ph = 'e';
+  e.ts_us = ts_us;
+  e.id = id;
+  e.has_id = true;
+  e.args = std::move(args);
+  Emit(std::move(e));
+}
+
+TraceTrack& Tracer::track(std::size_t pid, std::size_t tid,
+                          const std::string& process_name,
+                          const std::string& thread_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = tracks_[{pid, tid}];
+  if (slot == nullptr) {
+    slot.reset(new TraceTrack(pid, tid, process_name, thread_name));
+  }
+  return *slot;
+}
+
+void Tracer::Count(const std::string& name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+std::uint64_t Tracer::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::string Tracer::CountersToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string s = "{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) s += ", ";
+    first = false;
+    s += Quoted(name);
+    s += ": ";
+    s += std::to_string(value);
+  }
+  s += "}";
+  return s;
+}
+
+std::string Tracer::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string s = "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+  bool first = true;
+  auto append = [&s, &first](const std::string& event_json) {
+    if (!first) s += ",\n ";
+    first = false;
+    s += event_json;
+  };
+  // Metadata first: name every process once and every thread lane.
+  std::size_t last_pid = 0;
+  bool any_pid = false;
+  for (const auto& [key, track] : tracks_) {
+    if (!any_pid || key.first != last_pid) {
+      append("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " +
+             std::to_string(key.first) + ", \"tid\": 0, \"args\": {\"name\": " +
+             Quoted(track->process_name_) + "}}");
+      any_pid = true;
+      last_pid = key.first;
+    }
+    append("{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " +
+           std::to_string(key.first) +
+           ", \"tid\": " + std::to_string(key.second) +
+           ", \"args\": {\"name\": " + Quoted(track->thread_name_) + "}}");
+  }
+  for (const auto& [key, track] : tracks_) {
+    (void)key;
+    for (const TraceEvent& e : track->events_) append(e.ToJson());
+  }
+  s += "],\n\"counters\": ";
+  // Inline the counters (CountersToJson would deadlock on mu_).
+  {
+    std::string c = "{";
+    bool cfirst = true;
+    for (const auto& [name, value] : counters_) {
+      if (!cfirst) c += ", ";
+      cfirst = false;
+      c += Quoted(name);
+      c += ": ";
+      c += std::to_string(value);
+    }
+    c += "}";
+    s += c;
+  }
+  s += "}\n";
+  return s;
+}
+
+Status Tracer::WriteFile(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open trace file '" + path + "'");
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::InvalidArgument("short write to trace file '" + path +
+                                   "'");
+  }
+  return Status::Ok();
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  for (const auto& [key, track] : tracks_) {
+    (void)key;
+    out.insert(out.end(), track->events_.begin(), track->events_.end());
+  }
+  return out;
+}
+
+}  // namespace repro::obs

@@ -1,0 +1,157 @@
+// Span-based tracer over the repo's simulated clocks, exported as Chrome
+// trace-event JSON (load the file in Perfetto / chrome://tracing).
+//
+// Three producers feed it:
+//   * the compiler pipeline -- one span per CompilerPass (ordinal time);
+//   * the BSP engine -- a per-superstep timeline (compute / exchange / sync
+//     / host-transfer lanes) on the engine's simulated clock;
+//   * the serving scheduler -- per-request lifecycle spans (admission,
+//     queue wait, batch formation, device run) with the replica as track.
+//
+// Determinism contract: every timestamp is simulated time (cycle counts and
+// DES event times), never host wall clock, and every emitter is a serial
+// code path (the engine's cost accounting, the single-threaded scheduler).
+// ToJson() therefore produces bitwise-identical bytes for any host_threads /
+// REPRO_THREADS setting -- the same contract as ServeMetrics::ToJson, and
+// scripts/check.sh cmp(1)s two bench_serving traces to hold it.
+//
+// Zero cost when disabled: producers hold a `Tracer*` that is null by
+// default and skip all span construction behind a pointer test -- no
+// allocation, no formatting, no locking on any hot path.
+//
+// Threading: a TraceTrack is single-writer by construction (each producer
+// owns its lanes and emits from serial code); Tracer::track() and the
+// counter registry take a mutex so independent producers (e.g. replica
+// engines of different sessions) may share one Tracer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace repro::obs {
+
+// One pre-serialized event argument: a key plus JSON value text. Arguments
+// are rendered at emission time so the export walk is pure concatenation.
+struct TraceArg {
+  std::string key;
+  std::string json;
+};
+
+TraceArg Arg(std::string key, std::uint64_t v);
+// %.17g: round-trips every double exactly (the determinism witness).
+TraceArg Arg(std::string key, double v);
+TraceArg Arg(std::string key, const std::string& v);  // quoted + escaped
+
+// One Chrome trace event. `ph` is the phase letter the format defines:
+// 'X' complete span, 'i' instant, 'b'/'e' async-nestable begin/end (used
+// where spans on one track may overlap, e.g. queued requests).
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = 'X';
+  std::size_t pid = 0;
+  std::size_t tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;     // 'X' only
+  std::uint64_t id = 0;    // 'b'/'e' only
+  bool has_id = false;
+  std::vector<TraceArg> args;
+
+  std::string ToJson() const;
+};
+
+// One (pid, tid) lane of the trace. Single-writer: the producer that created
+// the track is the only emitter, from serial code, so emission is lock-free
+// and the event order is deterministic.
+class TraceTrack {
+ public:
+  std::size_t pid() const { return pid_; }
+  std::size_t tid() const { return tid_; }
+
+  void Complete(std::string name, std::string cat, double ts_us, double dur_us,
+                std::vector<TraceArg> args = {});
+  void Instant(std::string name, std::string cat, double ts_us,
+               std::vector<TraceArg> args = {});
+  // Async-nestable pair: spans with the same (cat, id) match up, and may
+  // overlap other spans on the track (Perfetto stacks them).
+  void AsyncBegin(std::string name, std::string cat, double ts_us,
+                  std::uint64_t id, std::vector<TraceArg> args = {});
+  void AsyncEnd(std::string name, std::string cat, double ts_us,
+                std::uint64_t id, std::vector<TraceArg> args = {});
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+ private:
+  friend class Tracer;
+  TraceTrack(std::size_t pid, std::size_t tid, std::string process_name,
+             std::string thread_name)
+      : pid_(pid),
+        tid_(tid),
+        process_name_(std::move(process_name)),
+        thread_name_(std::move(thread_name)) {}
+
+  void Emit(TraceEvent e);
+
+  std::size_t pid_;
+  std::size_t tid_;
+  std::string process_name_;
+  std::string thread_name_;
+  std::vector<TraceEvent> events_;  // emission order
+};
+
+// The trace sink: a registry of tracks plus aggregated named counters.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Returns the (pid, tid) track, creating it on first use. The reference
+  // stays valid for the tracer's lifetime; the first caller's names win.
+  TraceTrack& track(std::size_t pid, std::size_t tid,
+                    const std::string& process_name,
+                    const std::string& thread_name);
+
+  // Aggregated counters (e.g. "serve.completed", "bsp.supersteps"). Dotted
+  // names by convention: the bench-schema key grep only matches bare
+  // identifier keys, so counter growth never churns the checked-in schemas.
+  void Count(const std::string& name, std::uint64_t delta = 1);
+  std::uint64_t counter(const std::string& name) const;
+  // {"name": value, ...} in name order.
+  std::string CountersToJson() const;
+
+  // The whole trace as one Chrome trace-event JSON object:
+  //   {"displayTimeUnit": "ns", "traceEvents": [...], "counters": {...}}
+  // Metadata (process_name / thread_name) events first, then each track's
+  // events in emission order, tracks in (pid, tid) order -- a deterministic
+  // serialization of deterministic inputs.
+  std::string ToJson() const;
+  Status WriteFile(const std::string& path) const;
+
+  // Flat copy of every event in (pid, tid, emission) order, for tests.
+  std::vector<TraceEvent> Events() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<std::size_t, std::size_t>, std::unique_ptr<TraceTrack>>
+      tracks_;
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+// Engine lane tids within one session's pid: the BSP phases each get their
+// own row, plus the compiler's pass lane.
+inline constexpr std::size_t kLaneCompute = 0;
+inline constexpr std::size_t kLaneExchange = 1;
+inline constexpr std::size_t kLaneSync = 2;
+inline constexpr std::size_t kLaneHost = 3;
+inline constexpr std::size_t kLaneCompile = 4;
+
+}  // namespace repro::obs

@@ -1,6 +1,8 @@
 #include "serve/batcher.h"
 
+#include <iterator>
 #include <limits>
+#include <utility>
 
 #include "util/error.h"
 
@@ -15,7 +17,7 @@ std::size_t MicroBatcher::Drain(BoundedMpmcQueue<Request>& queue) {
   std::size_t taken = 0;
   Request r;
   while (pending_.size() < policy_.max_batch && queue.TryPop(r)) {
-    pending_.push_back(r);
+    pending_.push_back(std::move(r));
     ++taken;
   }
   return taken;
@@ -37,9 +39,12 @@ double MicroBatcher::Deadline() const {
 std::vector<Request> MicroBatcher::Pop() {
   const std::size_t count = std::min(pending_.size(), policy_.max_batch);
   REPRO_REQUIRE(count > 0, "Pop on an empty batcher");
-  std::vector<Request> batch(pending_.begin(),
-                             pending_.begin() + static_cast<long>(count));
-  pending_.erase(pending_.begin(), pending_.begin() + static_cast<long>(count));
+  // Move, don't copy: requests grow payloads over time (ids and rows today,
+  // feature buffers tomorrow) and this is the per-dispatch hot path.
+  const auto end = pending_.begin() + static_cast<long>(count);
+  std::vector<Request> batch(std::make_move_iterator(pending_.begin()),
+                             std::make_move_iterator(end));
+  pending_.erase(pending_.begin(), end);
   return batch;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace repro::serve {
@@ -26,12 +27,25 @@ ServeMetrics::ServeMetrics(std::size_t max_batch)
   REPRO_REQUIRE(max_batch > 0, "max_batch must be positive");
 }
 
-void ServeMetrics::RecordBatch(std::size_t occupancy) {
-  REPRO_REQUIRE(occupancy >= 1 && occupancy <= max_batch_,
-                "batch occupancy %zu outside [1, %zu]", occupancy, max_batch_);
+bool ServeMetrics::RecordBatch(std::size_t occupancy, double now_s) {
+  if (occupancy < 1 || occupancy > max_batch_) {
+    // A malformed batch is a server bug worth seeing, not worth dying for:
+    // abort()ing the serving loop turns one bad dispatch into a total
+    // outage. Count it, emit a traced error event, drop the batch from the
+    // occupancy accounting.
+    ++invariant_violations_;
+    if (track_ != nullptr) {
+      track_->Instant("invariant_violation", "error", now_s * 1e6,
+                      {obs::Arg("occupancy", occupancy),
+                       obs::Arg("max_batch", max_batch_)});
+    }
+    if (tracer_ != nullptr) tracer_->Count("serve.invariant_violations");
+    return false;
+  }
   ++batches_;
   occupied_slots_ += occupancy;
   ++occ_hist_[occupancy];
+  return true;
 }
 
 void ServeMetrics::RecordCompletion(double latency_s, double queue_delay_s) {
@@ -94,16 +108,28 @@ std::string ServeMetrics::ToJson() const {
     s += "\": ";
     s += value;
   };
+  // One sort serves all three percentiles (LatencyPercentile would copy and
+  // sort the full vector per call). Same nearest-rank math, byte-identical
+  // output -- the regression test byte-compares against the per-call path.
+  std::vector<double> sorted = latencies_;
+  std::sort(sorted.begin(), sorted.end());
+  auto pct = [&sorted](double p) {
+    if (sorted.empty()) return 0.0;
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+    return sorted[std::max<std::size_t>(rank, 1) - 1];
+  };
   field("max_batch", Num(max_batch_), true);
   field("admitted", Num(admitted_));
   field("rejected", Num(rejected_));
+  field("invariant_violations", Num(invariant_violations_));
   field("completed", Num(completed()));
   field("batches", Num(batches_));
   field("horizon_s", Num(horizon_s_));
   field("qps", Num(qps()));
-  field("latency_p50_us", Num(LatencyPercentile(50.0) * 1e6));
-  field("latency_p95_us", Num(LatencyPercentile(95.0) * 1e6));
-  field("latency_p99_us", Num(LatencyPercentile(99.0) * 1e6));
+  field("latency_p50_us", Num(pct(50.0) * 1e6));
+  field("latency_p95_us", Num(pct(95.0) * 1e6));
+  field("latency_p99_us", Num(pct(99.0) * 1e6));
   field("latency_mean_us", Num(meanLatency() * 1e6));
   field("latency_max_us", Num(maxLatency() * 1e6));
   field("queue_delay_mean_us", Num(meanQueueDelay() * 1e6));

@@ -16,17 +16,34 @@
 #include <string>
 #include <vector>
 
+namespace repro::obs {
+class Tracer;
+class TraceTrack;
+}  // namespace repro::obs
+
 namespace repro::serve {
 
 class ServeMetrics {
  public:
   explicit ServeMetrics(std::size_t max_batch);
 
+  // Optional trace sink: invariant violations become instant error events on
+  // `track` plus a "serve.invariant_violations" counter. Either may be null.
+  void AttachTracer(obs::Tracer* tracer, obs::TraceTrack* track) {
+    tracer_ = tracer;
+    track_ = track;
+  }
+
   void RecordAdmitted() { ++admitted_; }
   void RecordRejected() { ++rejected_; }
   // One dispatched micro-batch with `occupancy` real requests (the rest of
-  // the compiled max-batch shape is padding).
-  void RecordBatch(std::size_t occupancy);
+  // the compiled max-batch shape is padding). Occupancy outside
+  // [1, max_batch] is a server-side invariant violation: it is counted,
+  // surfaced as a traced error event (when a tracer is attached), and the
+  // batch is excluded from the occupancy accounting -- serving keeps going
+  // instead of aborting. Returns whether the batch was accepted. `now_s`
+  // timestamps the error event on the serving clock.
+  bool RecordBatch(std::size_t occupancy, double now_s = 0.0);
   // One completed request: end-to-end latency and its queue-wait component.
   void RecordCompletion(double latency_s, double queue_delay_s);
   // Called once at end of run with the simulated makespan.
@@ -36,6 +53,10 @@ class ServeMetrics {
   std::size_t rejected() const { return rejected_; }
   std::size_t completed() const { return latencies_.size(); }
   std::size_t batches() const { return batches_; }
+  // Rejected RecordBatch calls (occupancy outside [1, max_batch]).
+  std::size_t invariantViolations() const { return invariant_violations_; }
+  // End-to-end latencies in completion order, seconds.
+  const std::vector<double>& latencies() const { return latencies_; }
   double horizonSeconds() const { return horizon_s_; }
   // Completed requests per simulated second.
   double qps() const;
@@ -65,8 +86,11 @@ class ServeMetrics {
   double latency_sum_s_ = 0.0;
   double latency_max_s_ = 0.0;
   double queue_delay_sum_s_ = 0.0;
+  std::size_t invariant_violations_ = 0;
   std::vector<double> latencies_;  // completion order
   std::vector<std::size_t> occ_hist_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::TraceTrack* track_ = nullptr;
 };
 
 }  // namespace repro::serve

@@ -331,6 +331,9 @@ StatusOr<std::unique_ptr<ModelPlan>> ModelPlan::Build(
   // One host worker per replica engine: the pool parallelises across
   // replicas, not within one (and timing-only sessions must stay at 0).
   so.host_threads = opts.execute ? 1 : 0;
+  so.tracer = opts.tracer;
+  so.trace_pid = opts.trace_pid;
+  so.trace_label = opts.trace_label;
   plan->session_ = std::make_unique<ipu::Session>(plan->arch_, so);
   Status st = plan->buildGraph();
   if (!st.ok()) return st;

@@ -40,6 +40,13 @@ struct PlanOptions {
   std::size_t num_tiles = 0;
   // Butterfly stages at PopTorch-parity cost (the calibrated default).
   bool poptorch_parity = true;
+  // Optional trace sink (SessionOptions passthrough): compile-pass spans
+  // and the calibration run's BSP timeline land on trace_pid. Capacity
+  // probes (MaxReplicasPerIpu) always null it -- dozens of probe compiles
+  // would bury the plan that actually serves.
+  obs::Tracer* tracer = nullptr;
+  std::size_t trace_pid = 0;
+  std::string trace_label;
 };
 
 class ModelPlan {

@@ -24,6 +24,8 @@ std::size_t MaxReplicasPerIpu(const nn::ForwardSpec& spec,
     PlanOptions probe = opts;
     probe.execute = false;  // memory/timing probe, no storage
     probe.num_tiles = tiles;
+    probe.tracer = nullptr;  // probes stay out of the trace
+
     return ModelPlan::Build(spec, arch, probe).ok();
   };
   if (!fits(1)) return 0;

@@ -6,6 +6,7 @@
 #include <set>
 #include <utility>
 
+#include "obs/trace.h"
 #include "serve/request_queue.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -47,6 +48,20 @@ class Simulation {
         inflight_(pool.size()),
         schedule_(pool.size()) {
     for (std::size_t r = 0; r < pool.size(); ++r) free_.insert(r);
+    if (cfg.tracer != nullptr) {
+      // One ingress lane (admissions, queue waits, batch formation) plus a
+      // track per replica (device runs, per-request device spans). All
+      // emission happens from this single-threaded event loop.
+      const std::string pname =
+          cfg.trace_label.empty() ? "serve" : cfg.trace_label;
+      ingress_ = &cfg.tracer->track(cfg.trace_pid, 0, pname, "ingress");
+      replica_tracks_.reserve(pool.size());
+      for (std::size_t r = 0; r < pool.size(); ++r) {
+        replica_tracks_.push_back(&cfg.tracer->track(
+            cfg.trace_pid, 1 + r, pname, "replica " + std::to_string(r)));
+      }
+      metrics_.AttachTracer(cfg.tracer, ingress_);
+    }
   }
 
   void AddArrival(double t) {
@@ -70,8 +85,19 @@ class Simulation {
         case Event::kArrival:
           if (queue_.TryPush(e.req)) {
             metrics_.RecordAdmitted();
+            if (ingress_ != nullptr) {
+              // The request lifecycle span opens at admission and closes at
+              // completion (async-nestable: queued requests overlap freely).
+              ingress_->AsyncBegin("request", "request", now * 1e6, e.req.id);
+              cfg_.tracer->Count("serve.admitted");
+            }
           } else {
             metrics_.RecordRejected();
+            if (ingress_ != nullptr) {
+              ingress_->Instant("reject", "serve", now * 1e6,
+                                {obs::Arg("request", e.req.id)});
+              cfg_.tracer->Count("serve.rejected");
+            }
           }
           break;
         case Event::kDeadline:
@@ -85,6 +111,23 @@ class Simulation {
           for (const Request& req : done.batch) {
             metrics_.RecordCompletion(now - req.arrival_s,
                                       done.dispatch_s - req.arrival_s);
+            if (ingress_ != nullptr) {
+              // Queue wait on the ingress lane, device time on the replica's
+              // track; the end event carries the exact latency components
+              // the metrics recorded (same doubles, same arithmetic).
+              const double arr_us = req.arrival_s * 1e6;
+              const double disp_us = done.dispatch_s * 1e6;
+              ingress_->AsyncBegin("queue", "request", arr_us, req.id);
+              ingress_->AsyncEnd("queue", "request", disp_us, req.id);
+              obs::TraceTrack* rt = replica_tracks_[e.replica];
+              rt->AsyncBegin("device", "device", disp_us, req.id);
+              rt->AsyncEnd(
+                  "device", "device", now * 1e6, req.id,
+                  {obs::Arg("latency_s", now - req.arrival_s),
+                   obs::Arg("queue_delay_s", done.dispatch_s - req.arrival_s)});
+              ingress_->AsyncEnd("request", "request", now * 1e6, req.id);
+              cfg_.tracer->Count("serve.completed");
+            }
             if (closed_loop && issued_ < total_) {
               AddArrival(now + think_s);
             }
@@ -120,7 +163,20 @@ class Simulation {
       std::vector<Request> batch = batcher_.Pop();
       const std::size_t r = *free_.begin();
       free_.erase(free_.begin());
-      metrics_.RecordBatch(batch.size());
+      metrics_.RecordBatch(batch.size(), now);
+      if (ingress_ != nullptr) {
+        // Batch formation spans the oldest member's arrival to dispatch.
+        const std::uint64_t bid = batch_seq_++;
+        ingress_->AsyncBegin("batch_form", "batch",
+                             batch.front().arrival_s * 1e6, bid,
+                             {obs::Arg("occupancy", batch.size())});
+        ingress_->AsyncEnd("batch_form", "batch", now * 1e6, bid);
+        replica_tracks_[r]->Complete("device_run", "serve", now * 1e6,
+                                     service_s_ * 1e6,
+                                     {obs::Arg("batch", bid),
+                                      obs::Arg("occupancy", batch.size())});
+        cfg_.tracer->Count("serve.batches");
+      }
       schedule_[r].push_back(batch);
       inflight_[r] = InFlight{now, std::move(batch)};
       Push(Event{now + service_s_, seq_++, Event::kDone, Request{}, r});
@@ -186,6 +242,9 @@ class Simulation {
   std::vector<std::vector<std::vector<Request>>> schedule_;  // per replica
   std::size_t pending_deadlines_ = 0;
   double last_completion_s_ = 0.0;
+  obs::TraceTrack* ingress_ = nullptr;  // null = tracing off
+  std::vector<obs::TraceTrack*> replica_tracks_;
+  std::uint64_t batch_seq_ = 0;
 };
 
 }  // namespace

@@ -20,10 +20,16 @@
 
 #include <cstdint>
 
+#include <string>
+
 #include "linalg/matrix.h"
 #include "serve/batcher.h"
 #include "serve/metrics.h"
 #include "serve/replica_pool.h"
+
+namespace repro::obs {
+class Tracer;
+}  // namespace repro::obs
 
 namespace repro::serve {
 
@@ -33,6 +39,15 @@ struct ServerConfig {
   // Host workers for replaying batch numerics across replicas (execute
   // plans); 0 defers to REPRO_THREADS. Never affects the metrics.
   std::size_t host_threads = 0;
+  // Optional trace sink: per-request lifecycle spans (admission instants,
+  // queue-wait and batch-formation async spans, device-run spans on the
+  // replica's track) under trace_pid. Timestamps are the scheduler's
+  // simulated event times, emitted only from the single-threaded DES loop,
+  // so the trace honours the same bitwise host-thread-invariance contract
+  // as the metrics JSON. Null = off (no cost on the serving path).
+  obs::Tracer* tracer = nullptr;
+  std::size_t trace_pid = 0;
+  std::string trace_label;
 };
 
 // Open loop: `requests` Poisson arrivals at `qps` offered load; rejected

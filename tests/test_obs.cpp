@@ -1,0 +1,401 @@
+// Tests for the observability subsystem (src/obs): the trace-event JSON the
+// tracer serializes, the compiler's per-pass spans, the engine's BSP
+// timeline (whose per-lane cycle args must reconcile exactly with the
+// RunReport), and the serving lifecycle spans -- including the tentpole
+// acceptance checks: queue + device spans reconstruct each request's
+// recorded latency, and the whole trace is bitwise identical across host
+// thread counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/device_time.h"
+#include "core/method.h"
+#include "ipusim/arch.h"
+#include "ipusim/codelet.h"
+#include "ipusim/session.h"
+#include "nn/export.h"
+#include "nn/model.h"
+#include "obs/trace.h"
+#include "serve/metrics.h"
+#include "serve/model_plan.h"
+#include "serve/replica_pool.h"
+#include "serve/server.h"
+#include "util/rng.h"
+
+namespace repro::obs {
+namespace {
+
+// Returns the JSON text of the named arg, or "" when absent.
+std::string ArgValue(const TraceEvent& e, const std::string& key) {
+  for (const TraceArg& a : e.args)
+    if (a.key == key) return a.json;
+  return "";
+}
+
+std::uint64_t ArgU64(const TraceEvent& e, const std::string& key) {
+  const std::string v = ArgValue(e, key);
+  EXPECT_FALSE(v.empty()) << e.name << " missing arg " << key;
+  return v.empty() ? 0 : std::stoull(v);
+}
+
+double ArgF64(const TraceEvent& e, const std::string& key) {
+  const std::string v = ArgValue(e, key);
+  EXPECT_FALSE(v.empty()) << e.name << " missing arg " << key;
+  return v.empty() ? 0.0 : std::stod(v);
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+
+TEST(TraceArgTest, FormatsExactAndEscaped) {
+  EXPECT_EQ(Arg("n", std::uint64_t{42}).json, "42");
+  // %.17g round-trips doubles exactly; 0.1's shortest exact form.
+  EXPECT_EQ(Arg("x", 0.1).json, "0.10000000000000001");
+  EXPECT_EQ(Arg("x", 2.0).json, "2");
+  EXPECT_EQ(Arg("s", std::string("a\"b\\c\nd")).json, "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(TraceEventTest, PhaseLettersDriveTheFields) {
+  Tracer t;
+  TraceTrack& tr = t.track(1, 2, "p", "t");
+  tr.Complete("span", "cat", 10.0, 5.0, {Arg("k", std::uint64_t{1})});
+  tr.Instant("mark", "cat", 11.0);
+  tr.AsyncBegin("a", "cat", 12.0, 99);
+  tr.AsyncEnd("a", "cat", 13.0, 99);
+  ASSERT_EQ(tr.events().size(), 4u);
+
+  const std::string x = tr.events()[0].ToJson();
+  EXPECT_NE(x.find("\"ph\": \"X\""), std::string::npos) << x;
+  EXPECT_NE(x.find("\"dur\": 5"), std::string::npos) << x;
+  EXPECT_NE(x.find("\"args\": {\"k\": 1}"), std::string::npos) << x;
+
+  const std::string i = tr.events()[1].ToJson();
+  EXPECT_NE(i.find("\"ph\": \"i\""), std::string::npos) << i;
+  EXPECT_NE(i.find("\"s\": \"t\""), std::string::npos) << i;  // scope req'd
+  EXPECT_EQ(i.find("\"dur\""), std::string::npos) << i;
+
+  const std::string b = tr.events()[2].ToJson();
+  EXPECT_NE(b.find("\"ph\": \"b\""), std::string::npos) << b;
+  EXPECT_NE(b.find("\"id\": 99"), std::string::npos) << b;
+  EXPECT_NE(tr.events()[3].ToJson().find("\"ph\": \"e\""), std::string::npos);
+}
+
+TEST(TracerTest, TracksKeepStableReferencesAndFirstNamesWin) {
+  Tracer t;
+  TraceTrack& a = t.track(0, 0, "first", "lane");
+  TraceTrack& b = t.track(0, 0, "second", "other");
+  EXPECT_EQ(&a, &b);  // same (pid, tid) -> same track
+  const std::string json = t.ToJson();
+  EXPECT_NE(json.find("\"first\""), std::string::npos);
+  EXPECT_EQ(json.find("\"second\""), std::string::npos);
+}
+
+TEST(TracerTest, ToJsonOrdersTracksAndCountersDeterministically) {
+  Tracer t;
+  // Created out of (pid, tid) order on purpose.
+  t.track(1, 0, "q", "l0").Instant("second", "c", 2.0);
+  t.track(0, 1, "p", "l1").Instant("first", "c", 1.0);
+  t.Count("z.last");
+  t.Count("a.first", 2);
+  const std::string json = t.ToJson();
+  EXPECT_LT(json.find("\"first\""), json.find("\"second\"")) << json;
+  EXPECT_NE(json.find("\"counters\": {\"a.first\": 2, \"z.last\": 1}"),
+            std::string::npos)
+      << json;
+  EXPECT_EQ(t.counter("a.first"), 2u);
+  EXPECT_EQ(t.counter("never.bumped"), 0u);
+  // Metadata rows name both processes and both threads.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+}
+
+TEST(TracerTest, WriteFileDumpsToJsonBytes) {
+  Tracer t;
+  t.track(0, 0, "p", "t").Complete("s", "c", 0.0, 1.0);
+  t.Count("n", 3);
+  const std::string path = "test_obs_trace_tmp.json";
+  ASSERT_TRUE(t.WriteFile(path).ok());
+  std::string read;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) read.append(buf, got);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(read, t.ToJson());
+}
+
+// ---------------------------------------------------------------------------
+// Compiler pass spans
+
+TEST(CompileTraceTest, EveryPassGetsAnOrdinalSpan) {
+  Tracer tracer;
+  ipu::SessionOptions so;
+  so.tracer = &tracer;
+  so.trace_pid = 7;
+  so.trace_label = "unit";
+  ipu::Session session(ipu::Gc200(), so);
+  ipu::Graph& g = session.graph();
+  ipu::Tensor x = g.addVariable("x", 64);
+  g.setTileMapping(x, 0);
+  ipu::ComputeSetId cs = g.addComputeSet("relu");
+  ipu::VertexId v = g.addVertex(cs, ipu::codelets::kRelu, 0);
+  g.connect(v, "x", x);
+  g.connect(v, "y", x, true);
+  ASSERT_TRUE(session.compile(ipu::Program::Execute(cs)).ok());
+
+  std::vector<TraceEvent> passes;
+  for (const TraceEvent& e : tracer.Events())
+    if (e.cat == "compile") passes.push_back(e);
+  const char* kExpected[] = {"validate", "fuse-compute-sets",
+                             "reuse-variable-memory", "plan-exchange",
+                             "build-ledger"};
+  ASSERT_EQ(passes.size(), 5u);
+  for (std::size_t i = 0; i < passes.size(); ++i) {
+    EXPECT_EQ(passes[i].name, kExpected[i]);
+    EXPECT_EQ(passes[i].pid, 7u);
+    EXPECT_EQ(passes[i].tid, kLaneCompile);
+    // Ordinal time: pass index, not wall clock (determinism contract).
+    EXPECT_DOUBLE_EQ(passes[i].ts_us, static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(passes[i].dur_us, 1.0);
+    EXPECT_FALSE(ArgValue(passes[i], "objects_after").empty());
+  }
+  EXPECT_EQ(tracer.counter("compile.passes"), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// BSP timeline: lane cycle args must reconcile exactly with the RunReport.
+
+TEST(EngineTraceTest, LaneCycleSumsMatchRunReportExactly) {
+  Tracer tracer;
+  ipu::SessionOptions so;
+  so.tracer = &tracer;
+  so.trace_label = "bsp";
+  ipu::Session session(ipu::Gc200(), so);
+  ipu::Graph& g = session.graph();
+  ipu::Tensor a = g.addVariable("a", 256);
+  ipu::Tensor b = g.addVariable("b", 256);
+  g.setTileMapping(a, 0);
+  g.setTileMapping(b, 5);
+  ipu::ComputeSetId cs = g.addComputeSet("relu");
+  ipu::VertexId v = g.addVertex(cs, ipu::codelets::kRelu, 5);
+  g.connect(v, "x", b);
+  g.connect(v, "y", b, true);
+  // Host streaming + cross-tile copy + one compute superstep: every trace
+  // lane gets at least one span. No Repeat: fast_repeat scales costs without
+  // re-emitting spans, which would break the sum below by design.
+  ASSERT_TRUE(session
+                  .compile(ipu::Program::Sequence(
+                      {ipu::Program::HostWrite(a), ipu::Program::Copy(a, b),
+                       ipu::Program::Execute(cs), ipu::Program::HostRead(b)}))
+                  .ok());
+  const ipu::RunReport r = session.run();
+
+  std::uint64_t compute = 0, exchange = 0, sync = 0, host_bytes = 0;
+  for (const TraceEvent& e : tracer.Events()) {
+    if (e.cat == "compute") compute += ArgU64(e, "cycles");
+    if (e.cat == "exchange") exchange += ArgU64(e, "cycles");
+    if (e.cat == "sync") sync += ArgU64(e, "cycles");
+    if (e.cat == "host") host_bytes += ArgU64(e, "bytes");
+  }
+  // The spans carry the exact per-phase cycle charges (integer args, not the
+  // lossy microsecond durations), so the sums reconcile with the report.
+  EXPECT_EQ(compute, r.compute_cycles);
+  EXPECT_EQ(exchange, r.exchange_cycles);
+  EXPECT_EQ(sync, r.sync_cycles);
+  EXPECT_EQ(host_bytes, 2u * 256u * sizeof(float));
+  EXPECT_EQ(tracer.counter("bsp.runs"), 1u);
+  EXPECT_EQ(tracer.counter("bsp.supersteps"), 1u);
+  EXPECT_EQ(tracer.counter("bsp.host_bytes"), host_bytes);
+  EXPECT_EQ(tracer.counter("bsp.exchange_bytes"), r.bytes_exchanged);
+}
+
+TEST(EngineTraceTest, BackToBackRunsLayOutSequentially) {
+  Tracer tracer;
+  ipu::SessionOptions so;
+  so.tracer = &tracer;
+  ipu::Session session(ipu::Gc200(), so);
+  ipu::Graph& g = session.graph();
+  ipu::Tensor x = g.addVariable("x", 64);
+  g.setTileMapping(x, 0);
+  ipu::ComputeSetId cs = g.addComputeSet("relu");
+  ipu::VertexId v = g.addVertex(cs, ipu::codelets::kRelu, 0);
+  g.connect(v, "x", x);
+  g.connect(v, "y", x, true);
+  ASSERT_TRUE(session.compile(ipu::Program::Execute(cs)).ok());
+  session.run();
+  session.run();
+  std::vector<double> compute_ts;
+  for (const TraceEvent& e : tracer.Events())
+    if (e.cat == "compute") compute_ts.push_back(e.ts_us);
+  ASSERT_EQ(compute_ts.size(), 2u);
+  // The second run starts where the first ended, not at zero.
+  EXPECT_GT(compute_ts[1], compute_ts[0]);
+  EXPECT_EQ(tracer.counter("bsp.runs"), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Serving lifecycle spans
+
+core::ShlShape SmallShape(std::size_t n) {
+  core::ShlShape shape;
+  shape.input = n;
+  shape.hidden = n;
+  shape.classes = 10;
+  shape.pixelfly = core::PixelflyConfig{
+      .n = n, .block_size = 16, .butterfly_size = 4, .low_rank = 16};
+  return shape;
+}
+
+struct ServeFixture {
+  std::unique_ptr<serve::ModelPlan> plan;
+  Matrix inputs;
+
+  explicit ServeFixture(Tracer* tracer = nullptr) {
+    Rng rng(5);
+    nn::Sequential model =
+        nn::BuildShl(core::Method::kButterfly, SmallShape(64), rng);
+    nn::ForwardSpec spec = nn::ExportForward(model);
+    serve::PlanOptions opts{.max_batch = 4};
+    opts.tracer = tracer;
+    opts.trace_pid = 0;
+    opts.trace_label = "plan";
+    auto built = serve::ModelPlan::Build(spec, ipu::Gc200(), opts);
+    REPRO_REQUIRE(built.ok(), "fixture plan: %s",
+                  built.status().message().c_str());
+    plan = built.take();
+    inputs = Matrix(16, 64);
+    Rng data_rng(13);
+    for (std::size_t i = 0; i < inputs.rows(); ++i)
+      for (std::size_t j = 0; j < inputs.cols(); ++j)
+        inputs(i, j) = float(data_rng.Uniform(-1.0, 1.0));
+  }
+};
+
+serve::ServeResult RunTraced(ServeFixture& fx, Tracer* tracer,
+                             std::size_t host_threads) {
+  serve::ReplicaPool pool(*fx.plan, /*replicas=*/2);
+  serve::ServerConfig cfg;
+  cfg.batch = serve::BatchPolicy{.max_batch = 4, .max_delay_s = 100e-6};
+  cfg.queue_capacity = 8;  // small bound: the open loop below must shed
+  cfg.host_threads = host_threads;
+  cfg.tracer = tracer;
+  cfg.trace_pid = 1;
+  cfg.trace_label = "serve";
+  serve::Server server(pool, cfg);
+  return server.RunOpenLoop(
+      serve::OpenLoopLoad{.qps = 40.0 / fx.plan->batchSeconds(),
+                          .requests = 120,
+                          .seed = 42},
+      &fx.inputs);
+}
+
+// The tentpole acceptance test: the per-request spans reconstruct exactly
+// what the metrics recorded.
+TEST(ServeTraceTest, SpansReconcileWithRecordedLatencies) {
+  Tracer tracer;
+  ServeFixture fx(&tracer);
+  serve::ServeResult res = RunTraced(fx, &tracer, /*host_threads=*/1);
+  ASSERT_GT(res.metrics.completed(), 0u);
+  ASSERT_GT(res.metrics.rejected(), 0u);  // shedding path traced too
+
+  // Collect the request-lifecycle spans by request id.
+  std::map<std::uint64_t, double> queue_begin_us, queue_end_us;
+  std::map<std::uint64_t, double> dev_begin_us, dev_end_us;
+  std::vector<double> latency_args;
+  std::size_t rejects = 0;
+  for (const TraceEvent& e : tracer.Events()) {
+    if (e.cat == "request" && e.name == "queue") {
+      (e.ph == 'b' ? queue_begin_us : queue_end_us)[e.id] = e.ts_us;
+    } else if (e.cat == "device") {
+      (e.ph == 'b' ? dev_begin_us : dev_end_us)[e.id] = e.ts_us;
+      if (e.ph == 'e') latency_args.push_back(ArgF64(e, "latency_s"));
+    } else if (e.name == "reject") {
+      ++rejects;
+    }
+  }
+  ASSERT_EQ(latency_args.size(), res.metrics.completed());
+  EXPECT_EQ(rejects, res.metrics.rejected());
+
+  // The latency_s args are the same doubles the metrics recorded: exact
+  // multiset equality, not approximate.
+  std::vector<double> recorded = res.metrics.latencies();
+  std::sort(recorded.begin(), recorded.end());
+  std::sort(latency_args.begin(), latency_args.end());
+  ASSERT_EQ(recorded.size(), latency_args.size());
+  for (std::size_t i = 0; i < recorded.size(); ++i)
+    EXPECT_EQ(recorded[i], latency_args[i]) << "latency " << i;
+
+  // Queue-delay span + device-run span = completion latency, per request.
+  for (const auto& [id, end_us] : dev_end_us) {
+    ASSERT_TRUE(queue_begin_us.count(id));
+    ASSERT_TRUE(queue_end_us.count(id));
+    ASSERT_TRUE(dev_begin_us.count(id));
+    EXPECT_DOUBLE_EQ(queue_end_us[id], dev_begin_us[id]);  // dispatch instant
+    const double queue_span = queue_end_us[id] - queue_begin_us[id];
+    const double device_span = end_us - dev_begin_us[id];
+    const double latency_us = end_us - queue_begin_us[id];
+    EXPECT_NEAR(queue_span + device_span, latency_us, 1e-9);
+  }
+
+  // Counter registry agrees with the metrics object.
+  EXPECT_EQ(tracer.counter("serve.admitted"), res.metrics.admitted());
+  EXPECT_EQ(tracer.counter("serve.rejected"), res.metrics.rejected());
+  EXPECT_EQ(tracer.counter("serve.completed"), res.metrics.completed());
+  EXPECT_EQ(tracer.counter("serve.batches"), res.metrics.batches());
+}
+
+TEST(ServeTraceTest, TraceBytesAreHostThreadInvariant) {
+  Tracer t1, t4;
+  ServeFixture fx1(&t1), fx4(&t4);
+  RunTraced(fx1, &t1, /*host_threads=*/1);
+  RunTraced(fx4, &t4, /*host_threads=*/4);
+  // The whole file: compile spans, BSP calibration timeline, serving spans,
+  // counters. Bitwise, not structurally, equal.
+  EXPECT_EQ(t1.ToJson(), t4.ToJson());
+}
+
+TEST(ServeTraceTest, ReplicaEnginesStayOutOfTheTrace) {
+  Tracer tracer;
+  ServeFixture fx(&tracer);
+  const std::size_t after_build = tracer.Events().size();
+  EXPECT_GT(after_build, 0u);  // compile + calibration run landed
+  std::unique_ptr<ipu::Engine> replica = fx.plan->MakeReplica();
+  Matrix x(2, 64);
+  for (std::size_t j = 0; j < 64; ++j) x(0, j) = x(1, j) = 0.5f;
+  fx.plan->RunBatch(*replica, x);
+  // Replica runs happen on host worker threads; tracing them would race the
+  // single-writer lanes, so makeReplica nulls the sink.
+  EXPECT_EQ(tracer.Events().size(), after_build);
+}
+
+TEST(ServeTraceTest, InvariantViolationIsTracedNotFatal) {
+  Tracer tracer;
+  TraceTrack& track = tracer.track(0, 0, "serve", "ingress");
+  serve::ServeMetrics m(4);
+  m.AttachTracer(&tracer, &track);
+  EXPECT_FALSE(m.RecordBatch(0, 1.5));
+  EXPECT_FALSE(m.RecordBatch(5, 2.5));
+  EXPECT_TRUE(m.RecordBatch(4, 3.0));
+  EXPECT_EQ(m.invariantViolations(), 2u);
+  EXPECT_EQ(m.batches(), 1u);  // bad batches excluded from accounting
+  EXPECT_EQ(tracer.counter("serve.invariant_violations"), 2u);
+  std::vector<const TraceEvent*> errors;
+  for (const TraceEvent& e : track.events())
+    if (e.cat == "error") errors.push_back(&e);
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_EQ(errors[0]->name, "invariant_violation");
+  EXPECT_EQ(ArgU64(*errors[0], "occupancy"), 0u);
+  EXPECT_EQ(ArgU64(*errors[1], "occupancy"), 5u);
+  EXPECT_DOUBLE_EQ(errors[1]->ts_us, 2.5e6);
+}
+
+}  // namespace
+}  // namespace repro::obs

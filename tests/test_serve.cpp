@@ -3,7 +3,9 @@
 // for all three deployed methods, replica sharing, the butterfly > dense
 // capacity ordering, the determinism contract, and backpressure.
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <thread>
 #include <vector>
 
@@ -57,6 +59,42 @@ TEST(RequestQueueTest, CloseDrainsThenFails) {
   EXPECT_EQ(v, 8);
   EXPECT_FALSE(q.Pop(v));  // closed and drained
   EXPECT_FALSE(q.TryPop(v));
+}
+
+TEST(RequestQueueTest, CloseWakesProducerBlockedInPush) {
+  BoundedMpmcQueue<int> q(1);
+  ASSERT_TRUE(q.TryPush(1));  // full: the next Push must block
+  std::atomic<bool> pushed{false};
+  std::atomic<bool> result{true};
+  std::thread producer([&] {
+    result = q.Push(2);
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());  // still parked in the full-queue wait
+  q.Close();
+  producer.join();
+  EXPECT_FALSE(result.load());  // closed while blocked -> push refused
+  int v = 0;
+  EXPECT_TRUE(q.Pop(v));  // the pre-close item still drains
+  EXPECT_EQ(v, 1);
+  EXPECT_FALSE(q.Pop(v));
+}
+
+TEST(RequestQueueTest, CloseWakesConsumerBlockedInPop) {
+  BoundedMpmcQueue<int> q(4);
+  std::atomic<bool> popped{false};
+  std::atomic<bool> result{true};
+  std::thread consumer([&] {
+    int v = 0;
+    result = q.Pop(v);
+    popped = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(popped.load());  // still parked in the empty-queue wait
+  q.Close();
+  consumer.join();
+  EXPECT_FALSE(result.load());  // closed and empty -> pop fails
 }
 
 TEST(RequestQueueTest, ConcurrentProducersConsumersLoseNothing) {
@@ -178,6 +216,56 @@ TEST(ServeMetricsTest, ToJsonCarriesTheContract) {
   EXPECT_NE(json.find("\"latency_p99_us\": 2000"), std::string::npos) << json;
   EXPECT_NE(json.find("\"occupancy_hist\": [0, 0, 1]"), std::string::npos)
       << json;
+}
+
+TEST(ServeMetricsTest, PercentileEdgeCases) {
+  ServeMetrics one(4);
+  one.RecordCompletion(3e-3, 0.0);
+  // A single sample is every percentile: nearest-rank clamps to rank 1.
+  EXPECT_DOUBLE_EQ(one.LatencyPercentile(0.001), 3e-3);
+  EXPECT_DOUBLE_EQ(one.LatencyPercentile(50.0), 3e-3);
+  EXPECT_DOUBLE_EQ(one.LatencyPercentile(100.0), 3e-3);
+
+  ServeMetrics many(4);
+  for (int i = 1; i <= 9; ++i) many.RecordCompletion(i * 1e-3, 0.0);
+  EXPECT_DOUBLE_EQ(many.LatencyPercentile(100.0), 9e-3);   // p100 = max
+  EXPECT_DOUBLE_EQ(many.LatencyPercentile(0.001), 1e-3);   // p->0+ = min
+  EXPECT_DOUBLE_EQ(many.LatencyPercentile(100.0), many.maxLatency());
+}
+
+TEST(ServeMetricsTest, ToJsonPercentilesMatchPerCallPathByteForByte) {
+  // Regression for the sort-once ToJson: its inlined nearest-rank math must
+  // produce byte-identical percentile fields to LatencyPercentile on a
+  // large shuffled latency set.
+  ServeMetrics m(8);
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i)
+    m.RecordCompletion(rng.Uniform(1e-5, 5e-2), rng.Uniform(0.0, 1e-3));
+  m.RecordBatch(8);
+  m.Finalize(1.0);
+  const std::string json = m.ToJson();
+  auto pct_field = [&](const char* key, double p) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "\"%s\": %.17g", key,
+                  m.LatencyPercentile(p) * 1e6);
+    EXPECT_NE(json.find(buf), std::string::npos) << buf << " not in " << json;
+  };
+  pct_field("latency_p50_us", 50.0);
+  pct_field("latency_p95_us", 95.0);
+  pct_field("latency_p99_us", 99.0);
+  // And the whole serialization is stable call to call.
+  EXPECT_EQ(json, m.ToJson());
+}
+
+TEST(ServeMetricsTest, OutOfRangeBatchIsCountedNotFatal) {
+  ServeMetrics m(4);
+  EXPECT_FALSE(m.RecordBatch(0));   // empty dispatch: a server bug
+  EXPECT_FALSE(m.RecordBatch(5));   // above the compiled shape
+  EXPECT_TRUE(m.RecordBatch(2));
+  EXPECT_EQ(m.invariantViolations(), 2u);
+  EXPECT_EQ(m.batches(), 1u);  // rejected batches leave no occupancy trace
+  EXPECT_DOUBLE_EQ(m.meanOccupancy(), 2.0);
+  EXPECT_NE(m.ToJson().find("\"invariant_violations\": 2"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
