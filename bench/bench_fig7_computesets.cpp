@@ -8,6 +8,7 @@
 #include "bench_json.h"
 #include "core/device_time.h"
 #include "core/ipu_lowering.h"
+#include "ipusim/exe_cache.h"
 #include "obs/trace.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -25,6 +26,12 @@ int main(int argc, char** argv) {
   core::IpuLoweringOptions opts;
   opts.fuse_compute_sets = cli.GetBool("fuse", true);
   opts.reuse_variable_memory = cli.GetBool("reuse", true);
+  // --cache-dir persists the compiled artifacts: a second run at the same
+  // sweep reloads them instead of recompiling (and check.sh asserts its
+  // ledger JSON is byte-identical to the cold compile).
+  const std::string cache_dir = cli.GetString("cache-dir", "");
+  ipu::ExeCache cache(cache_dir);
+  opts.cache = &cache;
 
   // --trace dumps the compile-pass spans and the timing run's BSP timeline
   // of every lowering as one Chrome trace (a process per (method, n)).
@@ -35,6 +42,7 @@ int main(int argc, char** argv) {
   // --reuse (those ablate the factorized graphs only), so it gets its own
   // options object carrying just the trace sink.
   core::IpuLoweringOptions lin_opts;
+  lin_opts.cache = &cache;
   std::size_t next_pid = 0;
   auto traced = [&](core::IpuLoweringOptions base, const char* method,
                     std::size_t n) {
@@ -82,6 +90,14 @@ int main(int argc, char** argv) {
       "  denser per-vertex work. The number of compute sets correlates with\n"
       "  the number of variables, edges and vertices, and with total memory\n"
       "  -- the same correlation PopVision shows in the paper.\n");
+  // Cache statistics stay on stdout: the --json bytes are compared cold vs
+  // warm by scripts/check.sh and must not depend on disk-cache state.
+  const ipu::ExeCacheStats cs_stats = cache.stats();
+  std::printf("\ncompile cache: %zu lookups, %zu memory hits, %zu disk hits, "
+              "%zu compiles, %zu artifacts stored%s%s\n",
+              cs_stats.lookups(), cs_stats.memory_hits, cs_stats.disk_hits,
+              cs_stats.misses, cs_stats.disk_stores,
+              cache_dir.empty() ? "" : " in ", cache_dir.c_str());
   if (tp != nullptr) {
     const Status ws = tracer.WriteFile(trace_path);
     REPRO_REQUIRE(ws.ok(), "writing trace %s: %s", trace_path.c_str(),

@@ -18,6 +18,7 @@
 #include "core/device_time.h"
 #include "core/method.h"
 #include "ipusim/arch.h"
+#include "ipusim/exe_cache.h"
 #include "obs/trace.h"
 #include "nn/export.h"
 #include "nn/model.h"
@@ -36,6 +37,8 @@ struct MethodResult {
   core::Method method = core::Method::kBaseline;
   std::size_t replicas = 0;
   std::size_t tiles_per_replica = 0;
+  std::size_t probe_compiles = 0;
+  std::size_t probe_cache_hits = 0;
   double service_us = 0.0;
   double closed_qps = 0.0;
   serve::ServeMetrics closed{1};
@@ -51,9 +54,11 @@ std::string Record(const MethodResult& r, const char* mode,
   std::snprintf(head, sizeof head,
                 "{\"method\": \"%s\", \"mode\": \"%s\", \"n\": %zu, "
                 "\"replicas\": %zu, \"tiles_per_replica\": %zu, "
+                "\"probe_compiles\": %zu, \"probe_cache_hits\": %zu, "
                 "\"service_us\": %.17g, \"offered_qps\": %.17g, ",
                 core::MethodName(r.method), mode, n, r.replicas,
-                r.tiles_per_replica, r.service_us, offered_qps);
+                r.tiles_per_replica, r.probe_compiles, r.probe_cache_hits,
+                r.service_us, offered_qps);
   return std::string(head) + "\"counts\": " + r.counts.ToJson() +
          ", \"metrics\": " + m.ToJson() + "}";
 }
@@ -73,7 +78,12 @@ int main(int argc, char** argv) {
   // invariant to it (scripts/check.sh cmp(1)s two --host-threads runs).
   const std::size_t host_threads = cli.GetInt("host-threads", 0);
   const std::string trace_path = cli.GetString("trace", "");
+  // Compile cache: always on in-process (the probe and the serving plan
+  // share artifacts); --cache-dir additionally persists artifacts on disk
+  // so a second invocation warm-starts without compiling at all.
+  const std::string cache_dir = cli.GetString("cache-dir", "");
   BenchJsonWriter json("serving", cli.GetString("json", ""));
+  ipu::ExeCache cache(cache_dir);
 
   obs::Tracer tracer;
   obs::Tracer* const tp = trace_path.empty() ? nullptr : &tracer;
@@ -101,10 +111,15 @@ int main(int argc, char** argv) {
     nn::Sequential model = nn::BuildShl(method, shape, rng);
     nn::ForwardSpec spec = nn::ExportForward(model);
 
-    const serve::PlanOptions probe{.max_batch = max_batch, .execute = false};
+    serve::PlanOptions probe{.max_batch = max_batch, .execute = false};
+    probe.cache = &cache;
     MethodResult r;
     r.method = method;
-    r.replicas = serve::MaxReplicasPerIpu(spec, arch, probe, cap);
+    const serve::CapacityProbe cp =
+        serve::ProbeMaxReplicas(spec, arch, probe, cap);
+    r.replicas = cp.replicas;
+    r.probe_compiles = cp.probe_compiles;
+    r.probe_cache_hits = cp.probe_cache_hits;
     if (r.replicas == 0) {
       std::printf("%-10s does not fit even one replica, skipping\n",
                   core::MethodName(method));
@@ -197,6 +212,15 @@ int main(int argc, char** argv) {
         double(results[2].replicas) / double(dense.replicas),
         dense.closed_qps, results[1].closed_qps);
   }
+  // Disk/process cache statistics go to stdout only: they depend on what a
+  // previous run left in --cache-dir, and the --json bytes are held to
+  // cold-vs-warm equality by scripts/check.sh.
+  const ipu::ExeCacheStats cs = cache.stats();
+  std::printf("\ncompile cache: %zu lookups, %zu memory hits, %zu disk hits, "
+              "%zu compiles, %zu artifacts stored%s%s\n",
+              cs.lookups(), cs.memory_hits, cs.disk_hits, cs.misses,
+              cs.disk_stores, cache_dir.empty() ? "" : " in ",
+              cache_dir.c_str());
   if (tp != nullptr) {
     const Status ws = tracer.WriteFile(trace_path);
     REPRO_REQUIRE(ws.ok(), "writing trace %s: %s", trace_path.c_str(),

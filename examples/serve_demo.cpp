@@ -23,6 +23,7 @@
 #include "core/device_time.h"
 #include "core/method.h"
 #include "ipusim/arch.h"
+#include "ipusim/exe_cache.h"
 #include "nn/export.h"
 #include "nn/model.h"
 #include "obs/trace.h"
@@ -40,8 +41,12 @@ int main(int argc, char** argv) {
   const std::size_t requests = cli.GetInt("requests", 600);
   const std::size_t max_batch = 8;
   const std::string trace_path = cli.GetString("trace", "");
+  // --cache-dir warm-starts the plan compile from a previous run's artifact
+  // (shared with bench_serving: same content hash, same .ipuexe file).
+  const std::string cache_dir = cli.GetString("cache-dir", "");
   obs::Tracer tracer;
   obs::Tracer* const tp = trace_path.empty() ? nullptr : &tracer;
+  ipu::ExeCache cache(cache_dir);
 
   // 1. A small butterfly SHL model (random init stands in for training;
   //    serving only cares that host and device agree on the weights).
@@ -59,11 +64,14 @@ int main(int argc, char** argv) {
       serve::PlanOptions{.max_batch = max_batch,
                          .tracer = tp,
                          .trace_pid = 1,
-                         .trace_label = "plan:butterfly"});
+                         .trace_label = "plan:butterfly",
+                         .cache = &cache});
   REPRO_REQUIRE(plan.ok(), "plan: %s", plan.status().message().c_str());
-  std::printf("compiled butterfly forward (n = %zu, %zu params) once; "
+  const ipu::ExeCacheStats cs = cache.stats();
+  std::printf("%s butterfly forward (n = %zu, %zu params) once; "
               "batch service time %.1f us\n",
-              n, spec.paramCount(), plan.value()->batchSeconds() * 1e6);
+              cs.disk_hits > 0 ? "loaded cached" : "compiled", n,
+              spec.paramCount(), plan.value()->batchSeconds() * 1e6);
 
   // 3. K replicas over the one executable.
   serve::ReplicaPool pool(*plan.value(), replicas);

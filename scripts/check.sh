@@ -9,7 +9,11 @@
 #   4. trace determinism: two bench_serving --trace runs at different host
 #      thread counts must produce bitwise-identical Chrome trace JSON, and
 #      that JSON's key set must match scripts/bench_schemas/trace_events.keys;
-#   5. AddressSanitizer build of the concurrency-heavy tests (test_serve,
+#   5. executable artifact cache: cold-compile bench_serving / fig7 /
+#      serve_demo into a --cache-dir, then rerun each in a fresh process that
+#      must load every ipu::Executable from disk (0 compiles) and produce
+#      byte-identical JSON/output;
+#   6. AddressSanitizer build of the concurrency-heavy tests (test_serve,
 #      test_session, test_obs) in a side build dir.
 #
 # Usage: scripts/check.sh [build-dir]      (default: build)
@@ -82,6 +86,65 @@ if ! diff -u "$schema_dir/trace_events.keys" "$tmp_dir/trace.keys"; then
   exit 1
 fi
 echo "ok: trace bitwise-identical across host threads, schema stable"
+
+echo "== executable artifact cache: cold vs warm byte-identity =="
+# The cold run compiles every plan and saves each ipu::Executable into
+# --cache-dir; the warm run is a FRESH PROCESS that must load every artifact
+# from disk (0 compiles) and still emit byte-identical --json. This is the
+# cross-process save/load gate for the serialized executable format.
+cache_dir="$tmp_dir/exe_cache"
+serving_cold="$tmp_dir/serving_cold.json"
+serving_warm="$tmp_dir/serving_warm.json"
+"$build_dir/bench/bench_serving" --fast --requests 128 \
+  --cache-dir "$cache_dir" --json "$serving_cold" > "$tmp_dir/serving_cold.log"
+"$build_dir/bench/bench_serving" --fast --requests 128 \
+  --cache-dir "$cache_dir" --json "$serving_warm" > "$tmp_dir/serving_warm.log"
+if ! cmp -s "$serving_cold" "$serving_warm"; then
+  echo "FAIL: bench_serving --json differs when plans load from cached artifacts"
+  diff "$serving_cold" "$serving_warm" | head -10
+  exit 1
+fi
+if ! grep -Eq 'compile cache: .* [1-9][0-9]* disk hits, 0 compiles' \
+    "$tmp_dir/serving_warm.log"; then
+  echo "FAIL: warm bench_serving run did not load every executable from disk"
+  grep 'compile cache' "$tmp_dir/serving_warm.log" || true
+  exit 1
+fi
+fig7_cold="$tmp_dir/fig7_cold.json"
+fig7_warm="$tmp_dir/fig7_warm.json"
+"$build_dir/bench/bench_fig7_computesets" --fast \
+  --cache-dir "$cache_dir" --json "$fig7_cold" > "$tmp_dir/fig7_cold.log"
+"$build_dir/bench/bench_fig7_computesets" --fast \
+  --cache-dir "$cache_dir" --json "$fig7_warm" > "$tmp_dir/fig7_warm.log"
+if ! cmp -s "$fig7_cold" "$fig7_warm"; then
+  echo "FAIL: fig7 ledger JSON differs when executables load from cached artifacts"
+  diff "$fig7_cold" "$fig7_warm" | head -10
+  exit 1
+fi
+if ! grep -Eq 'compile cache: .* [1-9][0-9]* disk hits, 0 compiles' \
+    "$tmp_dir/fig7_warm.log"; then
+  echo "FAIL: warm fig7 run did not load every executable from disk"
+  grep 'compile cache' "$tmp_dir/fig7_warm.log" || true
+  exit 1
+fi
+# serve_demo shares the same cache format: its second run must announce the
+# plan came from a cached artifact, with the same calibrated batch time.
+"$build_dir/examples/serve_demo" --requests 64 \
+  --cache-dir "$cache_dir" > "$tmp_dir/demo_cold.log"
+"$build_dir/examples/serve_demo" --requests 64 \
+  --cache-dir "$cache_dir" > "$tmp_dir/demo_warm.log"
+if ! grep -q '^loaded cached butterfly forward' "$tmp_dir/demo_warm.log"; then
+  echo "FAIL: warm serve_demo did not load its plan from the artifact cache"
+  head -3 "$tmp_dir/demo_warm.log"
+  exit 1
+fi
+if ! cmp -s "$tmp_dir/demo_cold.log" <(sed 's/^loaded cached/compiled/' \
+    "$tmp_dir/demo_warm.log"); then
+  echo "FAIL: serve_demo output differs between compiled and cached plan"
+  diff "$tmp_dir/demo_cold.log" "$tmp_dir/demo_warm.log" | head -10
+  exit 1
+fi
+echo "ok: cold and warm runs byte-identical; warm runs served entirely from disk"
 
 echo "== asan build (test_serve + test_session + test_obs) =="
 asan_dir="$build_dir-asan"

@@ -50,26 +50,29 @@ MethodTime GpuForward(Method method, std::size_t batch, std::size_t n,
   return {c.seconds, false};
 }
 
-MethodTime IpuForward(Method method, std::size_t batch, std::size_t n) {
+MethodTime IpuForward(Method method, std::size_t batch, std::size_t n,
+                      ipu::ExeCache* cache) {
+  IpuLoweringOptions lo;
+  lo.cache = cache;
   IpuLayerTiming t;
   switch (method) {
     case Method::kBaseline:
-      t = TimeLinearIpu(kIpu, batch, n, n);
+      t = TimeLinearIpu(kIpu, batch, n, n, lo);
       break;
     case Method::kButterfly:
-      t = TimeButterflyIpu(kIpu, batch, n);
+      t = TimeButterflyIpu(kIpu, batch, n, lo);
       break;
     case Method::kPixelfly:
-      t = TimePixelflyIpu(kIpu, batch, ScaledPixelflyConfig(n));
+      t = TimePixelflyIpu(kIpu, batch, ScaledPixelflyConfig(n), lo);
       break;
     case Method::kFastfood:
-      t = TimeFastfoodIpu(kIpu, batch, n);
+      t = TimeFastfoodIpu(kIpu, batch, n, lo);
       break;
     case Method::kCirculant:
-      t = TimeCirculantIpu(kIpu, batch, n);
+      t = TimeCirculantIpu(kIpu, batch, n, lo);
       break;
     case Method::kLowRank:
-      t = TimeLowRankIpu(kIpu, batch, n, n, 1);
+      t = TimeLowRankIpu(kIpu, batch, n, n, 1, lo);
       break;
   }
   return {t.fwd_seconds, t.streamed};
@@ -88,17 +91,17 @@ PixelflyConfig ScaledPixelflyConfig(std::size_t n) {
 }
 
 MethodTime ForwardSeconds(Device device, Method method, std::size_t batch,
-                          std::size_t n) {
+                          std::size_t n, ipu::ExeCache* cache) {
   switch (device) {
     case Device::kGpuTc: return GpuForward(method, batch, n, true);
     case Device::kGpuNoTc: return GpuForward(method, batch, n, false);
-    case Device::kIpu: return IpuForward(method, batch, n);
+    case Device::kIpu: return IpuForward(method, batch, n, cache);
   }
   return {};
 }
 
 MethodTime PixelflyForwardSeconds(Device device, const PixelflyConfig& config,
-                                  std::size_t batch) {
+                                  std::size_t batch, ipu::ExeCache* cache) {
   switch (device) {
     case Device::kGpuTc:
     case Device::kGpuNoTc: {
@@ -108,7 +111,9 @@ MethodTime PixelflyForwardSeconds(Device device, const PixelflyConfig& config,
       return {c.seconds, false};
     }
     case Device::kIpu: {
-      IpuLayerTiming t = TimePixelflyIpu(kIpu, batch, config);
+      IpuLoweringOptions lo;
+      lo.cache = cache;
+      IpuLayerTiming t = TimePixelflyIpu(kIpu, batch, config, lo);
       return {t.fwd_seconds, t.streamed};
     }
   }
@@ -116,7 +121,7 @@ MethodTime PixelflyForwardSeconds(Device device, const PixelflyConfig& config,
 }
 
 MethodTime TrainStepSeconds(Device device, Method method,
-                            const ShlShape& shape) {
+                            const ShlShape& shape, ipu::ExeCache* cache) {
   // Hidden-layer parameter count for the SGD update cost.
   std::size_t n_params = 0;
   const std::size_t n = shape.hidden;
@@ -133,9 +138,12 @@ MethodTime TrainStepSeconds(Device device, Method method,
   if (device == Device::kIpu) {
     MethodTime fwd =
         method == Method::kPixelfly
-            ? PixelflyForwardSeconds(device, shape.pixelfly, shape.batch)
-            : ForwardSeconds(device, method, shape.batch, n);
-    IpuLayerTiming cls = TimeLinearIpu(kIpu, shape.batch, n, shape.classes);
+            ? PixelflyForwardSeconds(device, shape.pixelfly, shape.batch, cache)
+            : ForwardSeconds(device, method, shape.batch, n, cache);
+    IpuLoweringOptions lo;
+    lo.cache = cache;
+    IpuLayerTiming cls =
+        TimeLinearIpu(kIpu, shape.batch, n, shape.classes, lo);
     // Backward reruns the layer kernels ~twice (dL/dx and dL/dW); small ops
     // (relu, softmax, bias, SGD) each cost a superstep.
     const double small_supersteps = 8.0;

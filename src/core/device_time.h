@@ -11,6 +11,10 @@
 #include "gpusim/arch.h"
 #include "ipusim/arch.h"
 
+namespace repro::ipu {
+class ExeCache;
+}  // namespace repro::ipu
+
 namespace repro::core {
 
 enum class Device { kGpuTc, kGpuNoTc, kIpu };
@@ -47,20 +51,23 @@ struct MethodTime {
 
 // Forward pass of a square n -> n layer of the given method at batch size
 // `batch` (the Fig. 6 microbenchmark; pixelfly uses a config scaled with n).
+// `cache` (IPU only): optional compile cache for the lowering sessions.
 MethodTime ForwardSeconds(Device device, Method method, std::size_t batch,
-                          std::size_t n);
+                          std::size_t n, ipu::ExeCache* cache = nullptr);
 
 // Pixelfly config used by the Fig. 6 sweep at size n (paper-faithful scaling
 // of the Table 4 config: b=16, s=n/16 capped at 64, r = 3n/32).
 PixelflyConfig ScaledPixelflyConfig(std::size_t n);
 
 // One SGD step (forward + backward + update) of the SHL model with the given
-// hidden-layer method.
+// hidden-layer method. `cache` (IPU only) as in ForwardSeconds.
 MethodTime TrainStepSeconds(Device device, Method method,
-                            const ShlShape& shape);
+                            const ShlShape& shape,
+                            ipu::ExeCache* cache = nullptr);
 
 // Forward pass of a specific pixelfly configuration (Table 5 sweep).
 MethodTime PixelflyForwardSeconds(Device device, const PixelflyConfig& config,
-                                  std::size_t batch);
+                                  std::size_t batch,
+                                  ipu::ExeCache* cache = nullptr);
 
 }  // namespace repro::core

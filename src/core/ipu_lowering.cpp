@@ -56,7 +56,8 @@ ipu::SessionOptions TimingOptions(const IpuLoweringOptions& opts = {}) {
                              .reuse_variable_memory = opts.reuse_variable_memory,
                              .tracer = opts.tracer,
                              .trace_pid = opts.trace_pid,
-                             .trace_label = opts.trace_label};
+                             .trace_label = opts.trace_label,
+                             .cache = opts.cache};
 }
 
 IpuLayerTiming RunTimingOnly(ipu::Session& session, Program prog,
@@ -317,9 +318,9 @@ IpuLayerTiming TimePixelflyIpu(const ipu::IpuArch& arch, std::size_t batch,
 }
 
 IpuLayerTiming TimeFastfoodIpu(const ipu::IpuArch& arch, std::size_t batch,
-                               std::size_t n) {
+                               std::size_t n, const IpuLoweringOptions& opts) {
   REPRO_REQUIRE(IsPow2(n), "fastfood lowering needs power-of-two n");
-  ipu::Session session(arch, TimingOptions());
+  ipu::Session session(arch, TimingOptions(opts));
   Graph& g = session.graph();
   const unsigned stages = Log2(n);
   const double flops = (2.0 * 2.0 * static_cast<double>(n / 2) * stages +
@@ -388,10 +389,10 @@ IpuLayerTiming TimeFastfoodIpu(const ipu::IpuArch& arch, std::size_t batch,
 }
 
 IpuLayerTiming TimeCirculantIpu(const ipu::IpuArch& arch, std::size_t batch,
-                                std::size_t n) {
+                                std::size_t n, const IpuLoweringOptions& opts) {
   // Plain-PyTorch circulant: materialise the n x n circulant matrix from the
   // length-n generator (one broadcast exchange), then a poplin matmul.
-  IpuLayerTiming t = TimeLinearIpu(arch, batch, n, n);
+  IpuLayerTiming t = TimeLinearIpu(arch, batch, n, n, opts);
   const double gather_bytes = static_cast<double>(n) * n * sizeof(float);
   t.fwd_seconds += gather_bytes / arch.exchange_aggregate_bytes_per_sec() +
                    arch.exchange_sync_cycles / arch.clock_hz;
@@ -399,10 +400,10 @@ IpuLayerTiming TimeCirculantIpu(const ipu::IpuArch& arch, std::size_t batch,
 }
 
 IpuLayerTiming TimeLowRankIpu(const ipu::IpuArch& arch, std::size_t batch,
-                              std::size_t in, std::size_t out,
-                              std::size_t rank) {
-  IpuLayerTiming t1 = TimeLinearIpu(arch, batch, in, rank);
-  IpuLayerTiming t2 = TimeLinearIpu(arch, batch, rank, out);
+                              std::size_t in, std::size_t out, std::size_t rank,
+                              const IpuLoweringOptions& opts) {
+  IpuLayerTiming t1 = TimeLinearIpu(arch, batch, in, rank, opts);
+  IpuLayerTiming t2 = TimeLinearIpu(arch, batch, rank, out, opts);
   IpuLayerTiming t = t1;
   t.fwd_seconds += t2.fwd_seconds;
   t.flops += t2.flops;

@@ -18,6 +18,10 @@ namespace repro::obs {
 class Tracer;
 }  // namespace repro::obs
 
+namespace repro::ipu {
+class ExeCache;
+}  // namespace repro::ipu
+
 namespace repro::core {
 
 // --- graph-building helpers shared with the serving lowering (serve/) ---
@@ -69,6 +73,11 @@ struct IpuLoweringOptions {
   obs::Tracer* tracer = nullptr;
   std::size_t trace_pid = 0;
   std::string trace_label;
+  // Optional content-addressed compile cache (ipusim/exe_cache.h,
+  // SessionOptions passthrough). Sweeps that revisit a (shape, flags)
+  // combination reuse the compiled artifact; --cache-dir on the benches
+  // persists it across processes. Not owned.
+  ipu::ExeCache* cache = nullptr;
 };
 
 // torch.nn.Linear equivalent: poplin matmul (batch x in) * (in x out).
@@ -90,15 +99,18 @@ IpuLayerTiming TimePixelflyIpu(const ipu::IpuArch& arch, std::size_t batch,
 
 // Fastfood: 2 x log2(n) Hadamard stages + 3 diagonal scalings + permutation.
 IpuLayerTiming TimeFastfoodIpu(const ipu::IpuArch& arch, std::size_t batch,
-                               std::size_t n);
+                               std::size_t n,
+                               const IpuLoweringOptions& opts = {});
 
 // Circulant: materialised circulant matrix + poplin matmul.
 IpuLayerTiming TimeCirculantIpu(const ipu::IpuArch& arch, std::size_t batch,
-                                std::size_t n);
+                                std::size_t n,
+                                const IpuLoweringOptions& opts = {});
 
 // Low rank: two skinny poplin matmuls.
 IpuLayerTiming TimeLowRankIpu(const ipu::IpuArch& arch, std::size_t batch,
                               std::size_t in, std::size_t out,
-                              std::size_t rank);
+                              std::size_t rank,
+                              const IpuLoweringOptions& opts = {});
 
 }  // namespace repro::core

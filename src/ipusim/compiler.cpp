@@ -1,10 +1,8 @@
 #include "ipusim/compiler.h"
 
-#include <algorithm>
 #include <chrono>
-#include <cstdio>
 #include <memory>
-#include <sstream>
+#include <utility>
 
 #include "ipusim/passes/exchange_plan_pass.h"
 #include "ipusim/passes/fusion_pass.h"
@@ -15,63 +13,6 @@
 #include "obs/trace.h"
 
 namespace repro::ipu {
-
-std::string PassReport::ToJson() const {
-  char sec_buf[64];
-  std::snprintf(sec_buf, sizeof(sec_buf), "%.6g", seconds);
-  std::ostringstream os;
-  os << "{\"pass\": \"" << pass << "\", \"objects_before\": " << objects_before
-     << ", \"objects_after\": " << objects_after
-     << ", \"bytes_saved\": " << bytes_saved << ", \"seconds\": " << sec_buf
-     << "}";
-  return os.str();
-}
-
-std::string CompileStats::ToJson() const {
-  std::ostringstream os;
-  os << "{\"num_variables\": " << num_variables
-     << ", \"num_vertices\": " << num_vertices
-     << ", \"num_edges\": " << num_edges
-     << ", \"num_compute_sets\": " << num_compute_sets
-     << ", \"total_bytes\": " << total_bytes
-     << ", \"max_tile_bytes\": " << max_tile_bytes
-     << ", \"free_bytes\": " << free_bytes << ", \"category_bytes\": {";
-  for (std::size_t c = 0; c < kNumMemCategories; ++c) {
-    os << (c == 0 ? "" : ", ") << "\""
-       << MemCategoryName(static_cast<MemCategory>(c))
-       << "\": " << category_bytes[c];
-  }
-  os << "}, \"passes\": [";
-  for (std::size_t i = 0; i < pass_reports.size(); ++i) {
-    os << (i == 0 ? "" : ", ") << pass_reports[i].ToJson();
-  }
-  os << "]}";
-  return os.str();
-}
-
-void ForEachMappedRange(
-    const Graph& graph, const Tensor& view,
-    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
-  const auto& mapping = graph.variables()[view.var].mapping;
-  const std::size_t begin = view.offset;
-  const std::size_t end = view.offset + view.numel;
-  // Binary search for the first interval containing `begin`.
-  auto it = std::upper_bound(mapping.begin(), mapping.end(), begin,
-                             [](std::size_t v, const MappedInterval& iv) {
-                               return v < iv.end;
-                             });
-  std::size_t cursor = begin;
-  for (; it != mapping.end() && cursor < end; ++it) {
-    REPRO_REQUIRE(it->begin <= cursor,
-                  "unmapped element %zu in variable '%s'", cursor,
-                  graph.variables()[view.var].name.c_str());
-    const std::size_t stop = std::min(it->end, end);
-    fn(it->tile, cursor, stop - cursor);
-    cursor = stop;
-  }
-  REPRO_REQUIRE(cursor == end, "unmapped tail of variable '%s'",
-                graph.variables()[view.var].name.c_str());
-}
 
 StatusOr<Executable> Compile(const Graph& graph, Program program,
                              const CompileOptions& options) {
@@ -145,7 +86,9 @@ StatusOr<Executable> Compile(const Graph& graph, Program program,
   }
 
   Executable exe;
-  exe.graph = &graph;
+  // Immutable snapshot: the artifact outlives (and is independent of) the
+  // caller's build graph.
+  exe.graph = std::make_shared<const Graph>(graph);
   exe.program = std::move(ctx.program);
   exe.stats = std::move(ctx.stats);
   exe.tiles = std::move(ctx.tiles);

@@ -4,13 +4,15 @@
 // per-tile memory ledger that drives the paper's Observation 3 (memory
 // overhead scales with graph structure -- edges, vertices, compute sets --
 // not just data footprint).
+//
+// The product types (Executable, TileLedger, CompileStats, ...) live in
+// executable.h so the engine can depend on them without depending on the
+// compiler.
 #pragma once
 
-#include <array>
-#include <functional>
 #include <string>
-#include <vector>
 
+#include "ipusim/executable.h"
 #include "ipusim/graph.h"
 #include "ipusim/program.h"
 #include "util/error.h"
@@ -20,87 +22,6 @@ class Tracer;
 }  // namespace repro::obs
 
 namespace repro::ipu {
-
-inline constexpr std::size_t kNumMemCategories =
-    static_cast<std::size_t>(MemCategory::kCount);
-
-struct TileLedger {
-  std::array<std::size_t, kNumMemCategories> bytes{};
-
-  std::size_t total() const {
-    std::size_t t = 0;
-    for (auto b : bytes) t += b;
-    return t;
-  }
-  std::size_t& operator[](MemCategory c) {
-    return bytes[static_cast<std::size_t>(c)];
-  }
-  std::size_t operator[](MemCategory c) const {
-    return bytes[static_cast<std::size_t>(c)];
-  }
-};
-
-// Exchange cost summary for one compute set (or one copy).
-struct ExchangePlan {
-  std::size_t total_bytes = 0;        // bytes crossing tile boundaries
-  std::size_t max_tile_incoming = 0;  // bottleneck tile's receive bytes
-  // Lowest tile id achieving max_tile_incoming (0 when nothing crosses);
-  // surfaces in the engine's exchange-phase trace spans.
-  std::size_t bottleneck_tile = 0;
-};
-
-// A compute set as the engine runs it. Ids [0, graph.computeSets().size())
-// mirror the graph's compute sets; fusion appends merged entries beyond
-// them and rewrites the program to execute the merged id instead.
-struct LoweredComputeSet {
-  std::string name;
-  // Execution order: program order of the merged members, emission order
-  // within each member. The engine's serial flop accumulation follows it.
-  std::vector<VertexId> vertices;
-};
-
-// What one compiler pass did, for CompileStats::ToJson() and the profiler.
-struct PassReport {
-  std::string pass;
-  std::size_t objects_before = 0;  // pass-specific unit (CSs, variables, ...)
-  std::size_t objects_after = 0;
-  std::size_t bytes_saved = 0;
-  double seconds = 0.0;  // host wall clock; excluded from determinism checks
-
-  std::string ToJson() const;
-};
-
-struct CompileStats {
-  std::size_t num_variables = 0;
-  std::size_t num_vertices = 0;
-  std::size_t num_edges = 0;
-  std::size_t num_compute_sets = 0;  // compute sets reachable from program
-  std::array<std::size_t, kNumMemCategories> category_bytes{};
-  std::size_t total_bytes = 0;
-  std::size_t max_tile_bytes = 0;
-  std::size_t free_bytes = 0;  // device total minus allocated
-  std::vector<PassReport> pass_reports;
-
-  std::size_t bytesFor(MemCategory c) const {
-    return category_bytes[static_cast<std::size_t>(c)];
-  }
-
-  // Counts, category bytes and the per-pass reports as one JSON object.
-  std::string ToJson() const;
-};
-
-struct Executable {
-  const Graph* graph = nullptr;
-  Program program;
-  CompileStats stats;
-  std::vector<TileLedger> tiles;
-  // Indexed by lowered ComputeSetId; zero-filled entries for compute sets
-  // the program never executes.
-  std::vector<ExchangePlan> cs_exchange;
-  // Compute sets by lowered id: graph compute sets first, fused merges
-  // after. The engine executes these, never graph.verticesInCs().
-  std::vector<LoweredComputeSet> lowered_cs;
-};
 
 struct CompileOptions {
   // When true, a graph exceeding per-tile memory compiles anyway (ledgers
@@ -123,16 +44,9 @@ struct CompileOptions {
 };
 
 // Validates the graph + program and produces an Executable, or an
-// OutOfMemory/InvalidArgument status.
+// OutOfMemory/InvalidArgument status. The Executable carries an immutable
+// snapshot (copy) of `graph`, so its lifetime is independent of the input.
 StatusOr<Executable> Compile(const Graph& graph, Program program,
                              const CompileOptions& options = {});
-
-// Invokes fn(tile, begin_element, length) for every mapped sub-range of the
-// view, in element order. Fatal on unmapped elements. Shared by the compiler
-// (exchange planning) and the engine (copy costing).
-void ForEachMappedRange(
-    const Graph& graph, const Tensor& view,
-    const std::function<void(std::size_t tile, std::size_t begin,
-                             std::size_t len)>& fn);
 
 }  // namespace repro::ipu

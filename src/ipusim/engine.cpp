@@ -30,15 +30,17 @@ std::size_t Engine::hostWorkers() const {
   return opts_.host_threads != 0 ? opts_.host_threads : ParallelWorkers();
 }
 
-Engine::Engine(Internal tag, const Graph& graph, Executable exe, Options opts)
-    : Engine(tag, graph, std::make_shared<const Executable>(std::move(exe)),
-             opts) {}
+Engine::Engine(Internal tag, Executable exe, Options opts)
+    : Engine(tag, std::make_shared<const Executable>(std::move(exe)), opts) {}
 
-Engine::Engine(Internal, const Graph& graph,
-               std::shared_ptr<const Executable> exe, Options opts)
-    : graph_(graph), exe_(std::move(exe)), opts_(opts) {
-  REPRO_REQUIRE(exe_ != nullptr && exe_->graph == &graph_,
-                "executable compiled from another graph");
+Engine::Engine(Internal, std::shared_ptr<const Executable> exe, Options opts)
+    : exe_(std::move(exe)),
+      graph_([&]() -> const Graph& {
+        REPRO_REQUIRE(exe_ != nullptr && exe_->graph != nullptr,
+                      "engine constructed from an empty executable");
+        return *exe_->graph;
+      }()),
+      opts_(opts) {
   const std::size_t workers = hostWorkers();
   const auto& vars = graph_.variables();
   if (opts_.execute) {

@@ -21,7 +21,7 @@
 #include <vector>
 
 #include "ipusim/codelet.h"
-#include "ipusim/compiler.h"
+#include "ipusim/executable.h"
 
 namespace repro::obs {
 class Tracer;
@@ -78,15 +78,17 @@ class Engine {
  public:
   using Options = EngineOptions;
 
-  // Tag for the supported construction path (used by Session).
+  // Tag for the supported construction path (used by Session). Engines are
+  // built from an Executable alone -- the artifact's immutable graph
+  // snapshot is the only graph an engine ever reads, which is what lets an
+  // artifact loaded from disk run in a process that never built a graph.
   struct Internal {};
-  Engine(Internal, const Graph& graph, Executable exe, Options opts);
+  Engine(Internal, Executable exe, Options opts);
   // Replica construction: shares an already-compiled executable instead of
   // owning a private copy. Every replica engine gets its own tensor storage
   // and cost tables, so replicas run concurrently; the compile artifacts
   // (program, ledgers, exchange plans) are compiled once and shared.
-  Engine(Internal, const Graph& graph, std::shared_ptr<const Executable> exe,
-         Options opts);
+  Engine(Internal, std::shared_ptr<const Executable> exe, Options opts);
 
   // Host data access (requires Options::execute).
   void writeTensor(const Tensor& t, std::span<const float> data);
@@ -119,8 +121,8 @@ class Engine {
   double traceNowUs(const RunReport& r) const;
   double cyclesToUs(double cycles) const;
 
-  const Graph& graph_;
-  std::shared_ptr<const Executable> exe_;
+  std::shared_ptr<const Executable> exe_;  // declared before graph_: see ctor
+  const Graph& graph_;                     // alias of *exe_->graph
   Options opts_;
   std::vector<std::vector<float>> storage_;  // per variable (execute mode)
   std::vector<VertexArgs> args_;             // resolved per vertex

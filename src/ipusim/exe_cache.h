@@ -1,0 +1,79 @@
+// ExeCache -- a content-addressed compile cache for ipu::Executable.
+//
+// The key is a canonical FNV-1a 64-bit hash over everything that determines
+// the compiled artifact: the serialized graph (which embeds the IpuArch
+// fingerprint and every tile mapping, hence the tile-slice size), the
+// serialized program, the semantic CompileOptions flags, and the artifact
+// format version. Trace-sink options are excluded -- they never change the
+// artifact bytes.
+//
+// Two layers:
+//  * memory: shared_ptr<const Executable> by key, shared across sessions in
+//    one process (the capacity probe's doubling/binary-search reuse);
+//  * disk (optional, `dir` non-empty): one `<key-hex>.ipuexe` file per
+//    artifact, written atomically (tmp + rename), which is what makes
+//    warm-start serving across processes work (--cache-dir).
+//
+// Determinism: a cache hit returns an artifact bitwise identical to a fresh
+// compile (the serialized form excludes host wall clock), so cached and
+// cold paths produce byte-identical reports, ledgers, and tensor results.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "ipusim/compiler.h"
+#include "ipusim/executable.h"
+#include "util/error.h"
+
+namespace repro::ipu {
+
+struct ExeCacheStats {
+  std::size_t memory_hits = 0;
+  std::size_t disk_hits = 0;
+  std::size_t misses = 0;       // compiles performed
+  std::size_t disk_stores = 0;  // artifacts written to disk
+
+  std::size_t hits() const { return memory_hits + disk_hits; }
+  std::size_t lookups() const { return hits() + misses; }
+};
+
+class ExeCache {
+ public:
+  // Empty dir = in-memory only. A non-empty dir is created if missing; a
+  // dir that cannot be created degrades to in-memory with a warning on
+  // stderr (benches keep running).
+  explicit ExeCache(std::string dir = "");
+
+  ExeCache(const ExeCache&) = delete;
+  ExeCache& operator=(const ExeCache&) = delete;
+
+  // Canonical content key of one compile request.
+  static std::uint64_t KeyOf(const Graph& graph, const Program& program,
+                             const CompileOptions& options);
+
+  // Returns the cached artifact for (graph, program, options), or compiles,
+  // caches (memory always, disk when configured), and returns it. Compile
+  // failures are returned as-is and never cached. Thread-safe; concurrent
+  // misses on the same key may both compile (identical artifacts, last
+  // store wins).
+  StatusOr<std::shared_ptr<const Executable>> GetOrCompile(
+      const Graph& graph, const Program& program,
+      const CompileOptions& options);
+
+  const std::string& dir() const { return dir_; }
+  ExeCacheStats stats() const;
+
+ private:
+  std::string PathFor(std::uint64_t key) const;
+
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::shared_ptr<const Executable>> memory_;
+  ExeCacheStats stats_;
+};
+
+}  // namespace repro::ipu

@@ -1,0 +1,576 @@
+#include "ipusim/executable.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace repro::ipu {
+namespace {
+
+// 8-byte artifact magic; the trailing version byte is NOT the format
+// version (that is a separate u32 so mismatches get a precise message).
+constexpr std::uint8_t kMagic[8] = {'I', 'P', 'U', 'E', 'X', 'E', '\r', '\n'};
+
+// Structural sanity bound for every deserialized container size: generous
+// for any realistic artifact, small enough that a corrupt length prefix
+// fails cleanly instead of driving a multi-gigabyte allocation.
+constexpr std::uint64_t kMaxCount = 1ull << 32;
+
+// --- little-endian primitive writers -------------------------------------
+// Fixed-width little-endian regardless of host order; doubles/floats are
+// emitted as their raw IEEE-754 bits, so a round trip is bit-exact and the
+// encoding is deterministic (the artifact-byte contract).
+
+void PutU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void PutU8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+void PutF64(std::vector<std::uint8_t>& out, double v) {
+  PutU64(out, std::bit_cast<std::uint64_t>(v));
+}
+void PutF32(std::vector<std::uint8_t>& out, float v) {
+  PutU32(out, std::bit_cast<std::uint32_t>(v));
+}
+void PutString(std::vector<std::uint8_t>& out, const std::string& s) {
+  PutU64(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+// --- bounds-checked reader ----------------------------------------------
+// Every Take* checks remaining bytes; the first failure latches `failed` and
+// subsequent reads return zeros, so a truncated or corrupt artifact falls
+// through to one clean Status at the end instead of crashing mid-parse.
+struct Reader {
+  std::span<const std::uint8_t> bytes;
+  std::size_t pos = 0;
+  bool failed = false;
+
+  bool need(std::size_t n) {
+    if (failed || bytes.size() - pos < n) {
+      failed = true;
+      return false;
+    }
+    return true;
+  }
+  std::uint64_t TakeU64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{bytes[pos + i]} << (8 * i);
+    pos += 8;
+    return v;
+  }
+  std::uint32_t TakeU32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{bytes[pos + i]} << (8 * i);
+    pos += 4;
+    return v;
+  }
+  std::uint8_t TakeU8() {
+    if (!need(1)) return 0;
+    return bytes[pos++];
+  }
+  double TakeF64() { return std::bit_cast<double>(TakeU64()); }
+  float TakeF32() { return std::bit_cast<float>(TakeU32()); }
+  // Container length prefix with the structural sanity bound applied.
+  std::uint64_t TakeCount() {
+    const std::uint64_t n = TakeU64();
+    if (n > kMaxCount || (!failed && n > bytes.size() - pos)) failed = true;
+    return failed ? 0 : n;
+  }
+  std::string TakeString() {
+    const std::uint64_t n = TakeCount();
+    if (!need(n)) return {};
+    std::string s(reinterpret_cast<const char*>(bytes.data() + pos), n);
+    pos += n;
+    return s;
+  }
+};
+
+// --- graph / program encodings ------------------------------------------
+
+void PutArch(std::vector<std::uint8_t>& out, const IpuArch& a) {
+  PutU64(out, a.num_tiles);
+  PutU64(out, a.threads_per_tile);
+  PutU64(out, a.tile_memory_bytes);
+  PutF64(out, a.clock_hz);
+  PutF64(out, a.amp_macs_per_cycle);
+  PutF64(out, a.amp_setup_cycles);
+  PutF64(out, a.scalar_cycles_per_mac);
+  PutF64(out, a.simd_flops_per_cycle);
+  PutF64(out, a.exchange_bytes_per_cycle);
+  PutF64(out, a.exchange_sync_cycles);
+  PutF64(out, a.compute_sync_cycles);
+  PutF64(out, a.vertex_dispatch_cycles);
+  PutU64(out, a.streaming_memory_bytes);
+  PutF64(out, a.host_bandwidth_bytes_per_sec);
+}
+
+IpuArch TakeArch(Reader& r) {
+  IpuArch a;
+  a.num_tiles = r.TakeU64();
+  a.threads_per_tile = r.TakeU64();
+  a.tile_memory_bytes = r.TakeU64();
+  a.clock_hz = r.TakeF64();
+  a.amp_macs_per_cycle = r.TakeF64();
+  a.amp_setup_cycles = r.TakeF64();
+  a.scalar_cycles_per_mac = r.TakeF64();
+  a.simd_flops_per_cycle = r.TakeF64();
+  a.exchange_bytes_per_cycle = r.TakeF64();
+  a.exchange_sync_cycles = r.TakeF64();
+  a.compute_sync_cycles = r.TakeF64();
+  a.vertex_dispatch_cycles = r.TakeF64();
+  a.streaming_memory_bytes = r.TakeU64();
+  a.host_bandwidth_bytes_per_sec = r.TakeF64();
+  return a;
+}
+
+void PutTensor(std::vector<std::uint8_t>& out, const Tensor& t) {
+  PutU32(out, t.var);
+  PutU64(out, t.offset);
+  PutU64(out, t.numel);
+  PutU64(out, t.rows);
+  PutU64(out, t.cols);
+}
+
+Tensor TakeTensor(Reader& r) {
+  Tensor t;
+  t.var = r.TakeU32();
+  t.offset = r.TakeU64();
+  t.numel = r.TakeU64();
+  t.rows = r.TakeU64();
+  t.cols = r.TakeU64();
+  return t;
+}
+
+void PutProgram(std::vector<std::uint8_t>& out, const Program& p) {
+  PutU8(out, static_cast<std::uint8_t>(p.kind));
+  PutU32(out, p.cs);
+  PutTensor(out, p.src);
+  PutTensor(out, p.dst);
+  PutU64(out, p.repeat_count);
+  PutU64(out, p.children.size());
+  for (const Program& c : p.children) PutProgram(out, c);
+}
+
+Program TakeProgram(Reader& r, std::size_t depth = 0) {
+  Program p;
+  // A corrupt child count must not recurse unboundedly; real program trees
+  // are a handful of levels deep.
+  if (depth > 64) {
+    r.failed = true;
+    return p;
+  }
+  const std::uint8_t kind = r.TakeU8();
+  if (kind > static_cast<std::uint8_t>(Program::Kind::kHostRead)) {
+    r.failed = true;
+    return p;
+  }
+  p.kind = static_cast<Program::Kind>(kind);
+  p.cs = r.TakeU32();
+  p.src = TakeTensor(r);
+  p.dst = TakeTensor(r);
+  p.repeat_count = r.TakeU64();
+  const std::uint64_t n = r.TakeCount();
+  p.children.reserve(r.failed ? 0 : n);
+  for (std::uint64_t i = 0; i < n && !r.failed; ++i) {
+    p.children.push_back(TakeProgram(r, depth + 1));
+  }
+  return p;
+}
+
+StatusOr<Graph> TakeGraph(Reader& r) {
+  const IpuArch arch = TakeArch(r);
+
+  std::vector<Variable> variables;
+  const std::uint64_t nvars = r.TakeCount();
+  variables.reserve(nvars);
+  for (std::uint64_t i = 0; i < nvars && !r.failed; ++i) {
+    Variable v;
+    v.name = r.TakeString();
+    v.numel = r.TakeU64();
+    v.rows = r.TakeU64();
+    v.cols = r.TakeU64();
+    const std::uint64_t nmap = r.TakeCount();
+    v.mapping.reserve(nmap);
+    for (std::uint64_t m = 0; m < nmap && !r.failed; ++m) {
+      MappedInterval iv;
+      iv.begin = r.TakeU64();
+      iv.end = r.TakeU64();
+      iv.tile = r.TakeU64();
+      v.mapping.push_back(iv);
+    }
+    variables.push_back(std::move(v));
+  }
+
+  std::vector<ComputeSet> compute_sets;
+  const std::uint64_t ncs = r.TakeCount();
+  compute_sets.reserve(ncs);
+  for (std::uint64_t i = 0; i < ncs && !r.failed; ++i) {
+    compute_sets.push_back({r.TakeString()});
+  }
+
+  std::vector<Vertex> vertices;
+  const std::uint64_t nverts = r.TakeCount();
+  vertices.reserve(nverts);
+  for (std::uint64_t i = 0; i < nverts && !r.failed; ++i) {
+    Vertex v;
+    v.codelet = r.TakeString();
+    v.tile = r.TakeU64();
+    v.cs = r.TakeU32();
+    const std::uint64_t nedges = r.TakeCount();
+    v.edges.reserve(nedges);
+    for (std::uint64_t e = 0; e < nedges && !r.failed; ++e) {
+      Edge edge;
+      edge.field = r.TakeString();
+      edge.view = TakeTensor(r);
+      edge.is_output = r.TakeU8() != 0;
+      v.edges.push_back(std::move(edge));
+    }
+    const std::uint64_t nimm = r.TakeCount();
+    for (std::uint64_t m = 0; m < nimm && !r.failed; ++m) {
+      std::string name = r.TakeString();
+      v.immediates[std::move(name)] = r.TakeF64();
+    }
+    const std::uint64_t nstate = r.TakeCount();
+    v.state.reserve(nstate);
+    for (std::uint64_t s = 0; s < nstate && !r.failed; ++s) {
+      v.state.push_back(r.TakeF32());
+    }
+    vertices.push_back(std::move(v));
+  }
+
+  if (r.failed) return Status::InvalidArgument("truncated graph section");
+  // Structural referential checks here (rather than the fatal ones inside
+  // FromParts) so a corrupt artifact surfaces as a Status.
+  for (const Vertex& v : vertices) {
+    if (v.cs >= compute_sets.size() || v.tile >= arch.num_tiles) {
+      return Status::InvalidArgument("artifact graph references missing "
+                                     "compute set or out-of-range tile");
+    }
+    for (const Edge& e : v.edges) {
+      if (e.view.var >= variables.size() ||
+          e.view.offset + e.view.numel > variables[e.view.var].numel) {
+        return Status::InvalidArgument(
+            "artifact graph edge references out-of-range variable view");
+      }
+    }
+  }
+  return Graph::FromParts(arch, std::move(variables), std::move(compute_sets),
+                          std::move(vertices));
+}
+
+void PutStats(std::vector<std::uint8_t>& out, const CompileStats& s) {
+  PutU64(out, s.num_variables);
+  PutU64(out, s.num_vertices);
+  PutU64(out, s.num_edges);
+  PutU64(out, s.num_compute_sets);
+  for (std::size_t c = 0; c < kNumMemCategories; ++c) {
+    PutU64(out, s.category_bytes[c]);
+  }
+  PutU64(out, s.total_bytes);
+  PutU64(out, s.max_tile_bytes);
+  PutU64(out, s.free_bytes);
+  PutU64(out, s.pass_reports.size());
+  for (const PassReport& p : s.pass_reports) {
+    PutString(out, p.pass);
+    PutU64(out, p.objects_before);
+    PutU64(out, p.objects_after);
+    PutU64(out, p.bytes_saved);
+    // PassReport::seconds is host wall clock: deliberately NOT serialized,
+    // so two compiles of the same graph produce bitwise-identical bytes.
+  }
+}
+
+CompileStats TakeStats(Reader& r) {
+  CompileStats s;
+  s.num_variables = r.TakeU64();
+  s.num_vertices = r.TakeU64();
+  s.num_edges = r.TakeU64();
+  s.num_compute_sets = r.TakeU64();
+  for (std::size_t c = 0; c < kNumMemCategories; ++c) {
+    s.category_bytes[c] = r.TakeU64();
+  }
+  s.total_bytes = r.TakeU64();
+  s.max_tile_bytes = r.TakeU64();
+  s.free_bytes = r.TakeU64();
+  const std::uint64_t n = r.TakeCount();
+  s.pass_reports.reserve(n);
+  for (std::uint64_t i = 0; i < n && !r.failed; ++i) {
+    PassReport p;
+    p.pass = r.TakeString();
+    p.objects_before = r.TakeU64();
+    p.objects_after = r.TakeU64();
+    p.bytes_saved = r.TakeU64();
+    p.seconds = 0.0;  // excluded from the artifact by design
+    s.pass_reports.push_back(std::move(p));
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string PassReport::ToJson() const {
+  char sec_buf[64];
+  std::snprintf(sec_buf, sizeof(sec_buf), "%.6g", seconds);
+  std::ostringstream os;
+  os << "{\"pass\": \"" << pass << "\", \"objects_before\": " << objects_before
+     << ", \"objects_after\": " << objects_after
+     << ", \"bytes_saved\": " << bytes_saved << ", \"seconds\": " << sec_buf
+     << "}";
+  return os.str();
+}
+
+std::string CompileStats::ToJson() const {
+  std::ostringstream os;
+  os << "{\"num_variables\": " << num_variables
+     << ", \"num_vertices\": " << num_vertices
+     << ", \"num_edges\": " << num_edges
+     << ", \"num_compute_sets\": " << num_compute_sets
+     << ", \"total_bytes\": " << total_bytes
+     << ", \"max_tile_bytes\": " << max_tile_bytes
+     << ", \"free_bytes\": " << free_bytes << ", \"category_bytes\": {";
+  for (std::size_t c = 0; c < kNumMemCategories; ++c) {
+    os << (c == 0 ? "" : ", ") << "\""
+       << MemCategoryName(static_cast<MemCategory>(c))
+       << "\": " << category_bytes[c];
+  }
+  os << "}, \"passes\": [";
+  for (std::size_t i = 0; i < pass_reports.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << pass_reports[i].ToJson();
+  }
+  os << "]}";
+  return os.str();
+}
+
+void AppendGraphBytes(const Graph& graph, std::vector<std::uint8_t>& out) {
+  PutArch(out, graph.arch());
+  PutU64(out, graph.variables().size());
+  for (const Variable& v : graph.variables()) {
+    PutString(out, v.name);
+    PutU64(out, v.numel);
+    PutU64(out, v.rows);
+    PutU64(out, v.cols);
+    PutU64(out, v.mapping.size());
+    for (const MappedInterval& iv : v.mapping) {
+      PutU64(out, iv.begin);
+      PutU64(out, iv.end);
+      PutU64(out, iv.tile);
+    }
+  }
+  PutU64(out, graph.computeSets().size());
+  for (const ComputeSet& cs : graph.computeSets()) PutString(out, cs.name);
+  PutU64(out, graph.vertices().size());
+  for (const Vertex& v : graph.vertices()) {
+    PutString(out, v.codelet);
+    PutU64(out, v.tile);
+    PutU32(out, v.cs);
+    PutU64(out, v.edges.size());
+    for (const Edge& e : v.edges) {
+      PutString(out, e.field);
+      PutTensor(out, e.view);
+      PutU8(out, e.is_output ? 1 : 0);
+    }
+    // std::map iterates in sorted key order: deterministic by construction.
+    PutU64(out, v.immediates.size());
+    for (const auto& [name, value] : v.immediates) {
+      PutString(out, name);
+      PutF64(out, value);
+    }
+    PutU64(out, v.state.size());
+    for (float f : v.state) PutF32(out, f);
+  }
+}
+
+void AppendProgramBytes(const Program& program, std::vector<std::uint8_t>& out) {
+  PutProgram(out, program);
+}
+
+std::uint64_t Fnv1a64(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::vector<std::uint8_t> Executable::Serialize() const {
+  REPRO_REQUIRE(graph != nullptr, "Serialize on an empty Executable");
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
+  PutU32(out, kExecutableFormatVersion);
+  AppendGraphBytes(*graph, out);
+  PutProgram(out, program);
+  PutStats(out, stats);
+  PutU64(out, tiles.size());
+  for (const TileLedger& t : tiles) {
+    for (std::size_t c = 0; c < kNumMemCategories; ++c) PutU64(out, t.bytes[c]);
+  }
+  PutU64(out, cs_exchange.size());
+  for (const ExchangePlan& p : cs_exchange) {
+    PutU64(out, p.total_bytes);
+    PutU64(out, p.max_tile_incoming);
+    PutU64(out, p.bottleneck_tile);
+  }
+  PutU64(out, lowered_cs.size());
+  for (const LoweredComputeSet& cs : lowered_cs) {
+    PutString(out, cs.name);
+    PutU64(out, cs.vertices.size());
+    for (VertexId v : cs.vertices) PutU32(out, v);
+  }
+  // Trailing integrity checksum over everything above. The payload is mostly
+  // raw IEEE-754 bits, where a flipped byte still parses as a valid float;
+  // without this, mid-file corruption would load silently.
+  PutU64(out, Fnv1a64(std::span<const std::uint8_t>(out.data(), out.size())));
+  return out;
+}
+
+StatusOr<Executable> Executable::Deserialize(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < sizeof(kMagic) + 4 + 8 ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(
+        "not an ipu::Executable artifact (bad magic or short file)");
+  }
+  // Version first: a future format may move the checksum, and "version
+  // mismatch" is the actionable message for it.
+  std::uint32_t version = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    version |= static_cast<std::uint32_t>(bytes[sizeof(kMagic) + i]) << (8 * i);
+  }
+  if (version != kExecutableFormatVersion) {
+    return Status::InvalidArgument(
+        "ipu::Executable format version mismatch: artifact v" +
+        std::to_string(version) + ", this build reads v" +
+        std::to_string(kExecutableFormatVersion));
+  }
+  // The last 8 bytes are the FNV-1a checksum of everything before them.
+  const std::size_t payload = bytes.size() - 8;
+  std::uint64_t stored = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    stored |= static_cast<std::uint64_t>(bytes[payload + i]) << (8 * i);
+  }
+  if (Fnv1a64(bytes.first(payload)) != stored) {
+    return Status::InvalidArgument(
+        "corrupt executable artifact (checksum mismatch)");
+  }
+  bytes = bytes.first(payload);
+  Reader r{bytes};
+  r.pos = sizeof(kMagic) + 4;
+
+  StatusOr<Graph> graph = TakeGraph(r);
+  if (!graph.ok()) return graph.status();
+
+  Executable exe;
+  exe.graph = std::make_shared<const Graph>(graph.take());
+  exe.program = TakeProgram(r);
+  exe.stats = TakeStats(r);
+  const std::uint64_t ntiles = r.TakeCount();
+  exe.tiles.reserve(ntiles);
+  for (std::uint64_t i = 0; i < ntiles && !r.failed; ++i) {
+    TileLedger t;
+    for (std::size_t c = 0; c < kNumMemCategories; ++c) {
+      t.bytes[c] = r.TakeU64();
+    }
+    exe.tiles.push_back(t);
+  }
+  const std::uint64_t nex = r.TakeCount();
+  exe.cs_exchange.reserve(nex);
+  for (std::uint64_t i = 0; i < nex && !r.failed; ++i) {
+    ExchangePlan p;
+    p.total_bytes = r.TakeU64();
+    p.max_tile_incoming = r.TakeU64();
+    p.bottleneck_tile = r.TakeU64();
+    exe.cs_exchange.push_back(p);
+  }
+  const std::uint64_t nlcs = r.TakeCount();
+  exe.lowered_cs.reserve(nlcs);
+  for (std::uint64_t i = 0; i < nlcs && !r.failed; ++i) {
+    LoweredComputeSet cs;
+    cs.name = r.TakeString();
+    const std::uint64_t nv = r.TakeCount();
+    cs.vertices.reserve(nv);
+    for (std::uint64_t v = 0; v < nv && !r.failed; ++v) {
+      cs.vertices.push_back(r.TakeU32());
+    }
+    exe.lowered_cs.push_back(std::move(cs));
+  }
+  if (r.failed) {
+    return Status::InvalidArgument("truncated or corrupt executable artifact");
+  }
+  if (r.pos != bytes.size()) {
+    return Status::InvalidArgument("trailing bytes after executable artifact");
+  }
+
+  // Cross-section referential checks: the engine indexes these tables with
+  // REPRO_REQUIRE-level trust, so a corrupt artifact must be caught here.
+  const std::size_t nverts = exe.graph->vertices().size();
+  for (const LoweredComputeSet& cs : exe.lowered_cs) {
+    for (VertexId v : cs.vertices) {
+      if (v >= nverts) {
+        return Status::InvalidArgument(
+            "artifact lowered compute set references missing vertex");
+      }
+    }
+  }
+  // Walk the program tree for compute-set ids beyond the lowered table.
+  const std::function<bool(const Program&)> valid = [&](const Program& p) {
+    if (p.kind == Program::Kind::kExecute &&
+        p.cs >= exe.lowered_cs.size()) {
+      return false;
+    }
+    if (p.kind == Program::Kind::kExecute && p.cs >= exe.cs_exchange.size()) {
+      return false;
+    }
+    for (const Program& c : p.children) {
+      if (!valid(c)) return false;
+    }
+    return true;
+  };
+  if (!valid(exe.program)) {
+    return Status::InvalidArgument(
+        "artifact program executes a compute set outside the lowered table");
+  }
+  return exe;
+}
+
+Status Executable::Save(const std::string& path) const {
+  const std::vector<std::uint8_t> bytes = Serialize();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    return Status::InvalidArgument("short write to '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+StatusOr<Executable> Executable::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status::InvalidArgument("cannot open executable artifact '" + path +
+                                   "'");
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) {
+    return Status::InvalidArgument("short read from executable artifact '" +
+                                   path + "'");
+  }
+  return Deserialize(bytes);
+}
+
+}  // namespace repro::ipu

@@ -8,6 +8,29 @@ namespace repro::ipu {
 
 Graph::Graph(const IpuArch& arch) : arch_(arch) {}
 
+Graph Graph::FromParts(const IpuArch& arch, std::vector<Variable> variables,
+                       std::vector<ComputeSet> compute_sets,
+                       std::vector<Vertex> vertices) {
+  Graph g(arch);
+  g.variables_ = std::move(variables);
+  g.compute_sets_ = std::move(compute_sets);
+  g.vertices_ = std::move(vertices);
+  g.cs_vertices_.resize(g.compute_sets_.size());
+  for (VertexId id = 0; id < g.vertices_.size(); ++id) {
+    const Vertex& v = g.vertices_[id];
+    REPRO_REQUIRE(v.cs < g.compute_sets_.size(),
+                  "vertex %u names missing compute set %u", id, v.cs);
+    for (const Edge& e : v.edges) {
+      REPRO_REQUIRE(e.view.var < g.variables_.size(),
+                    "vertex %u edge '%s' names missing variable", id,
+                    e.field.c_str());
+    }
+    g.cs_vertices_[v.cs].push_back(id);
+    g.num_edges_ += v.edges.size();
+  }
+  return g;
+}
+
 Tensor Graph::addVariable(const std::string& name, std::size_t rows,
                           std::size_t cols) {
   Variable v;
@@ -123,6 +146,30 @@ void Graph::setVertexState(VertexId v, std::vector<float> state) {
 const std::vector<VertexId>& Graph::verticesInCs(ComputeSetId cs) const {
   REPRO_REQUIRE(cs < cs_vertices_.size(), "bad compute set id");
   return cs_vertices_[cs];
+}
+
+void ForEachMappedRange(
+    const Graph& graph, const Tensor& view,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  const auto& mapping = graph.variables()[view.var].mapping;
+  const std::size_t begin = view.offset;
+  const std::size_t end = view.offset + view.numel;
+  // Binary search for the first interval containing `begin`.
+  auto it = std::upper_bound(mapping.begin(), mapping.end(), begin,
+                             [](std::size_t v, const MappedInterval& iv) {
+                               return v < iv.end;
+                             });
+  std::size_t cursor = begin;
+  for (; it != mapping.end() && cursor < end; ++it) {
+    REPRO_REQUIRE(it->begin <= cursor,
+                  "unmapped element %zu in variable '%s'", cursor,
+                  graph.variables()[view.var].name.c_str());
+    const std::size_t stop = std::min(it->end, end);
+    fn(it->tile, cursor, stop - cursor);
+    cursor = stop;
+  }
+  REPRO_REQUIRE(cursor == end, "unmapped tail of variable '%s'",
+                graph.variables()[view.var].name.c_str());
 }
 
 }  // namespace repro::ipu

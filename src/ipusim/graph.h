@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -97,6 +98,14 @@ class Graph {
  public:
   explicit Graph(const IpuArch& arch);
 
+  // Reconstructs a graph from its value parts (the executable deserializer,
+  // executable.cpp); rebuilds the derived per-compute-set vertex lists and
+  // the edge count. Fatal on structurally inconsistent parts (a vertex
+  // naming a compute set or variable that does not exist).
+  static Graph FromParts(const IpuArch& arch, std::vector<Variable> variables,
+                         std::vector<ComputeSet> compute_sets,
+                         std::vector<Vertex> vertices);
+
   const IpuArch& arch() const { return arch_; }
 
   // --- variables ---
@@ -141,5 +150,13 @@ class Graph {
   std::vector<std::vector<VertexId>> cs_vertices_;
   std::size_t num_edges_ = 0;
 };
+
+// Invokes fn(tile, begin_element, length) for every mapped sub-range of the
+// view, in element order. Fatal on unmapped elements. Shared by the compiler
+// (exchange planning, ledger) and the engine (copy costing).
+void ForEachMappedRange(
+    const Graph& graph, const Tensor& view,
+    const std::function<void(std::size_t tile, std::size_t begin,
+                             std::size_t len)>& fn);
 
 }  // namespace repro::ipu

@@ -4,8 +4,8 @@
 
 #include <string>
 
-#include "ipusim/compiler.h"
 #include "ipusim/engine.h"
+#include "ipusim/executable.h"
 
 namespace repro::ipu {
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "ipusim/compiler.h"
+#include "ipusim/exe_cache.h"
 
 namespace repro::ipu {
 
@@ -46,12 +47,39 @@ Session::Session(const IpuArch& arch, SessionOptions opts)
 Status Session::compile(Program program) {
   REPRO_REQUIRE(!engine_.has_value(),
                 "Session::compile called twice; one compile per session");
+  if (opts_.cache != nullptr) {
+    StatusOr<std::shared_ptr<const Executable>> exe =
+        opts_.cache->GetOrCompile(graph_, program, opts_.compileOptions());
+    if (!exe.ok()) return exe.status();
+    engine_.emplace(Engine::Internal{}, exe.take(), opts_.engineOptions());
+    return Status::Ok();
+  }
   StatusOr<Executable> exe =
       Compile(graph_, std::move(program), opts_.compileOptions());
   if (!exe.ok()) return exe.status();
-  engine_.emplace(Engine::Internal{}, graph_, exe.take(),
-                  opts_.engineOptions());
+  engine_.emplace(Engine::Internal{}, exe.take(), opts_.engineOptions());
   return Status::Ok();
+}
+
+Status Session::instantiate(std::shared_ptr<const Executable> exe) {
+  REPRO_REQUIRE(!engine_.has_value(),
+                "Session::instantiate on an already-compiled session");
+  if (exe == nullptr || exe->graph == nullptr) {
+    return Status::InvalidArgument("Session::instantiate: null executable");
+  }
+  engine_.emplace(Engine::Internal{}, std::move(exe), opts_.engineOptions());
+  return Status::Ok();
+}
+
+Status Session::save(const std::string& path) const {
+  REPRO_REQUIRE(engine_.has_value(), "Session::save before compile");
+  return engine_->executable().Save(path);
+}
+
+Status Session::load(const std::string& path) {
+  StatusOr<Executable> exe = Executable::Load(path);
+  if (!exe.ok()) return exe.status();
+  return instantiate(std::make_shared<const Executable>(exe.take()));
 }
 
 RunReport Session::run() {
@@ -68,7 +96,7 @@ std::unique_ptr<Engine> Session::makeReplica(std::size_t host_threads) const {
   // host-schedule nondeterminism into the trace. The scheduler owns the
   // serving timeline instead.
   eo.tracer = nullptr;
-  return std::make_unique<Engine>(Engine::Internal{}, graph_,
+  return std::make_unique<Engine>(Engine::Internal{},
                                   engine_->executableShared(), eo);
 }
 

@@ -24,6 +24,7 @@
 #include <memory>
 #include <optional>
 
+#include "ipusim/compiler.h"
 #include "ipusim/engine.h"
 #include "ipusim/graph.h"
 #include "ipusim/profiler.h"
@@ -31,6 +32,8 @@
 #include "util/error.h"
 
 namespace repro::ipu {
+
+class ExeCache;
 
 // All knobs for one session, replacing the separate EngineOptions +
 // CompileOptions pair of the deprecated direct-Engine path.
@@ -59,6 +62,11 @@ struct SessionOptions {
   obs::Tracer* tracer = nullptr;
   std::size_t trace_pid = 0;
   std::string trace_label;
+  // Optional content-addressed compile cache (exe_cache.h). When set,
+  // compile() consults it before compiling and registers fresh artifacts
+  // with it; a hit returns an executable bitwise identical to a fresh
+  // compile. Not owned; must outlive the session. Null = compile directly.
+  ExeCache* cache = nullptr;
 
   // Rejects nonsensical combinations before they reach the engine.
   Status Validate() const;
@@ -85,8 +93,9 @@ class Session {
  public:
   explicit Session(const IpuArch& arch, SessionOptions opts = {});
 
-  // The engine and executable hold pointers into graph_, so a session is
-  // pinned to its address for life.
+  // The compiled executable is self-contained (it snapshots the graph), but
+  // callers hold Tensor handles resolved against this session; keep the
+  // session non-copyable/non-movable so those associations stay obvious.
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
   Session(Session&&) = delete;
@@ -98,11 +107,26 @@ class Session {
   const Graph& graph() const { return graph_; }
   const SessionOptions& options() const { return opts_; }
 
-  // Compiles `program` against the graph. At most once per session (fatal on
-  // a second call); compile failures (e.g. OutOfMemory) leave the session
-  // uncompiled and are returned, not thrown.
+  // Compiles `program` against the graph (through options().cache when one
+  // is configured). At most once per session (fatal on a second call);
+  // compile failures (e.g. OutOfMemory) leave the session uncompiled and
+  // are returned, not thrown.
   Status compile(Program program);
   bool compiled() const { return engine_.has_value(); }
+
+  // Instantiates an engine over an already-compiled artifact -- the AOT
+  // path. The session's build graph is ignored; tensor handles built
+  // against an identically-constructed graph remain valid (handles are
+  // value offsets into the artifact's graph snapshot). Same at-most-once
+  // rule as compile(); rejects a null artifact.
+  Status instantiate(std::shared_ptr<const Executable> exe);
+
+  // Saves the compiled artifact (Executable::Save). Fatal before compile().
+  Status save(const std::string& path) const;
+  // Loads an artifact from disk and instantiates it (compile()'s
+  // cross-process complement). Clean Status on missing/corrupt/
+  // version-mismatched files.
+  Status load(const std::string& path);
 
   // Runs the compiled program once, reusing the executable. Fatal before a
   // successful compile().

@@ -334,6 +334,7 @@ StatusOr<std::unique_ptr<ModelPlan>> ModelPlan::Build(
   so.tracer = opts.tracer;
   so.trace_pid = opts.trace_pid;
   so.trace_label = opts.trace_label;
+  so.cache = opts.cache;
   plan->session_ = std::make_unique<ipu::Session>(plan->arch_, so);
   Status st = plan->buildGraph();
   if (!st.ok()) return st;

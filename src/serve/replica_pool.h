@@ -38,10 +38,35 @@ class ReplicaPool {
   std::vector<std::unique_ptr<ipu::Engine>> engines_;
 };
 
-// Largest K such that the forward graph still compiles on a
-// (arch.num_tiles / K)-tile slice, searched with timing-only plans
-// (opts.execute/num_tiles are overridden per probe). 0 when the model does
-// not even fit the whole device. `cap` bounds the search.
+// Result of one capacity search, with its compile-reuse accounting.
+struct CapacityProbe {
+  // Largest K such that the forward graph still compiles on a
+  // (arch.num_tiles / K)-tile slice; 0 when the model does not even fit
+  // the whole device.
+  std::size_t replicas = 0;
+  // Distinct tile-slice compiles the search performed. Integer division
+  // makes many K values share one slice size (num_tiles / K), so this is
+  // strictly less than the number of fits() queries.
+  std::size_t probe_compiles = 0;
+  // fits() queries answered from an already-compiled slice, including the
+  // final re-validation of the returned capacity. Deterministic for a given
+  // (arch, cap): derived from the search sequence itself, never from the
+  // state of a shared --cache-dir (so cold and warm runs report identical
+  // JSON).
+  std::size_t probe_cache_hits = 0;
+};
+
+// Probes the replica capacity with timing-only plans (opts.execute /
+// num_tiles / tracer are overridden per probe) via doubling + binary
+// search. Slices are compiled at most once each: repeats are served from
+// opts.cache when set (sharing artifacts with the later serving-plan
+// build), or from a probe-local in-memory cache otherwise. `cap` bounds
+// the search.
+CapacityProbe ProbeMaxReplicas(const nn::ForwardSpec& spec,
+                               const ipu::IpuArch& arch,
+                               const PlanOptions& opts, std::size_t cap = 256);
+
+// Back-compat wrapper: just the capacity.
 std::size_t MaxReplicasPerIpu(const nn::ForwardSpec& spec,
                               const ipu::IpuArch& arch,
                               const PlanOptions& opts, std::size_t cap = 256);
