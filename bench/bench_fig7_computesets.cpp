@@ -26,6 +26,11 @@ int main(int argc, char** argv) {
   core::IpuLoweringOptions opts;
   opts.fuse_compute_sets = cli.GetBool("fuse", true);
   opts.reuse_variable_memory = cli.GetBool("reuse", true);
+  // --no-specialize falls back to generic per-vertex dispatch. Ledger JSON
+  // and timings are identical either way; only the engine host wall moves
+  // (timing-only sessions skip per-vertex argument resolution when on).
+  const bool specialize = !cli.Has("no-specialize");
+  opts.specialize_kernels = specialize;
   // --cache-dir persists the compiled artifacts: a second run at the same
   // sweep reloads them instead of recompiling (and check.sh asserts its
   // ledger JSON is byte-identical to the cold compile).
@@ -42,6 +47,10 @@ int main(int argc, char** argv) {
   // --reuse (those ablate the factorized graphs only), so it gets its own
   // options object carrying just the trace sink.
   core::IpuLoweringOptions lin_opts;
+  // --no-specialize is a dispatch-path toggle, not a cost ablation, so it
+  // applies to the linear lowering too (the host-wall ratio covers every
+  // engine the bench stands up).
+  lin_opts.specialize_kernels = specialize;
   lin_opts.cache = &cache;
   std::size_t next_pid = 0;
   auto traced = [&](core::IpuLoweringOptions base, const char* method,
@@ -98,6 +107,7 @@ int main(int argc, char** argv) {
               cs_stats.lookups(), cs_stats.memory_hits, cs_stats.disk_hits,
               cs_stats.misses, cs_stats.disk_stores,
               cache_dir.empty() ? "" : " in ", cache_dir.c_str());
+  PrintEngineHostWall(specialize);
   if (tp != nullptr) {
     const Status ws = tracer.WriteFile(trace_path);
     REPRO_REQUIRE(ws.ok(), "writing trace %s: %s", trace_path.c_str(),

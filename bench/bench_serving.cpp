@@ -82,6 +82,10 @@ int main(int argc, char** argv) {
   // share artifacts); --cache-dir additionally persists artifacts on disk
   // so a second invocation warm-starts without compiling at all.
   const std::string cache_dir = cli.GetString("cache-dir", "");
+  // --no-specialize falls back to the generic string-keyed vertex dispatch
+  // (the conformance oracle); all --json bytes are identical either way,
+  // only the "engine host wall" stdout line moves.
+  const bool specialize = !cli.Has("no-specialize");
   BenchJsonWriter json("serving", cli.GetString("json", ""));
   ipu::ExeCache cache(cache_dir);
 
@@ -112,6 +116,7 @@ int main(int argc, char** argv) {
     nn::ForwardSpec spec = nn::ExportForward(model);
 
     serve::PlanOptions probe{.max_batch = max_batch, .execute = false};
+    probe.specialize_kernels = specialize;
     probe.cache = &cache;
     MethodResult r;
     r.method = method;
@@ -221,6 +226,7 @@ int main(int argc, char** argv) {
               cs.lookups(), cs.memory_hits, cs.disk_hits, cs.misses,
               cs.disk_stores, cache_dir.empty() ? "" : " in ",
               cache_dir.c_str());
+  PrintEngineHostWall(specialize);
   if (tp != nullptr) {
     const Status ws = tracer.WriteFile(trace_path);
     REPRO_REQUIRE(ws.ok(), "writing trace %s: %s", trace_path.c_str(),

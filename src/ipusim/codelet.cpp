@@ -9,15 +9,18 @@ namespace {
 
 std::size_t Pad16(std::size_t x) { return CeilDiv(x, 16) * 16; }
 
-// Shared dense block GEMM: out(m x n) (+)= a(m x k) * b(k x n).
-void BlockGemmCompute(VertexArgs& v) {
-  const auto m = static_cast<std::size_t>(v.imm("m"));
-  const auto k = static_cast<std::size_t>(v.imm("k"));
-  const auto n = static_cast<std::size_t>(v.imm("n"));
-  const bool accumulate = v.imm("accumulate", 0.0) != 0.0;
-  auto a = v.in("a");
-  auto b = v.in("b");
-  auto out = v.out("out");
+// --- shared arithmetic cores ------------------------------------------------
+//
+// Each builtin's real arithmetic lives in exactly one core function called by
+// both the per-vertex compute (VertexArgs) and the fused batch_compute
+// (ResolvedArgs) paths. Same instructions in the same order => bitwise
+// identical results, which is what lets scripts/check.sh byte-compare the two
+// dispatch paths.
+
+// Dense block GEMM: out(m x n) (+)= a(m x k) * b(k x n).
+void GemmCore(std::size_t m, std::size_t k, std::size_t n, bool accumulate,
+              std::span<const float> a, std::span<const float> b,
+              std::span<float> out) {
   REPRO_REQUIRE(a.size() == m * k && b.size() == k * n && out.size() == m * n,
                 "gemm vertex shape mismatch: a=%zu b=%zu out=%zu (m=%zu k=%zu n=%zu)",
                 a.size(), b.size(), out.size(), m, k, n);
@@ -32,6 +35,157 @@ void BlockGemmCompute(VertexArgs& v) {
         out[i * n + j] += av * b[p * n + j];
       }
     }
+  }
+}
+
+void AxpyCore(float alpha, std::span<const float> x, std::span<float> y) {
+  REPRO_REQUIRE(x.size() == y.size(), "ScaledAdd size mismatch");
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += alpha * x[i];
+}
+
+void ReluCore(std::span<const float> x, std::span<float> y) {
+  REPRO_REQUIRE(x.size() == y.size(), "Relu size mismatch");
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  }
+}
+
+void BiasReluCore(std::size_t batch, bool relu, std::span<const float> bias,
+                  std::span<const float> x, std::span<float> y) {
+  REPRO_REQUIRE(x.size() == bias.size() * batch && y.size() == x.size(),
+                "BiasRelu shape mismatch");
+  for (std::size_t l = 0; l < bias.size(); ++l) {
+    const float b = bias[l];
+    for (std::size_t j = 0; j < batch; ++j) {
+      const float s = x[l * batch + j] + b;
+      y[l * batch + j] = relu && s < 0.0f ? 0.0f : s;
+    }
+  }
+}
+
+void DiagMulCore(std::size_t batch, std::span<const float> d,
+                 std::span<const float> x, std::span<float> y) {
+  REPRO_REQUIRE(x.size() == d.size() * batch && y.size() == x.size(),
+                "DiagMul shape mismatch");
+  for (std::size_t l = 0; l < d.size(); ++l) {
+    for (std::size_t j = 0; j < batch; ++j) {
+      y[l * batch + j] = d[l] * x[l * batch + j];
+    }
+  }
+}
+
+void ButterflyCore(std::size_t batch, std::span<const float> w,
+                   std::span<const float> xt, std::span<const float> xb,
+                   std::span<float> yt, std::span<float> yb) {
+  const std::size_t pairs = w.size() / 4;
+  REPRO_REQUIRE(xt.size() == pairs * batch && xb.size() == xt.size() &&
+                    yt.size() == xt.size() && yb.size() == xt.size(),
+                "Butterfly2x2 shape mismatch");
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const float a = w[4 * p + 0], b = w[4 * p + 1];
+    const float c = w[4 * p + 2], d = w[4 * p + 3];
+    for (std::size_t j = 0; j < batch; ++j) {
+      const float t = xt[p * batch + j];
+      const float u = xb[p * batch + j];
+      yt[p * batch + j] = a * t + b * u;
+      yb[p * batch + j] = c * t + d * u;
+    }
+  }
+}
+
+void HadamardCore(std::span<const float> xt, std::span<const float> xb,
+                  std::span<float> yt, std::span<float> yb) {
+  REPRO_REQUIRE(xt.size() == xb.size() && yt.size() == xt.size() &&
+                    yb.size() == xt.size(),
+                "Hadamard2 shape mismatch");
+  for (std::size_t i = 0; i < xt.size(); ++i) {
+    const float t = xt[i], u = xb[i];
+    yt[i] = t + u;
+    yb[i] = t - u;
+  }
+}
+
+void SparseRowsMacCore(std::size_t m, std::size_t n, bool accumulate,
+                       std::span<const float> b, std::span<float> out,
+                       std::span<const float> st) {
+  REPRO_REQUIRE(out.size() == m * n, "SparseRowsMac out mismatch");
+  if (!accumulate) {
+    for (auto& o : out) o = 0.0f;
+  }
+  std::size_t pos = 0;
+  for (std::size_t r = 0; r < m; ++r) {
+    REPRO_REQUIRE(pos < st.size(), "SparseRowsMac state underrun");
+    const auto count = static_cast<std::size_t>(st[pos++]);
+    for (std::size_t e = 0; e < count; ++e) {
+      const auto col = static_cast<std::size_t>(st[pos]);
+      const float val = st[pos + 1];
+      pos += 2;
+      REPRO_REQUIRE(col * n + n <= b.size(),
+                    "SparseRowsMac column out of range");
+      for (std::size_t j = 0; j < n; ++j) {
+        out[r * n + j] += val * b[col * n + j];
+      }
+    }
+  }
+}
+
+void SparseCooMacCore(std::size_t n, bool accumulate, std::span<const float> b,
+                      std::span<float> out, std::span<const float> st) {
+  if (!accumulate) {
+    for (auto& o : out) o = 0.0f;
+  }
+  REPRO_REQUIRE(st.size() % 3 == 0, "SparseCooMac ragged state");
+  for (std::size_t e = 0; e < st.size(); e += 3) {
+    const auto row = static_cast<std::size_t>(st[e]);
+    const auto col = static_cast<std::size_t>(st[e + 1]);
+    const float val = st[e + 2];
+    REPRO_REQUIRE(row * n + n <= out.size() && col * n + n <= b.size(),
+                  "SparseCooMac index out of range");
+    for (std::size_t j = 0; j < n; ++j) {
+      out[row * n + j] += val * b[col * n + j];
+    }
+  }
+}
+
+// One pixelfly block product: out(b x batch) += w(b x b) * x(b x batch).
+void BlockMacCore(std::size_t b, std::size_t batch, std::span<const float> w,
+                  std::span<const float> x, std::span<float> out) {
+  REPRO_REQUIRE(w.size() == b * b && x.size() == b * batch,
+                "BlockGemmAmp block shape mismatch");
+  for (std::size_t i = 0; i < b; ++i) {
+    for (std::size_t p = 0; p < b; ++p) {
+      const float wv = w[i * b + p];
+      if (wv == 0.0f) continue;
+      for (std::size_t j = 0; j < batch; ++j) {
+        out[i * batch + j] += wv * x[p * batch + j];
+      }
+    }
+  }
+}
+
+// --- dense codelets ---------------------------------------------------------
+
+// Shared dense block GEMM: out(m x n) (+)= a(m x k) * b(k x n).
+void BlockGemmCompute(VertexArgs& v) {
+  const auto m = static_cast<std::size_t>(v.imm("m"));
+  const auto k = static_cast<std::size_t>(v.imm("k"));
+  const auto n = static_cast<std::size_t>(v.imm("n"));
+  const bool accumulate = v.imm("accumulate", 0.0) != 0.0;
+  GemmCore(m, k, n, accumulate, v.in("a"), v.in("b"), v.out("out"));
+}
+
+void BlockGemmBatch(const ResolvedArgs& g) {
+  const int fa = g.fieldSlot("a"), fb = g.fieldSlot("b");
+  const int fo = g.fieldSlot("out");
+  const int im = g.immSlot("m"), ik = g.immSlot("k"), in = g.immSlot("n");
+  const int ia = g.immSlot("accumulate");
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    const auto m = static_cast<std::size_t>(g.imm(v, im));
+    const auto k = static_cast<std::size_t>(g.imm(v, ik));
+    const auto n = static_cast<std::size_t>(g.imm(v, in));
+    const bool accumulate = g.imm(v, ia, 0.0) != 0.0;
+    GemmCore(m, k, n, accumulate, g.edge(v, fa), g.edge(v, fb),
+             g.edge(v, fo));
   }
 }
 
@@ -58,6 +212,7 @@ void RegisterDense(CodeletRegistry& reg) {
                    30.0;
           },
       .flops = GemmFlopsOf,
+      .batch_compute = BlockGemmBatch,
   });
 
   // AmpGemm: the Accumulating Matrix Product pipeline. Streams 16 MACs per
@@ -78,6 +233,7 @@ void RegisterDense(CodeletRegistry& reg) {
                    v.arch().amp_setup_cycles;
           },
       .flops = GemmFlopsOf,
+      .batch_compute = BlockGemmBatch,
   });
 
   // ReduceAdd: out[j] = sum_i partials_i[j]; used by k-split matmuls.
@@ -105,6 +261,22 @@ void RegisterDense(CodeletRegistry& reg) {
           [](const VertexArgs& v) {
             return static_cast<double>(v.totalElems("partials"));
           },
+      .batch_compute =
+          [](const ResolvedArgs& g) {
+            const int fo = g.fieldSlot("out");
+            const int fp = g.fieldSlot("partials");
+            for (std::size_t v = 0; v < g.size(); ++v) {
+              auto out = g.edge(v, fo);
+              for (auto& o : out) o = 0.0f;
+              const std::size_t fan = g.fan(v, fp);
+              for (std::size_t i = 0; i < fan; ++i) {
+                auto p = g.edge(v, fp, i);
+                REPRO_REQUIRE(p.size() == out.size(),
+                              "ReduceAdd ragged partial");
+                for (std::size_t j = 0; j < out.size(); ++j) out[j] += p[j];
+              }
+            }
+          },
   });
 
   // ScaledAdd: y += alpha * x (axpy), vectorised.
@@ -115,10 +287,7 @@ void RegisterDense(CodeletRegistry& reg) {
       .compute =
           [](VertexArgs& v) {
             const float alpha = static_cast<float>(v.imm("alpha", 1.0));
-            auto x = v.in("x");
-            auto y = v.out("y");
-            REPRO_REQUIRE(x.size() == y.size(), "ScaledAdd size mismatch");
-            for (std::size_t i = 0; i < y.size(); ++i) y[i] += alpha * x[i];
+            AxpyCore(alpha, v.in("x"), v.out("y"));
           },
       .cycles =
           [](const VertexArgs& v) {
@@ -130,21 +299,22 @@ void RegisterDense(CodeletRegistry& reg) {
           [](const VertexArgs& v) {
             return 2.0 * static_cast<double>(v.totalElems("x"));
           },
+      .batch_compute =
+          [](const ResolvedArgs& g) {
+            const int fx = g.fieldSlot("x"), fy = g.fieldSlot("y");
+            const int ial = g.immSlot("alpha");
+            for (std::size_t v = 0; v < g.size(); ++v) {
+              const float alpha = static_cast<float>(g.imm(v, ial, 1.0));
+              AxpyCore(alpha, g.edge(v, fx), g.edge(v, fy));
+            }
+          },
   });
 
   reg.Register(Codelet{
       .name = codelets::kRelu,
       .code_bytes = 96,
       .base_state_bytes = 24,
-      .compute =
-          [](VertexArgs& v) {
-            auto x = v.in("x");
-            auto y = v.out("y");
-            REPRO_REQUIRE(x.size() == y.size(), "Relu size mismatch");
-            for (std::size_t i = 0; i < y.size(); ++i) {
-              y[i] = x[i] > 0.0f ? x[i] : 0.0f;
-            }
-          },
+      .compute = [](VertexArgs& v) { ReluCore(v.in("x"), v.out("y")); },
       .cycles =
           [](const VertexArgs& v) {
             return static_cast<double>(v.totalElems("x")) /
@@ -154,6 +324,13 @@ void RegisterDense(CodeletRegistry& reg) {
       .flops =
           [](const VertexArgs& v) {
             return static_cast<double>(v.totalElems("x"));
+          },
+      .batch_compute =
+          [](const ResolvedArgs& g) {
+            const int fx = g.fieldSlot("x"), fy = g.fieldSlot("y");
+            for (std::size_t v = 0; v < g.size(); ++v) {
+              ReluCore(g.edge(v, fx), g.edge(v, fy));
+            }
           },
   });
 
@@ -169,19 +346,7 @@ void RegisterDense(CodeletRegistry& reg) {
           [](VertexArgs& v) {
             const auto batch = static_cast<std::size_t>(v.imm("batch"));
             const bool relu = v.imm("relu", 1.0) != 0.0;
-            auto bias = v.in("bias");
-            auto x = v.in("x");
-            auto y = v.out("y");
-            REPRO_REQUIRE(x.size() == bias.size() * batch &&
-                              y.size() == x.size(),
-                          "BiasRelu shape mismatch");
-            for (std::size_t l = 0; l < bias.size(); ++l) {
-              const float b = bias[l];
-              for (std::size_t j = 0; j < batch; ++j) {
-                const float s = x[l * batch + j] + b;
-                y[l * batch + j] = relu && s < 0.0f ? 0.0f : s;
-              }
-            }
+            BiasReluCore(batch, relu, v.in("bias"), v.in("x"), v.out("y"));
           },
       .cycles =
           [](const VertexArgs& v) {
@@ -193,6 +358,18 @@ void RegisterDense(CodeletRegistry& reg) {
           [](const VertexArgs& v) {
             return 2.0 * static_cast<double>(v.totalElems("x"));
           },
+      .batch_compute =
+          [](const ResolvedArgs& g) {
+            const int fb = g.fieldSlot("bias"), fx = g.fieldSlot("x");
+            const int fy = g.fieldSlot("y");
+            const int ibt = g.immSlot("batch"), irl = g.immSlot("relu");
+            for (std::size_t v = 0; v < g.size(); ++v) {
+              const auto batch = static_cast<std::size_t>(g.imm(v, ibt));
+              const bool relu = g.imm(v, irl, 1.0) != 0.0;
+              BiasReluCore(batch, relu, g.edge(v, fb), g.edge(v, fx),
+                           g.edge(v, fy));
+            }
+          },
   });
 
   // DiagMul: y[l, j] = d[l] * x[l, j] for L rows of `batch` columns.
@@ -203,16 +380,7 @@ void RegisterDense(CodeletRegistry& reg) {
       .compute =
           [](VertexArgs& v) {
             const auto batch = static_cast<std::size_t>(v.imm("batch"));
-            auto d = v.in("d");
-            auto x = v.in("x");
-            auto y = v.out("y");
-            REPRO_REQUIRE(x.size() == d.size() * batch && y.size() == x.size(),
-                          "DiagMul shape mismatch");
-            for (std::size_t l = 0; l < d.size(); ++l) {
-              for (std::size_t j = 0; j < batch; ++j) {
-                y[l * batch + j] = d[l] * x[l * batch + j];
-              }
-            }
+            DiagMulCore(batch, v.in("d"), v.in("x"), v.out("y"));
           },
       .cycles =
           [](const VertexArgs& v) {
@@ -223,6 +391,16 @@ void RegisterDense(CodeletRegistry& reg) {
       .flops =
           [](const VertexArgs& v) {
             return static_cast<double>(v.totalElems("x"));
+          },
+      .batch_compute =
+          [](const ResolvedArgs& g) {
+            const int fd = g.fieldSlot("d"), fx = g.fieldSlot("x");
+            const int fy = g.fieldSlot("y");
+            const int ibt = g.immSlot("batch");
+            for (std::size_t v = 0; v < g.size(); ++v) {
+              const auto batch = static_cast<std::size_t>(g.imm(v, ibt));
+              DiagMulCore(batch, g.edge(v, fd), g.edge(v, fx), g.edge(v, fy));
+            }
           },
   });
 }
@@ -244,25 +422,8 @@ void RegisterStructured(CodeletRegistry& reg) {
       .compute =
           [](VertexArgs& v) {
             const auto batch = static_cast<std::size_t>(v.imm("batch"));
-            auto w = v.in("w");
-            auto xt = v.in("x_top");
-            auto xb = v.in("x_bot");
-            auto yt = v.out("y_top");
-            auto yb = v.out("y_bot");
-            const std::size_t pairs = w.size() / 4;
-            REPRO_REQUIRE(xt.size() == pairs * batch && xb.size() == xt.size() &&
-                              yt.size() == xt.size() && yb.size() == xt.size(),
-                          "Butterfly2x2 shape mismatch");
-            for (std::size_t p = 0; p < pairs; ++p) {
-              const float a = w[4 * p + 0], b = w[4 * p + 1];
-              const float c = w[4 * p + 2], d = w[4 * p + 3];
-              for (std::size_t j = 0; j < batch; ++j) {
-                const float t = xt[p * batch + j];
-                const float u = xb[p * batch + j];
-                yt[p * batch + j] = a * t + b * u;
-                yb[p * batch + j] = c * t + d * u;
-              }
-            }
+            ButterflyCore(batch, v.in("w"), v.in("x_top"), v.in("x_bot"),
+                          v.out("y_top"), v.out("y_bot"));
           },
       .cycles =
           [](const VertexArgs& v) {
@@ -272,6 +433,18 @@ void RegisterStructured(CodeletRegistry& reg) {
       .flops =
           [](const VertexArgs& v) {
             return 8.0 * static_cast<double>(v.totalElems("x_top"));
+          },
+      .batch_compute =
+          [](const ResolvedArgs& g) {
+            const int fw = g.fieldSlot("w");
+            const int fxt = g.fieldSlot("x_top"), fxb = g.fieldSlot("x_bot");
+            const int fyt = g.fieldSlot("y_top"), fyb = g.fieldSlot("y_bot");
+            const int ibt = g.immSlot("batch");
+            for (std::size_t v = 0; v < g.size(); ++v) {
+              const auto batch = static_cast<std::size_t>(g.imm(v, ibt));
+              ButterflyCore(batch, g.edge(v, fw), g.edge(v, fxt),
+                            g.edge(v, fxb), g.edge(v, fyt), g.edge(v, fyb));
+            }
           },
   });
 
@@ -283,18 +456,8 @@ void RegisterStructured(CodeletRegistry& reg) {
       .base_state_bytes = 24,
       .compute =
           [](VertexArgs& v) {
-            auto xt = v.in("x_top");
-            auto xb = v.in("x_bot");
-            auto yt = v.out("y_top");
-            auto yb = v.out("y_bot");
-            REPRO_REQUIRE(xt.size() == xb.size() && yt.size() == xt.size() &&
-                              yb.size() == xt.size(),
-                          "Hadamard2 shape mismatch");
-            for (std::size_t i = 0; i < xt.size(); ++i) {
-              const float t = xt[i], u = xb[i];
-              yt[i] = t + u;
-              yb[i] = t - u;
-            }
+            HadamardCore(v.in("x_top"), v.in("x_bot"), v.out("y_top"),
+                         v.out("y_bot"));
           },
       .cycles =
           [](const VertexArgs& v) {
@@ -305,6 +468,15 @@ void RegisterStructured(CodeletRegistry& reg) {
       .flops =
           [](const VertexArgs& v) {
             return 2.0 * static_cast<double>(v.totalElems("x_top"));
+          },
+      .batch_compute =
+          [](const ResolvedArgs& g) {
+            const int fxt = g.fieldSlot("x_top"), fxb = g.fieldSlot("x_bot");
+            const int fyt = g.fieldSlot("y_top"), fyb = g.fieldSlot("y_bot");
+            for (std::size_t v = 0; v < g.size(); ++v) {
+              HadamardCore(g.edge(v, fxt), g.edge(v, fxb), g.edge(v, fyt),
+                           g.edge(v, fyb));
+            }
           },
   });
 
@@ -323,28 +495,8 @@ void RegisterStructured(CodeletRegistry& reg) {
             const auto m = static_cast<std::size_t>(v.imm("m"));
             const auto n = static_cast<std::size_t>(v.imm("n"));
             const bool accumulate = v.imm("accumulate", 0.0) != 0.0;
-            auto b = v.in("b");
-            auto out = v.out("out");
-            auto st = v.state();
-            REPRO_REQUIRE(out.size() == m * n, "SparseRowsMac out mismatch");
-            if (!accumulate) {
-              for (auto& o : out) o = 0.0f;
-            }
-            std::size_t pos = 0;
-            for (std::size_t r = 0; r < m; ++r) {
-              REPRO_REQUIRE(pos < st.size(), "SparseRowsMac state underrun");
-              const auto count = static_cast<std::size_t>(st[pos++]);
-              for (std::size_t e = 0; e < count; ++e) {
-                const auto col = static_cast<std::size_t>(st[pos]);
-                const float val = st[pos + 1];
-                pos += 2;
-                REPRO_REQUIRE(col * n + n <= b.size(),
-                              "SparseRowsMac column out of range");
-                for (std::size_t j = 0; j < n; ++j) {
-                  out[r * n + j] += val * b[col * n + j];
-                }
-              }
-            }
+            SparseRowsMacCore(m, n, accumulate, v.in("b"), v.out("out"),
+                              v.state());
           },
       .cycles =
           [](const VertexArgs& v) {
@@ -357,6 +509,19 @@ void RegisterStructured(CodeletRegistry& reg) {
             const double nnz =
                 (static_cast<double>(v.state().size()) - v.imm("m")) / 2.0;
             return 2.0 * nnz * v.imm("n");
+          },
+      .batch_compute =
+          [](const ResolvedArgs& g) {
+            const int fb = g.fieldSlot("b"), fo = g.fieldSlot("out");
+            const int im = g.immSlot("m"), in = g.immSlot("n");
+            const int ia = g.immSlot("accumulate");
+            for (std::size_t v = 0; v < g.size(); ++v) {
+              const auto m = static_cast<std::size_t>(g.imm(v, im));
+              const auto n = static_cast<std::size_t>(g.imm(v, in));
+              const bool accumulate = g.imm(v, ia, 0.0) != 0.0;
+              SparseRowsMacCore(m, n, accumulate, g.edge(v, fb),
+                                g.edge(v, fo), g.state(v));
+            }
           },
   });
 
@@ -373,24 +538,8 @@ void RegisterStructured(CodeletRegistry& reg) {
           [](VertexArgs& v) {
             const auto n = static_cast<std::size_t>(v.imm("n"));
             const bool accumulate = v.imm("accumulate", 0.0) != 0.0;
-            auto b = v.in("b");
-            auto out = v.out("out");
-            auto st = v.state();
-            if (!accumulate) {
-              for (auto& o : out) o = 0.0f;
-            }
-            REPRO_REQUIRE(st.size() % 3 == 0, "SparseCooMac ragged state");
-            for (std::size_t e = 0; e < st.size(); e += 3) {
-              const auto row = static_cast<std::size_t>(st[e]);
-              const auto col = static_cast<std::size_t>(st[e + 1]);
-              const float val = st[e + 2];
-              REPRO_REQUIRE(row * n + n <= out.size() &&
-                                col * n + n <= b.size(),
-                            "SparseCooMac index out of range");
-              for (std::size_t j = 0; j < n; ++j) {
-                out[row * n + j] += val * b[col * n + j];
-              }
-            }
+            SparseCooMacCore(n, accumulate, v.in("b"), v.out("out"),
+                             v.state());
           },
       .cycles =
           [](const VertexArgs& v) {
@@ -401,6 +550,17 @@ void RegisterStructured(CodeletRegistry& reg) {
           [](const VertexArgs& v) {
             return 2.0 * (static_cast<double>(v.state().size()) / 3.0) *
                    v.imm("n");
+          },
+      .batch_compute =
+          [](const ResolvedArgs& g) {
+            const int fb = g.fieldSlot("b"), fo = g.fieldSlot("out");
+            const int in = g.immSlot("n"), ia = g.immSlot("accumulate");
+            for (std::size_t v = 0; v < g.size(); ++v) {
+              const auto n = static_cast<std::size_t>(g.imm(v, in));
+              const bool accumulate = g.imm(v, ia, 0.0) != 0.0;
+              SparseCooMacCore(n, accumulate, g.edge(v, fb), g.edge(v, fo),
+                               g.state(v));
+            }
           },
   });
 
@@ -426,19 +586,7 @@ void RegisterStructured(CodeletRegistry& reg) {
             const std::size_t nblocks = v.fan("w");
             REPRO_REQUIRE(v.fan("x") == nblocks, "BlockGemmAmp w/x fan mismatch");
             for (std::size_t blk = 0; blk < nblocks; ++blk) {
-              auto w = v.in("w", blk);
-              auto x = v.in("x", blk);
-              REPRO_REQUIRE(w.size() == b * b && x.size() == b * batch,
-                            "BlockGemmAmp block shape mismatch");
-              for (std::size_t i = 0; i < b; ++i) {
-                for (std::size_t p = 0; p < b; ++p) {
-                  const float wv = w[i * b + p];
-                  if (wv == 0.0f) continue;
-                  for (std::size_t j = 0; j < batch; ++j) {
-                    out[i * batch + j] += wv * x[p * batch + j];
-                  }
-                }
-              }
+              BlockMacCore(b, batch, v.in("w", blk), v.in("x", blk), out);
             }
           },
       .cycles =
@@ -460,6 +608,31 @@ void RegisterStructured(CodeletRegistry& reg) {
           [](const VertexArgs& v) {
             const double b = v.imm("b");
             return 2.0 * b * b * v.imm("batch") * static_cast<double>(v.fan("w"));
+          },
+      .batch_compute =
+          [](const ResolvedArgs& g) {
+            const int fw = g.fieldSlot("w"), fx = g.fieldSlot("x");
+            const int fo = g.fieldSlot("out");
+            const int ib = g.immSlot("b"), ibt = g.immSlot("batch");
+            const int ia = g.immSlot("accumulate");
+            for (std::size_t v = 0; v < g.size(); ++v) {
+              const auto b = static_cast<std::size_t>(g.imm(v, ib));
+              const auto batch = static_cast<std::size_t>(g.imm(v, ibt));
+              const bool accumulate = g.imm(v, ia, 0.0) != 0.0;
+              auto out = g.edge(v, fo);
+              REPRO_REQUIRE(out.size() == b * batch,
+                            "BlockGemmAmp out mismatch");
+              if (!accumulate) {
+                for (auto& o : out) o = 0.0f;
+              }
+              const std::size_t nblocks = g.fan(v, fw);
+              REPRO_REQUIRE(g.fan(v, fx) == nblocks,
+                            "BlockGemmAmp w/x fan mismatch");
+              for (std::size_t blk = 0; blk < nblocks; ++blk) {
+                BlockMacCore(b, batch, g.edge(v, fw, blk), g.edge(v, fx, blk),
+                             out);
+              }
+            }
           },
   });
 }

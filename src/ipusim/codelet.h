@@ -5,15 +5,28 @@
 // are numerically real, and charges the cycle model so device time is
 // architecturally plausible. Cycle constants are calibrated against the
 // paper's measurements; each builtin documents its calibration.
+//
+// Two execution representations exist side by side:
+//  * VertexArgs -- string-keyed, one vertex per call. The fallback path and
+//    the conformance oracle for everything below.
+//  * ResolvedArgs -- field names interned to integer slots at compile time
+//    (specialize_kernels pass), spans packed contiguously in SoA tables, all
+//    vertices of one (compute set, tile, codelet) group handed to a single
+//    Codelet::batch_compute call. Batch kernels share their arithmetic cores
+//    with the per-vertex compute functions, so the two paths are bitwise
+//    identical by construction.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ipusim/arch.h"
+#include "ipusim/graph.h"
 #include "util/error.h"
 
 namespace repro::ipu {
@@ -23,19 +36,22 @@ namespace repro::ipu {
 class VertexArgs {
  public:
   // Unresolved placeholder so containers of args can be sized up front and
-  // filled in parallel; using it before assignment is a bug.
+  // filled in parallel; any use before assignment fails loudly (see
+  // requireResolved below) instead of dereferencing null pointers.
   VertexArgs() : arch_(nullptr), imms_(nullptr), state_(nullptr) {}
   VertexArgs(const IpuArch* arch, const std::map<std::string, double>* imms,
              const std::vector<float>* state)
       : arch_(arch), imms_(imms), state_(state) {}
 
   void addEdge(const std::string& field, std::span<float> data) {
+    requireResolved();
     fields_[field].push_back(data);
     sizes_[field].push_back(data.size());
   }
   // Timing-only mode: record the edge size without backing storage. The
   // cycle/flops estimators only consult sizes; compute() must not run.
   void addEdgeSize(const std::string& field, std::size_t size) {
+    requireResolved();
     sizes_[field].push_back(size);
   }
 
@@ -60,13 +76,26 @@ class VertexArgs {
   }
 
   double imm(const std::string& name, double def = 0.0) const {
+    requireResolved();
     auto it = imms_->find(name);
     return it == imms_->end() ? def : it->second;
   }
-  std::span<const float> state() const { return {state_->data(), state_->size()}; }
-  const IpuArch& arch() const { return *arch_; }
+  std::span<const float> state() const {
+    requireResolved();
+    return {state_->data(), state_->size()};
+  }
+  const IpuArch& arch() const {
+    requireResolved();
+    return *arch_;
+  }
 
  private:
+  void requireResolved() const {
+    REPRO_REQUIRE(arch_ != nullptr,
+                  "VertexArgs used before assignment: default-constructed "
+                  "placeholder was never bound to a vertex");
+  }
+
   std::span<float> edge(const std::string& field, std::size_t i) const {
     auto it = fields_.find(field);
     REPRO_REQUIRE(it != fields_.end() && i < it->second.size(),
@@ -81,6 +110,134 @@ class VertexArgs {
   std::map<std::string, std::vector<std::size_t>> sizes_;
 };
 
+// --- specialized kernel plan (specialize_kernels pass) ---------------------
+//
+// The compile-time product that replaces string-keyed per-vertex dispatch:
+// field and immediate names are interned per codelet into sorted slot
+// tables, and each (compute set, tile, codelet) group's edges/immediates are
+// packed into SoA offset tables the engine resolves once per engine, not
+// once per run. Serialized into the ipu::Executable wire format.
+
+// Interning tables for one codelet: the sorted distinct field and immediate
+// names observed across its vertices. Slot ids index these vectors.
+struct KernelCodelet {
+  std::string name;
+  std::vector<std::string> fields;
+  std::vector<std::string> imms;
+};
+
+// One fused host dispatch: every vertex of one codelet on one tile within
+// one lowered compute set, in lowered execution order.
+struct KernelGroup {
+  ComputeSetId cs = 0;        // lowered compute set id
+  std::uint32_t codelet = 0;  // index into KernelPlan::codelets
+  std::size_t tile = 0;
+  std::vector<VertexId> vertices;
+  // Slot-major CSR over the group's edge views: for field slot s and group
+  // vertex v, edges[edge_start[s*(nv+1)+v] .. edge_start[s*(nv+1)+v+1]) are
+  // vertex v's connections of that field, in connection order. Slot rows are
+  // contiguous: row s ends where row s+1 begins.
+  std::vector<std::uint32_t> edge_start;
+  std::vector<Tensor> edges;
+  // Slot-major immediates: slot s of group vertex v lives at [s*nv + v];
+  // imm_present flags whether the vertex actually set it (absent immediates
+  // take the kernel's default at run time).
+  std::vector<double> imm_values;
+  std::vector<std::uint8_t> imm_present;
+};
+
+struct KernelPlan {
+  bool enabled = false;
+  std::vector<KernelCodelet> codelets;
+  // Sorted by (cs, tile, codelet) so per-compute-set ranges are contiguous.
+  std::vector<KernelGroup> groups;
+  // Data-independent per-vertex costs, evaluated once at compile time (the
+  // cycle/flops estimators only consult sizes/immediates/state/arch, never
+  // span contents). Indexed by VertexId over all graph vertices; raw
+  // IEEE-754 in the artifact, so bit-exact across save/load.
+  std::vector<double> vertex_cycles;
+  std::vector<double> vertex_flops;
+};
+
+// Resolved SoA view of one KernelGroup, handed to Codelet::batch_compute.
+// Spans are resolved into engine storage (by the engine, once per engine);
+// slot lookups happen once per dispatch, outside the vertex loop.
+class ResolvedArgs {
+ public:
+  ResolvedArgs(const IpuArch* arch, const KernelCodelet* codelet,
+               const KernelGroup* group, const std::span<float>* spans,
+               const std::span<const float>* states)
+      : arch_(arch),
+        codelet_(codelet),
+        group_(group),
+        spans_(spans),
+        states_(states),
+        nv_(group->vertices.size()) {}
+
+  std::size_t size() const { return nv_; }
+  const IpuArch& arch() const { return *arch_; }
+
+  // Interned slot of a field/immediate name; -1 when no vertex in the group
+  // connects/sets it (fan() reports 0 and imm() returns the default).
+  int fieldSlot(std::string_view name) const {
+    return slotOf(codelet_->fields, name);
+  }
+  int immSlot(std::string_view name) const {
+    return slotOf(codelet_->imms, name);
+  }
+
+  std::size_t fan(std::size_t v, int slot) const {
+    if (slot < 0) return 0;
+    const std::uint32_t* row = rowOf(slot);
+    return row[v + 1] - row[v];
+  }
+  std::span<float> edge(std::size_t v, int slot, std::size_t i = 0) const {
+    REPRO_REQUIRE(slot >= 0,
+                  "batch kernel field slot not interned (not connected on any "
+                  "vertex of this codelet)");
+    const std::uint32_t* row = rowOf(slot);
+    REPRO_REQUIRE(row[v] + i < row[v + 1],
+                  "batch vertex field slot %d[%zu] not connected", slot, i);
+    return spans_[row[v] + i];
+  }
+  // Total element count across all edges of a field, mirroring
+  // VertexArgs::totalElems.
+  std::size_t totalElems(std::size_t v, int slot) const {
+    if (slot < 0) return 0;
+    const std::uint32_t* row = rowOf(slot);
+    std::size_t n = 0;
+    for (std::uint32_t e = row[v]; e < row[v + 1]; ++e) n += spans_[e].size();
+    return n;
+  }
+
+  double imm(std::size_t v, int slot, double def = 0.0) const {
+    if (slot < 0) return def;
+    const std::size_t idx = static_cast<std::size_t>(slot) * nv_ + v;
+    return group_->imm_present[idx] ? group_->imm_values[idx] : def;
+  }
+  std::span<const float> state(std::size_t v) const { return states_[v]; }
+
+ private:
+  static int slotOf(const std::vector<std::string>& names,
+                    std::string_view name) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+  const std::uint32_t* rowOf(int slot) const {
+    return group_->edge_start.data() +
+           static_cast<std::size_t>(slot) * (nv_ + 1);
+  }
+
+  const IpuArch* arch_;
+  const KernelCodelet* codelet_;
+  const KernelGroup* group_;
+  const std::span<float>* spans_;          // aligned with group_->edges
+  const std::span<const float>* states_;   // aligned with group_->vertices
+  std::size_t nv_;
+};
+
 struct Codelet {
   std::string name;
   // Per-tile code footprint, charged once per tile that hosts the codelet.
@@ -91,6 +248,12 @@ struct Codelet {
   std::function<void(VertexArgs&)> compute;
   std::function<double(const VertexArgs&)> cycles;
   std::function<double(const VertexArgs&)> flops;
+  // Optional fused dispatch: one call runs every vertex of a (compute set,
+  // tile, codelet) group over ResolvedArgs' SoA tables. Must be
+  // arithmetic-identical to per-vertex compute -- the generic path is the
+  // conformance oracle (tests/test_kernels.cpp byte-compares them). Absent
+  // => the engine falls back to per-vertex compute for this codelet.
+  std::function<void(const ResolvedArgs&)> batch_compute;
 };
 
 // Global codelet registry; builtins are registered on first access.

@@ -9,6 +9,7 @@
 #include "ipusim/passes/ledger_pass.h"
 #include "ipusim/passes/liveness_pass.h"
 #include "ipusim/passes/pass.h"
+#include "ipusim/passes/specialize_pass.h"
 #include "ipusim/passes/validate_pass.h"
 #include "obs/trace.h"
 
@@ -46,6 +47,11 @@ StatusOr<Executable> Compile(const Graph& graph, Program program,
   }
   pipeline.push_back(std::make_unique<ExchangePlanPass>());
   pipeline.push_back(std::make_unique<LedgerPass>());
+  if (options.specialize_kernels) {
+    // Last: groups are built over the final lowered compute sets, and the
+    // pass is additive (no ledger or exchange effects).
+    pipeline.push_back(std::make_unique<SpecializeKernelsPass>());
+  }
 
   // Compile spans live on an ordinal clock (pass index as the timestamp):
   // the wall-clock duration in PassReport::seconds would break the bitwise
@@ -94,6 +100,7 @@ StatusOr<Executable> Compile(const Graph& graph, Program program,
   exe.tiles = std::move(ctx.tiles);
   exe.cs_exchange = std::move(ctx.cs_exchange);
   exe.lowered_cs = std::move(ctx.lowered);
+  exe.kernel_plan = std::move(ctx.kernel_plan);
   return exe;
 }
 

@@ -35,6 +35,12 @@ struct CompileOptions {
   // mappings share per-tile arena slots in the ledger. Accounting only:
   // engine storage and results are unaffected.
   bool reuse_variable_memory = true;
+  // Build the KernelPlan that lets the engine run each compute set as fused
+  // per-(tile, codelet) batches over SoA tables instead of string-keyed
+  // per-vertex dispatch. Results, reports, ledgers, and traces are bitwise
+  // identical either way (the generic path is the conformance oracle); off
+  // exists for cross-checking and as the fallback dispatch path.
+  bool specialize_kernels = true;
   // Optional trace sink: one span per pass on (trace_pid, obs::kLaneCompile).
   // Pass spans use the pass index as their (ordinal) timestamp -- wall clock
   // stays in PassReport::seconds, outside the determinism contract.

@@ -1,15 +1,52 @@
 #include "ipusim/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <mutex>
+#include <set>
 #include <sstream>
 
 #include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace repro::ipu {
+
+namespace {
+
+// Process-wide host wall-clock tallies (engine.h). Mutex-guarded: updates
+// happen once per engine construction and once per run(), never inside the
+// per-vertex hot loops.
+std::mutex g_host_stats_mu;
+EngineHostStats g_host_stats;
+
+void AccumulateBuildStats(double seconds, std::uint64_t vertices) {
+  std::lock_guard<std::mutex> lock(g_host_stats_mu);
+  g_host_stats.build_seconds += seconds;
+  g_host_stats.build_vertices += vertices;
+}
+
+void AccumulateRunStats(double seconds, std::uint64_t vertices,
+                        std::uint64_t dispatches) {
+  std::lock_guard<std::mutex> lock(g_host_stats_mu);
+  g_host_stats.run_seconds += seconds;
+  g_host_stats.run_vertices += vertices;
+  g_host_stats.run_dispatches += dispatches;
+}
+
+}  // namespace
+
+EngineHostStats EngineHostStatsSnapshot() {
+  std::lock_guard<std::mutex> lock(g_host_stats_mu);
+  return g_host_stats;
+}
+
+void ResetEngineHostStats() {
+  std::lock_guard<std::mutex> lock(g_host_stats_mu);
+  g_host_stats = EngineHostStats{};
+}
 
 std::string RunReport::ToJson() const {
   char flops_buf[64];
@@ -41,6 +78,7 @@ Engine::Engine(Internal, std::shared_ptr<const Executable> exe, Options opts)
         return *exe_->graph;
       }()),
       opts_(opts) {
+  const auto build_t0 = std::chrono::steady_clock::now();
   const std::size_t workers = hostWorkers();
   const auto& vars = graph_.variables();
   if (opts_.execute) {
@@ -52,43 +90,133 @@ Engine::Engine(Internal, std::shared_ptr<const Executable> exe, Options opts)
     });
   }
 
-  // Resolve vertex arguments and precompute data-independent costs. Each
-  // vertex writes only its own slot, so the resolution shards cleanly.
-  // Registry construction must happen before the parallel region (the
+  // Registry construction must happen before any parallel region (the
   // builtin registration inside Get() is not thread-safe).
   auto& registry = CodeletRegistry::Get();
   const auto& vertices = graph_.vertices();
-  args_.resize(vertices.size());
-  vertex_cycles_.resize(vertices.size());
-  vertex_flops_.resize(vertices.size());
-  ParallelForWith(
-      workers, 0, vertices.size(),
-      [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          const Vertex& v = vertices[i];
-          VertexArgs a(&graph_.arch(), &v.immediates, &v.state);
-          for (const Edge& e : v.edges) {
-            if (opts_.execute) {
-              auto& buf = storage_[e.view.var];
-              a.addEdge(e.field, {buf.data() + e.view.offset, e.view.numel});
-            } else {
-              a.addEdgeSize(e.field, e.view.numel);
+  const KernelPlan& plan = exe_->kernel_plan;
+  specialized_ = plan.enabled;
+
+  if (specialized_) {
+    // Specialized dispatch: per-vertex costs were evaluated once at compile
+    // time (bit-identical to evaluating them here), so construction skips
+    // the string-keyed argument resolution for every plan-covered vertex --
+    // the dominant cost of standing up replicas and timing-only sessions.
+    REPRO_REQUIRE(plan.vertex_cycles.size() == vertices.size() &&
+                      plan.vertex_flops.size() == vertices.size(),
+                  "kernel plan does not cover the graph");
+    group_codelet_.resize(plan.groups.size());
+    std::vector<std::uint8_t> covered(vertices.size(), 0);
+    for (std::size_t gi = 0; gi < plan.groups.size(); ++gi) {
+      const KernelGroup& g = plan.groups[gi];
+      group_codelet_[gi] = &registry.Lookup(plan.codelets[g.codelet].name);
+      if (group_codelet_[gi]->batch_compute) {
+        for (VertexId vid : g.vertices) covered[vid] = 1;
+      }
+    }
+    // Contiguous per-compute-set group ranges (plan groups are sorted by cs).
+    cs_groups_.assign(exe_->lowered_cs.size(), {0, 0});
+    cs_dispatches_.assign(exe_->lowered_cs.size(), 0);
+    for (std::size_t gi = 0; gi < plan.groups.size(); ++gi) {
+      const ComputeSetId cs = plan.groups[gi].cs;
+      REPRO_REQUIRE(cs < cs_groups_.size(),
+                    "kernel plan group names a missing compute set");
+      if (cs_groups_[cs].first == cs_groups_[cs].second) {
+        cs_groups_[cs] = {gi, gi + 1};
+      } else {
+        REPRO_REQUIRE(cs_groups_[cs].second == gi,
+                      "kernel plan groups are not sorted by compute set");
+        cs_groups_[cs].second = gi + 1;
+      }
+      cs_dispatches_[cs] += group_codelet_[gi]->batch_compute
+                                ? 1
+                                : plan.groups[gi].vertices.size();
+    }
+    if (opts_.execute) {
+      // Resolve each group's SoA edge table into this engine's private
+      // storage, and vertex states into span views, aligned index-for-index
+      // with the plan's tables.
+      group_spans_.resize(plan.groups.size());
+      group_states_.resize(plan.groups.size());
+      ParallelForWith(workers, 0, plan.groups.size(),
+                      [&](std::size_t lo, std::size_t hi) {
+                        for (std::size_t gi = lo; gi < hi; ++gi) {
+                          const KernelGroup& g = plan.groups[gi];
+                          auto& spans = group_spans_[gi];
+                          spans.resize(g.edges.size());
+                          for (std::size_t e = 0; e < g.edges.size(); ++e) {
+                            const Tensor& t = g.edges[e];
+                            spans[e] = {storage_[t.var].data() + t.offset,
+                                        t.numel};
+                          }
+                          auto& states = group_states_[gi];
+                          states.resize(g.vertices.size());
+                          for (std::size_t i = 0; i < g.vertices.size(); ++i) {
+                            const auto& st = vertices[g.vertices[i]].state;
+                            states[i] = {st.data(), st.size()};
+                          }
+                        }
+                      });
+      // String-keyed fallback args only for vertices the plan cannot batch
+      // (codelets without a batch_compute).
+      args_.resize(vertices.size());
+      ParallelForWith(
+          workers, 0, vertices.size(),
+          [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+              if (covered[i]) continue;
+              const Vertex& v = vertices[i];
+              VertexArgs a(&graph_.arch(), &v.immediates, &v.state);
+              for (const Edge& e : v.edges) {
+                auto& buf = storage_[e.view.var];
+                a.addEdge(e.field, {buf.data() + e.view.offset, e.view.numel});
+              }
+              args_[i] = std::move(a);
             }
+          },
+          /*min_grain=*/64);
+    }
+  } else {
+    // Generic dispatch: resolve string-keyed vertex arguments and evaluate
+    // the data-independent costs per vertex. Each vertex writes only its own
+    // slot, so the resolution shards cleanly.
+    args_.resize(vertices.size());
+    vertex_cycles_.resize(vertices.size());
+    vertex_flops_.resize(vertices.size());
+    ParallelForWith(
+        workers, 0, vertices.size(),
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            const Vertex& v = vertices[i];
+            VertexArgs a(&graph_.arch(), &v.immediates, &v.state);
+            for (const Edge& e : v.edges) {
+              if (opts_.execute) {
+                auto& buf = storage_[e.view.var];
+                a.addEdge(e.field, {buf.data() + e.view.offset, e.view.numel});
+              } else {
+                a.addEdgeSize(e.field, e.view.numel);
+              }
+            }
+            args_[i] = std::move(a);
+            const Codelet& codelet = registry.Lookup(v.codelet);
+            vertex_cycles_[i] = codelet.cycles(args_[i]);
+            vertex_flops_[i] = codelet.flops(args_[i]);
           }
-          args_[i] = std::move(a);
-          const Codelet& codelet = registry.Lookup(v.codelet);
-          vertex_cycles_[i] = codelet.cycles(args_[i]);
-          vertex_flops_[i] = codelet.flops(args_[i]);
-        }
-      },
-      /*min_grain=*/64);
+        },
+        /*min_grain=*/64);
+  }
 
   // Per lowered compute set (the executable's table, which includes the
   // fusion pass's merges): bottleneck tile's compute cycles and the flop
   // total. Compute sets are independent, so they shard across threads;
   // within one compute set the walk stays serial in lowered vertex order,
   // which keeps the floating-point flop sum bit-identical for every thread
-  // count.
+  // count -- and identical across dispatch paths, since the specialized
+  // per-vertex costs are the same doubles the generic path evaluates.
+  const double* vcycles =
+      specialized_ ? plan.vertex_cycles.data() : vertex_cycles_.data();
+  const double* vflops =
+      specialized_ ? plan.vertex_flops.data() : vertex_flops_.data();
   const IpuArch& arch = graph_.arch();
   const std::size_t num_cs = exe_->lowered_cs.size();
   cs_compute_cycles_.assign(num_cs, 0.0);
@@ -101,8 +229,8 @@ Engine::Engine(Internal, std::shared_ptr<const Executable> exe, Options opts)
       double flops = 0.0;
       for (VertexId vid : exe_->lowered_cs[cs].vertices) {
         tile_cycles[vertices[vid].tile] +=
-            vertex_cycles_[vid] + arch.vertex_dispatch_cycles;
-        flops += vertex_flops_[vid];
+            vcycles[vid] + arch.vertex_dispatch_cycles;
+        flops += vflops[vid];
       }
       double max_cycles = 0.0;
       std::size_t max_tile = 0;
@@ -118,6 +246,29 @@ Engine::Engine(Internal, std::shared_ptr<const Executable> exe, Options opts)
       cs_bottleneck_tile_[cs] = max_tile;
     }
   });
+
+  if (opts_.tracer != nullptr) {
+    // vertices per host dispatch, a pure function of the graph: identical on
+    // both dispatch paths (the generic path "dispatches" per vertex but
+    // reports the same fused-group figure), so trace bytes stay comparable
+    // across specialize on/off.
+    cs_vertices_per_dispatch_.assign(num_cs, 0.0);
+    for (std::size_t cs = 0; cs < num_cs; ++cs) {
+      const auto& vids = exe_->lowered_cs[cs].vertices;
+      if (vids.empty()) continue;
+      std::set<std::pair<std::size_t, std::string_view>> tile_codelet;
+      for (VertexId vid : vids) {
+        tile_codelet.insert({vertices[vid].tile, vertices[vid].codelet});
+      }
+      cs_vertices_per_dispatch_[cs] = static_cast<double>(vids.size()) /
+                                      static_cast<double>(tile_codelet.size());
+    }
+  }
+
+  AccumulateBuildStats(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - build_t0)
+          .count(),
+      vertices.size());
 
   if (opts_.tracer != nullptr) {
     const std::string pname =
@@ -160,6 +311,9 @@ void Engine::readTensor(const Tensor& t, std::span<float> out) const {
 }
 
 RunReport Engine::run() {
+  const auto run_t0 = std::chrono::steady_clock::now();
+  run_vertices_acc_ = 0;
+  run_dispatches_acc_ = 0;
   RunReport r;
   runProgram(exe_->program, r);
   if (opts_.tracer != nullptr) {
@@ -168,6 +322,10 @@ RunReport Engine::run() {
         static_cast<double>(r.total_cycles) / graph_.arch().clock_hz +
         r.host_seconds;
   }
+  AccumulateRunStats(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - run_t0)
+          .count(),
+      run_vertices_acc_, run_dispatches_acc_);
   return r;
 }
 
@@ -261,7 +419,8 @@ void Engine::execComputeSet(ComputeSetId cs, RunReport& r) {
         cyclesToUs(static_cast<double>(compute)),
         {obs::Arg("cycles", static_cast<std::uint64_t>(compute)),
          obs::Arg("flops", cs_flops_[cs]),
-         obs::Arg("bottleneck_tile", cs_bottleneck_tile_[cs])});
+         obs::Arg("bottleneck_tile", cs_bottleneck_tile_[cs]),
+         obs::Arg("vertices_per_dispatch", cs_vertices_per_dispatch_[cs])});
     opts_.tracer->Count("bsp.supersteps");
   }
   r.sync_cycles += sync;
@@ -270,20 +429,52 @@ void Engine::execComputeSet(ComputeSetId cs, RunReport& r) {
   r.flops += cs_flops_[cs];
 
   if (opts_.execute) {
-    // Vertex arithmetic shards across host threads: within a compute set
-    // vertices write disjoint regions (validated at compile time), so the
-    // stores never race and the results match serial execution bitwise.
-    auto& registry = CodeletRegistry::Get();
     const std::vector<VertexId>& vids = exe_->lowered_cs[cs].vertices;
-    const auto& vertices = graph_.vertices();
-    ParallelForWith(hostWorkers(), 0, vids.size(),
-                    [&](std::size_t lo, std::size_t hi) {
-                      for (std::size_t i = lo; i < hi; ++i) {
-                        const VertexId vid = vids[i];
-                        registry.Lookup(vertices[vid].codelet)
-                            .compute(args_[vid]);
-                      }
-                    });
+    if (specialized_) {
+      // Specialized dispatch: one batch_compute call per (tile, codelet)
+      // group, iterating the plan's SoA tables -- no string lookups, no
+      // per-vertex std::function hop. Groups write disjoint regions (their
+      // vertices do, validated at compile time), so they shard across host
+      // threads; within a group the batch kernel runs vertices in lowered
+      // order with the same arithmetic as the generic path, so results
+      // match it bitwise.
+      const auto [gb, ge] = cs_groups_[cs];
+      const KernelPlan& plan = exe_->kernel_plan;
+      ParallelForWith(hostWorkers(), gb, ge,
+                      [&](std::size_t lo, std::size_t hi) {
+                        for (std::size_t gi = lo; gi < hi; ++gi) {
+                          const KernelGroup& g = plan.groups[gi];
+                          const Codelet& c = *group_codelet_[gi];
+                          if (c.batch_compute) {
+                            c.batch_compute(ResolvedArgs(
+                                &graph_.arch(), &plan.codelets[g.codelet], &g,
+                                group_spans_[gi].data(),
+                                group_states_[gi].data()));
+                          } else {
+                            for (VertexId vid : g.vertices) c.compute(args_[vid]);
+                          }
+                        }
+                      });
+      run_vertices_acc_ += vids.size();
+      run_dispatches_acc_ += cs_dispatches_[cs];
+    } else {
+      // Generic dispatch: vertex arithmetic shards across host threads;
+      // within a compute set vertices write disjoint regions (validated at
+      // compile time), so the stores never race and the results match
+      // serial execution bitwise.
+      auto& registry = CodeletRegistry::Get();
+      const auto& vertices = graph_.vertices();
+      ParallelForWith(hostWorkers(), 0, vids.size(),
+                      [&](std::size_t lo, std::size_t hi) {
+                        for (std::size_t i = lo; i < hi; ++i) {
+                          const VertexId vid = vids[i];
+                          registry.Lookup(vertices[vid].codelet)
+                              .compute(args_[vid]);
+                        }
+                      });
+      run_vertices_acc_ += vids.size();
+      run_dispatches_acc_ += vids.size();
+    }
   }
 }
 

@@ -18,6 +18,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ipusim/codelet.h"
@@ -52,6 +53,22 @@ struct RunReport {
   // quantities), the schema the BENCH_*.json writers rely on.
   std::string ToJson() const;
 };
+
+// Process-wide host wall-clock accounting for the engine's two hot paths:
+// construction (argument resolution + cost precomputation) and run()
+// (vertex execution). Accumulated across every engine in the process.
+// Host-only observability: no simulated quantity reads it. Benches print it
+// per dispatch path; scripts/check.sh gates the specialize-on vs -off
+// throughput ratio on those lines.
+struct EngineHostStats {
+  double build_seconds = 0.0;
+  std::uint64_t build_vertices = 0;  // graph vertices per engine constructed
+  double run_seconds = 0.0;
+  std::uint64_t run_vertices = 0;    // vertex computations executed
+  std::uint64_t run_dispatches = 0;  // host kernel invocations running them
+};
+EngineHostStats EngineHostStatsSnapshot();
+void ResetEngineHostStats();
 
 struct EngineOptions {
   // When false, vertex compute functions are skipped and no tensor storage
@@ -125,9 +142,35 @@ class Engine {
   const Graph& graph_;                     // alias of *exe_->graph
   Options opts_;
   std::vector<std::vector<float>> storage_;  // per variable (execute mode)
-  std::vector<VertexArgs> args_;             // resolved per vertex
-  std::vector<double> vertex_cycles_;        // data-independent, precomputed
+  // Generic dispatch path: string-keyed args resolved per vertex. In
+  // specialized mode only fallback vertices (codelets without a
+  // batch_compute) get an entry; plan-covered vertices skip it entirely.
+  std::vector<VertexArgs> args_;
+  // Data-independent per-vertex costs. In specialized mode these stay empty
+  // and the executable's KernelPlan tables are used instead (evaluated once
+  // at compile time, bit-identical values).
+  std::vector<double> vertex_cycles_;
   std::vector<double> vertex_flops_;
+  // Specialized dispatch state (exe_->kernel_plan.enabled): per-group spans
+  // and vertex states resolved against this engine's private storage,
+  // aligned with the plan's SoA tables; cached codelet pointers; contiguous
+  // per-compute-set group ranges; per-CS host dispatch counts for
+  // EngineHostStats.
+  bool specialized_ = false;
+  std::vector<std::vector<std::span<float>>> group_spans_;
+  std::vector<std::vector<std::span<const float>>> group_states_;
+  std::vector<const Codelet*> group_codelet_;
+  std::vector<std::pair<std::size_t, std::size_t>> cs_groups_;
+  std::vector<std::uint64_t> cs_dispatches_;
+  // vertices / distinct (tile, codelet) pairs per lowered compute set, for
+  // the compute-span trace arg. A pure function of the graph, computed the
+  // same way on both dispatch paths so trace bytes stay identical; only
+  // filled when tracing is on.
+  std::vector<double> cs_vertices_per_dispatch_;
+  // Host wall-clock accumulators flushed into the process-wide
+  // EngineHostStats at the end of each run().
+  std::uint64_t run_vertices_acc_ = 0;
+  std::uint64_t run_dispatches_acc_ = 0;
   // Per compute set: bottleneck-tile compute cycles (incl. dispatch) and the
   // serially-accumulated flop total (fixed summation order, precomputed once
   // so run() cost does not scale with vertex count in timing-only sweeps).

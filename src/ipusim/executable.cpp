@@ -314,6 +314,164 @@ CompileStats TakeStats(Reader& r) {
   return s;
 }
 
+void PutKernelPlan(std::vector<std::uint8_t>& out, const KernelPlan& plan) {
+  PutU8(out, plan.enabled ? 1 : 0);
+  PutU64(out, plan.codelets.size());
+  for (const KernelCodelet& c : plan.codelets) {
+    PutString(out, c.name);
+    PutU64(out, c.fields.size());
+    for (const std::string& f : c.fields) PutString(out, f);
+    PutU64(out, c.imms.size());
+    for (const std::string& m : c.imms) PutString(out, m);
+  }
+  PutU64(out, plan.groups.size());
+  for (const KernelGroup& g : plan.groups) {
+    PutU32(out, g.cs);
+    PutU32(out, g.codelet);
+    PutU64(out, g.tile);
+    PutU64(out, g.vertices.size());
+    for (VertexId v : g.vertices) PutU32(out, v);
+    PutU64(out, g.edge_start.size());
+    for (std::uint32_t e : g.edge_start) PutU32(out, e);
+    PutU64(out, g.edges.size());
+    for (const Tensor& t : g.edges) PutTensor(out, t);
+    PutU64(out, g.imm_values.size());
+    for (double d : g.imm_values) PutF64(out, d);
+    PutU64(out, g.imm_present.size());
+    for (std::uint8_t p : g.imm_present) PutU8(out, p);
+  }
+  PutU64(out, plan.vertex_cycles.size());
+  for (double d : plan.vertex_cycles) PutF64(out, d);
+  PutU64(out, plan.vertex_flops.size());
+  for (double d : plan.vertex_flops) PutF64(out, d);
+}
+
+KernelPlan TakeKernelPlan(Reader& r) {
+  KernelPlan plan;
+  plan.enabled = r.TakeU8() != 0;
+  const std::uint64_t ncod = r.TakeCount();
+  plan.codelets.reserve(ncod);
+  for (std::uint64_t i = 0; i < ncod && !r.failed; ++i) {
+    KernelCodelet c;
+    c.name = r.TakeString();
+    const std::uint64_t nf = r.TakeCount();
+    c.fields.reserve(nf);
+    for (std::uint64_t f = 0; f < nf && !r.failed; ++f) {
+      c.fields.push_back(r.TakeString());
+    }
+    const std::uint64_t nm = r.TakeCount();
+    c.imms.reserve(nm);
+    for (std::uint64_t m = 0; m < nm && !r.failed; ++m) {
+      c.imms.push_back(r.TakeString());
+    }
+    plan.codelets.push_back(std::move(c));
+  }
+  const std::uint64_t ngroups = r.TakeCount();
+  plan.groups.reserve(ngroups);
+  for (std::uint64_t i = 0; i < ngroups && !r.failed; ++i) {
+    KernelGroup g;
+    g.cs = r.TakeU32();
+    g.codelet = r.TakeU32();
+    g.tile = r.TakeU64();
+    const std::uint64_t nv = r.TakeCount();
+    g.vertices.reserve(nv);
+    for (std::uint64_t v = 0; v < nv && !r.failed; ++v) {
+      g.vertices.push_back(r.TakeU32());
+    }
+    const std::uint64_t nes = r.TakeCount();
+    g.edge_start.reserve(nes);
+    for (std::uint64_t e = 0; e < nes && !r.failed; ++e) {
+      g.edge_start.push_back(r.TakeU32());
+    }
+    const std::uint64_t ne = r.TakeCount();
+    g.edges.reserve(ne);
+    for (std::uint64_t e = 0; e < ne && !r.failed; ++e) {
+      g.edges.push_back(TakeTensor(r));
+    }
+    const std::uint64_t niv = r.TakeCount();
+    g.imm_values.reserve(niv);
+    for (std::uint64_t m = 0; m < niv && !r.failed; ++m) {
+      g.imm_values.push_back(r.TakeF64());
+    }
+    const std::uint64_t nip = r.TakeCount();
+    g.imm_present.reserve(nip);
+    for (std::uint64_t m = 0; m < nip && !r.failed; ++m) {
+      g.imm_present.push_back(r.TakeU8());
+    }
+    plan.groups.push_back(std::move(g));
+  }
+  const std::uint64_t ncyc = r.TakeCount();
+  plan.vertex_cycles.reserve(ncyc);
+  for (std::uint64_t i = 0; i < ncyc && !r.failed; ++i) {
+    plan.vertex_cycles.push_back(r.TakeF64());
+  }
+  const std::uint64_t nfl = r.TakeCount();
+  plan.vertex_flops.reserve(nfl);
+  for (std::uint64_t i = 0; i < nfl && !r.failed; ++i) {
+    plan.vertex_flops.push_back(r.TakeF64());
+  }
+  return plan;
+}
+
+// Referential integrity of a deserialized plan against the graph and lowered
+// tables: the engine indexes all of these with REPRO_REQUIRE-level trust.
+Status ValidateKernelPlan(const KernelPlan& plan, const Graph& graph,
+                          std::size_t num_lowered_cs) {
+  const std::size_t nverts = graph.vertices().size();
+  if (plan.enabled && (plan.vertex_cycles.size() != nverts ||
+                       plan.vertex_flops.size() != nverts)) {
+    return Status::InvalidArgument(
+        "artifact kernel plan cycle/flop tables do not cover the graph");
+  }
+  for (const KernelGroup& g : plan.groups) {
+    if (g.codelet >= plan.codelets.size() || g.cs >= num_lowered_cs ||
+        g.tile >= graph.arch().num_tiles || g.vertices.empty()) {
+      return Status::InvalidArgument(
+          "artifact kernel plan group references missing codelet, compute "
+          "set, or tile");
+    }
+    for (VertexId v : g.vertices) {
+      if (v >= nverts) {
+        return Status::InvalidArgument(
+            "artifact kernel plan group references missing vertex");
+      }
+    }
+    const KernelCodelet& c = plan.codelets[g.codelet];
+    const std::size_t nv = g.vertices.size();
+    if (g.edge_start.size() != c.fields.size() * (nv + 1) ||
+        g.imm_values.size() != c.imms.size() * nv ||
+        g.imm_present.size() != g.imm_values.size()) {
+      return Status::InvalidArgument(
+          "artifact kernel plan group tables are inconsistently sized");
+    }
+    std::uint32_t prev = 0;
+    for (std::size_t i = 0; i < g.edge_start.size(); ++i) {
+      const std::uint32_t e = g.edge_start[i];
+      if (e < prev || e > g.edges.size() || (i == 0 && e != 0)) {
+        return Status::InvalidArgument(
+            "artifact kernel plan edge offsets are not a valid CSR table");
+      }
+      prev = e;
+    }
+    if (!g.edge_start.empty() && g.edge_start.back() != g.edges.size()) {
+      return Status::InvalidArgument(
+          "artifact kernel plan edge offsets do not cover the edge table");
+    }
+    if (g.edge_start.empty() && !g.edges.empty()) {
+      return Status::InvalidArgument(
+          "artifact kernel plan edge table has no offsets");
+    }
+    for (const Tensor& t : g.edges) {
+      if (t.var >= graph.variables().size() ||
+          t.offset + t.numel > graph.variables()[t.var].numel) {
+        return Status::InvalidArgument(
+            "artifact kernel plan edge references out-of-range variable view");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 std::string PassReport::ToJson() const {
@@ -425,6 +583,7 @@ std::vector<std::uint8_t> Executable::Serialize() const {
     PutU64(out, cs.vertices.size());
     for (VertexId v : cs.vertices) PutU32(out, v);
   }
+  PutKernelPlan(out, kernel_plan);
   // Trailing integrity checksum over everything above. The payload is mostly
   // raw IEEE-754 bits, where a flipped byte still parses as a valid float;
   // without this, mid-file corruption would load silently.
@@ -502,6 +661,7 @@ StatusOr<Executable> Executable::Deserialize(
     }
     exe.lowered_cs.push_back(std::move(cs));
   }
+  exe.kernel_plan = TakeKernelPlan(r);
   if (r.failed) {
     return Status::InvalidArgument("truncated or corrupt executable artifact");
   }
@@ -537,6 +697,11 @@ StatusOr<Executable> Executable::Deserialize(
   if (!valid(exe.program)) {
     return Status::InvalidArgument(
         "artifact program executes a compute set outside the lowered table");
+  }
+  if (Status plan_ok = ValidateKernelPlan(exe.kernel_plan, *exe.graph,
+                                          exe.lowered_cs.size());
+      !plan_ok.ok()) {
+    return plan_ok;
   }
   return exe;
 }

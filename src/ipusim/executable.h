@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "ipusim/codelet.h"
 #include "ipusim/graph.h"
 #include "ipusim/program.h"
 #include "util/error.h"
@@ -33,7 +34,8 @@ inline constexpr std::size_t kNumMemCategories =
 
 // Bumped whenever the byte layout below changes; Load() rejects artifacts
 // written by any other version with a clean Status (never a crash).
-inline constexpr std::uint32_t kExecutableFormatVersion = 1;
+// v2: appended the specialize_kernels KernelPlan section (codelet.h).
+inline constexpr std::uint32_t kExecutableFormatVersion = 2;
 
 struct TileLedger {
   std::array<std::size_t, kNumMemCategories> bytes{};
@@ -118,6 +120,10 @@ struct Executable {
   // Compute sets by lowered id: graph compute sets first, fused merges
   // after. The engine executes these, never graph.verticesInCs().
   std::vector<LoweredComputeSet> lowered_cs;
+  // Specialized dispatch tables from the specialize_kernels pass (disabled =>
+  // the engine resolves string-keyed VertexArgs per vertex, the generic
+  // fallback path). See codelet.h for the types.
+  KernelPlan kernel_plan;
 
   const IpuArch& arch() const { return graph->arch(); }
 

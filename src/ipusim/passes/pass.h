@@ -51,6 +51,10 @@ struct LoweringContext {
   // Final accounting, filled by the ledger pass.
   std::vector<TileLedger> tiles;
   CompileStats stats;
+
+  // Specialized dispatch tables, filled by the specialize_kernels pass
+  // (disabled/empty when the pass is off).
+  KernelPlan kernel_plan;
 };
 
 class CompilerPass {

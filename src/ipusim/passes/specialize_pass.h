@@ -1,0 +1,30 @@
+#pragma once
+
+#include "ipusim/passes/pass.h"
+
+namespace repro::ipu {
+
+// Builds the KernelPlan (codelet.h) that replaces string-keyed per-vertex
+// dispatch with fused per-(compute set, tile, codelet) batches:
+//  * interns every codelet's field and immediate names into sorted slot
+//    tables,
+//  * packs each group's edge views and immediates into SoA offset tables in
+//    lowered execution order,
+//  * evaluates every vertex's cycle/FLOP model once at compile time (the
+//    estimators are data-independent -- they consult sizes, immediates,
+//    state, and arch, never span contents -- so the values are bit-identical
+//    to the engine's own evaluation and survive serialization exactly).
+//
+// Additive only: lowered compute sets, exchange plans, and ledgers are
+// untouched, so every memory/cycle ledger is byte-identical with the pass on
+// or off. Groups cover reachable compute sets; the engine falls back to
+// VertexArgs dispatch for anything outside the plan. Report counts:
+// objects_before = per-vertex dispatches across reachable compute sets,
+// objects_after = fused groups.
+class SpecializeKernelsPass : public CompilerPass {
+ public:
+  const char* name() const override { return "specialize-kernels"; }
+  Status Run(LoweringContext& ctx, PassReport& report) override;
+};
+
+}  // namespace repro::ipu

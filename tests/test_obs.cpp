@@ -156,8 +156,8 @@ TEST(CompileTraceTest, EveryPassGetsAnOrdinalSpan) {
     if (e.cat == "compile") passes.push_back(e);
   const char* kExpected[] = {"validate", "fuse-compute-sets",
                              "reuse-variable-memory", "plan-exchange",
-                             "build-ledger"};
-  ASSERT_EQ(passes.size(), 5u);
+                             "build-ledger", "specialize-kernels"};
+  ASSERT_EQ(passes.size(), 6u);
   for (std::size_t i = 0; i < passes.size(); ++i) {
     EXPECT_EQ(passes[i].name, kExpected[i]);
     EXPECT_EQ(passes[i].pid, 7u);
@@ -167,7 +167,7 @@ TEST(CompileTraceTest, EveryPassGetsAnOrdinalSpan) {
     EXPECT_DOUBLE_EQ(passes[i].dur_us, 1.0);
     EXPECT_FALSE(ArgValue(passes[i], "objects_after").empty());
   }
-  EXPECT_EQ(tracer.counter("compile.passes"), 5u);
+  EXPECT_EQ(tracer.counter("compile.passes"), 6u);
 }
 
 // ---------------------------------------------------------------------------

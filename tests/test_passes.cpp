@@ -120,7 +120,7 @@ TEST(PassPipeline, ReportsFollowEnabledPasses) {
   EXPECT_EQ(names, (std::vector<std::string>{
                        "validate", "fuse-compute-sets",
                        "reuse-variable-memory", "plan-exchange",
-                       "build-ledger"}));
+                       "build-ledger", "specialize-kernels"}));
   EXPECT_NE(exe.stats.ToJson().find("\"passes\": ["), std::string::npos);
   const std::string report = MemoryReport(exe);
   EXPECT_NE(report.find("pass validate:"), std::string::npos);
@@ -131,7 +131,8 @@ TEST(PassPipeline, ReportsFollowEnabledPasses) {
   names.clear();
   for (const PassReport& p : plain.stats.pass_reports) names.push_back(p.pass);
   EXPECT_EQ(names, (std::vector<std::string>{"validate", "plan-exchange",
-                                             "build-ledger"}));
+                                             "build-ledger",
+                                             "specialize-kernels"}));
 }
 
 // Two adjacent Execute steps whose vertices touch disjoint outputs (both
