@@ -9,6 +9,8 @@
 #   4. trace determinism: two bench_serving --trace runs at different host
 #      thread counts must produce bitwise-identical Chrome trace JSON, and
 #      that JSON's key set must match scripts/bench_schemas/trace_events.keys;
+#      bench_cluster repeats the same bitwise gate for its cluster metrics
+#      and trace, and --require-efficiency 0.75 gates 4-chip scaling >= 3x;
 #   5. executable artifact cache: cold-compile bench_serving / fig7 /
 #      serve_demo into a --cache-dir, then rerun each in a fresh process that
 #      must load every ipu::Executable from disk (0 compiles) and produce
@@ -46,6 +48,7 @@ json_benches=(
   bench_multi_ipu
   bench_serving
   bench_kernels
+  bench_cluster
 )
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "$tmp_dir"' EXIT
@@ -90,6 +93,34 @@ if ! diff -u "$schema_dir/trace_events.keys" "$tmp_dir/trace.keys"; then
   exit 1
 fi
 echo "ok: trace bitwise-identical across host threads, schema stable"
+
+echo "== cluster fabric: thread-count byte-identity + scaling sanity =="
+# The cluster DES shares the tracer contract: metrics JSON and trace bytes
+# derive only from the single-threaded event loop, so REPRO_THREADS and
+# --host-threads must not change a byte. The same run gates the scaling
+# claim: butterfly QPS at 4 chips must reach >= 3x a single chip
+# (--require-efficiency 0.75 makes the bench itself exit nonzero below it).
+c1="$tmp_dir/cluster_t1.json"
+c2="$tmp_dir/cluster_t2.json"
+ct1="$tmp_dir/cluster_trace_t1.json"
+ct2="$tmp_dir/cluster_trace_t2.json"
+REPRO_THREADS=1 "$build_dir/bench/bench_cluster" --fast --host-threads 1 \
+  --require-efficiency 0.75 --json "$c1" --trace "$ct1" \
+  > "$tmp_dir/cluster_t1.log"
+REPRO_THREADS=2 "$build_dir/bench/bench_cluster" --fast --host-threads 4 \
+  --require-efficiency 0.75 --json "$c2" --trace "$ct2" \
+  > "$tmp_dir/cluster_t2.log"
+if ! cmp -s "$c1" "$c2"; then
+  echo "FAIL: bench_cluster --json differs across host thread counts"
+  diff "$c1" "$c2" | head -10
+  exit 1
+fi
+if ! cmp -s "$ct1" "$ct2"; then
+  echo "FAIL: bench_cluster trace differs across host thread counts"
+  exit 1
+fi
+grep 'scaling efficiency' "$tmp_dir/cluster_t1.log" || true
+echo "ok: cluster metrics/trace bitwise-identical; 4-chip scaling >= 3x"
 
 echo "== executable artifact cache: cold vs warm byte-identity =="
 # The cold run compiles every plan and saves each ipu::Executable into

@@ -1,0 +1,548 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <set>
+#include <utility>
+
+#include "obs/trace.h"
+#include "serve/batcher.h"
+#include "serve/request_queue.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace repro::cluster {
+namespace {
+
+// SplitMix64 finalizer: the deterministic hash behind the ring and request
+// keys (std::hash is implementation-defined, so never used here).
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t vnodes) : vnodes_(vnodes) {
+  REPRO_REQUIRE(vnodes_ > 0, "hash ring needs at least one vnode per chip");
+}
+
+void HashRing::AddChip(std::size_t chip) {
+  if (Contains(chip)) return;
+  ring_.reserve(ring_.size() + vnodes_);
+  for (std::size_t v = 0; v < vnodes_; ++v) {
+    ring_.emplace_back(Mix64((static_cast<std::uint64_t>(chip) << 32) | v),
+                       chip);
+  }
+  std::sort(ring_.begin(), ring_.end());
+  ++chip_count_;
+}
+
+void HashRing::RemoveChip(std::size_t chip) {
+  if (!Contains(chip)) return;
+  ring_.erase(std::remove_if(
+                  ring_.begin(), ring_.end(),
+                  [chip](const auto& p) { return p.second == chip; }),
+              ring_.end());
+  --chip_count_;
+}
+
+bool HashRing::Contains(std::size_t chip) const {
+  for (const auto& p : ring_) {
+    if (p.second == chip) return true;
+  }
+  return false;
+}
+
+std::size_t HashRing::Route(std::uint64_t key) const {
+  REPRO_REQUIRE(!ring_.empty(), "routing on an empty hash ring");
+  const std::uint64_t h = Mix64(key);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const auto& p, std::uint64_t v) { return p.first < v; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap
+  return it->second;
+}
+
+const char* PlacementName(Placement p) {
+  switch (p) {
+    case Placement::kLeastLoaded:
+      return "least_loaded";
+    case Placement::kConsistentHash:
+      return "consistent_hash";
+  }
+  return "unknown";
+}
+
+ClusterMetrics::ClusterMetrics(std::size_t max_batch, std::size_t chips)
+    : agg_(max_batch),
+      routed_(chips, 0),
+      completed_(chips, 0),
+      rejected_(chips, 0) {}
+
+std::string ClusterMetrics::ToJson() const {
+  // Extend the aggregate ServeMetrics object in place: same percentile and
+  // occupancy math, same %.17g doubles, one flat JSON object.
+  std::string s = agg_.ToJson();
+  REPRO_REQUIRE(!s.empty() && s.back() == '}', "malformed aggregate JSON");
+  s.pop_back();
+  auto arr = [](const std::vector<std::size_t>& v) {
+    std::string a = "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i > 0) a += ", ";
+      a += std::to_string(v[i]);
+    }
+    a += "]";
+    return a;
+  };
+  s += ", \"chips\": " + std::to_string(routed_.size());
+  s += ", \"final_active_chips\": " + std::to_string(final_active_);
+  s += ", \"scale_ups\": " + std::to_string(scale_ups_);
+  s += ", \"scale_downs\": " + std::to_string(scale_downs_);
+  s += ", \"routed_per_chip\": " + arr(routed_);
+  s += ", \"completed_per_chip\": " + arr(completed_);
+  s += ", \"rejected_per_chip\": " + arr(rejected_);
+  s += "}";
+  return s;
+}
+
+namespace {
+
+using serve::Request;
+
+struct Event {
+  enum Kind { kArrival, kChipArrival, kDeadline, kDone, kScaleEval };
+  double time = 0.0;
+  std::uint64_t seq = 0;  // creation order: the deterministic tie-break
+  Kind kind = kArrival;
+  Request req;              // kArrival / kChipArrival
+  std::size_t chip = 0;     // kChipArrival / kDeadline / kDone
+  std::size_t replica = 0;  // kDone
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+// The cluster discrete-event scheduler: the per-chip queue/batcher/pool
+// machinery of serve::Server, replicated per chip, behind one router.
+// Single-threaded over virtual time; the only multithreaded phase is the
+// numerics replay at the end, which cannot touch any recorded time.
+class ClusterSim {
+ public:
+  ClusterSim(std::vector<serve::ReplicaPool*>& pools,
+             const RouterConfig& cfg, std::size_t total_requests,
+             const Matrix* inputs)
+      : pools_(pools),
+        cfg_(cfg),
+        metrics_(cfg.batch.max_batch, pools.size()),
+        inputs_(inputs),
+        total_(total_requests) {
+    const std::size_t C = pools_.size();
+    for (std::size_t c = 0; c < C; ++c) {
+      queues_.push_back(
+          std::make_unique<serve::BoundedMpmcQueue<Request>>(
+              cfg.queue_capacity));
+      batchers_.emplace_back(cfg.batch);
+      service_s_.push_back(pools_[c]->plan().batchSeconds());
+      const nn::ForwardSpec& spec = pools_[c]->plan().spec();
+      req_hop_s_.push_back(
+          cfg.fabric != nullptr
+              ? cfg.fabric->PointToPointSeconds(spec.input * sizeof(float))
+              : 0.0);
+      resp_hop_s_.push_back(
+          cfg.fabric != nullptr
+              ? cfg.fabric->PointToPointSeconds(spec.classes * sizeof(float))
+              : 0.0);
+      inflight_.emplace_back(pools_[c]->size());
+      schedule_.emplace_back(pools_[c]->size());
+      free_.emplace_back();
+      for (std::size_t r = 0; r < pools_[c]->size(); ++r) free_[c].insert(r);
+      pending_deadlines_.push_back(0);
+      outstanding_.push_back(0);
+    }
+    // Active set: everything, or the autoscaler's starting width.
+    std::size_t initial = C;
+    if (cfg.autoscale.enabled) {
+      const std::size_t floor_chips =
+          std::max<std::size_t>(cfg.autoscale.min_chips, 1);
+      initial = cfg.autoscale.initial_chips > 0
+                    ? std::max(cfg.autoscale.initial_chips, floor_chips)
+                    : floor_chips;
+      initial = std::min({initial, cfg.autoscale.max_chips, C});
+      initial = std::max<std::size_t>(initial, 1);
+    }
+    active_.assign(C, false);
+    ring_ = HashRing(cfg.vnodes);
+    for (std::size_t c = 0; c < initial; ++c) {
+      active_[c] = true;
+      ring_.AddChip(c);
+    }
+    if (cfg.tracer != nullptr) {
+      const std::string pname =
+          cfg.trace_label.empty() ? "cluster" : cfg.trace_label;
+      router_ = &cfg.tracer->track(cfg.trace_pid, 0, pname, "router");
+      chip_tracks_.reserve(C);
+      for (std::size_t c = 0; c < C; ++c) {
+        chip_tracks_.push_back(&cfg.tracer->track(
+            cfg.trace_pid, 1 + c, pname, "chip " + std::to_string(c)));
+      }
+    }
+    if (cfg.autoscale.enabled) {
+      Push(Event{cfg.autoscale.eval_interval_s, seq_++, Event::kScaleEval,
+                 Request{}, 0, 0});
+    }
+  }
+
+  void AddArrival(double t) {
+    Request req;
+    req.id = issued_++;
+    req.arrival_s = t;
+    req.row = inputs_ != nullptr && inputs_->rows() > 0
+                  ? static_cast<std::uint32_t>(req.id % inputs_->rows())
+                  : 0;
+    Push(Event{t, seq_++, Event::kArrival, req, 0, 0});
+  }
+
+  ClusterResult Run(bool closed_loop, double think_s) {
+    closed_loop_ = closed_loop;
+    think_s_ = think_s;
+    while (!events_.empty()) {
+      Event e = events_.top();
+      events_.pop();
+      const double now = e.time;
+      switch (e.kind) {
+        case Event::kArrival:
+          RouteRequest(e.req, now);
+          break;
+        case Event::kChipArrival:
+          AdmitAtChip(e.req, e.chip, now);
+          PumpChip(e.chip, now);
+          ScheduleDeadline(e.chip, now);
+          break;
+        case Event::kDeadline:
+          --pending_deadlines_[e.chip];
+          PumpChip(e.chip, now);
+          ScheduleDeadline(e.chip, now);
+          break;
+        case Event::kDone:
+          CompleteBatch(e.chip, e.replica, now);
+          PumpChip(e.chip, now);
+          ScheduleDeadline(e.chip, now);
+          break;
+        case Event::kScaleEval:
+          EvaluateScale(now);
+          break;
+      }
+    }
+    metrics_.aggregate().Finalize(last_completion_s_);
+    std::size_t active = 0;
+    for (bool a : active_) active += a ? 1 : 0;
+    metrics_.SetFinalActiveChips(active);
+    ClusterResult result{std::move(metrics_), Matrix()};
+    ReplayNumerics(result);
+    return result;
+  }
+
+ private:
+  struct InFlight {
+    double dispatch_s = 0.0;
+    std::vector<Request> batch;
+  };
+
+  void Push(Event e) { events_.push(std::move(e)); }
+
+  bool WorkRemains() const { return terminal_ < issued_ || issued_ < total_; }
+
+  std::size_t PickChip(const Request& req) const {
+    if (cfg_.placement == Placement::kConsistentHash) {
+      return ring_.Route(req.id);
+    }
+    // Least loaded: fewest outstanding routed requests among active chips,
+    // ties to the lowest chip id (the deterministic dispatch order tests
+    // pin down).
+    std::size_t best = pools_.size();
+    std::size_t best_load = std::numeric_limits<std::size_t>::max();
+    for (std::size_t c = 0; c < pools_.size(); ++c) {
+      if (!active_[c]) continue;
+      if (outstanding_[c] < best_load) {
+        best = c;
+        best_load = outstanding_[c];
+      }
+    }
+    return best;
+  }
+
+  void RouteRequest(const Request& req, double now) {
+    const std::size_t chip = PickChip(req);
+    REPRO_REQUIRE(chip < pools_.size(), "router has no active chip");
+    ++outstanding_[chip];
+    metrics_.RecordRouted(chip);
+    if (router_ != nullptr) {
+      // The request lifecycle span opens at the router and closes when the
+      // response hop lands back; the routing decision is an instant.
+      router_->AsyncBegin("request", "request", now * 1e6, req.id);
+      router_->Instant("route", "cluster", now * 1e6,
+                       {obs::Arg("request", req.id),
+                        obs::Arg("chip", static_cast<std::uint64_t>(chip))});
+      cfg_.tracer->Count("cluster.routed");
+    }
+    Push(Event{now + req_hop_s_[chip], seq_++, Event::kChipArrival, req, chip,
+               0});
+  }
+
+  void AdmitAtChip(const Request& req, std::size_t chip, double now) {
+    if (queues_[chip]->TryPush(req)) {
+      metrics_.aggregate().RecordAdmitted();
+      if (router_ != nullptr) cfg_.tracer->Count("cluster.admitted");
+      return;
+    }
+    // Per-shard admission control: the chip's bounded queue load-sheds.
+    metrics_.aggregate().RecordRejected();
+    metrics_.RecordChipRejection(chip);
+    --outstanding_[chip];
+    ++terminal_;
+    if (router_ != nullptr) {
+      router_->Instant("reject", "cluster", now * 1e6,
+                       {obs::Arg("request", req.id),
+                        obs::Arg("chip", static_cast<std::uint64_t>(chip))});
+      router_->AsyncEnd("request", "request", now * 1e6, req.id);
+      cfg_.tracer->Count("cluster.rejected");
+    }
+    if (closed_loop_ && issued_ < total_) AddArrival(now + think_s_);
+  }
+
+  // serve::Server's Pump, per chip: drain the chip queue into the forming
+  // batch, dispatch ready batches to free replicas.
+  void PumpChip(std::size_t c, double now) {
+    for (;;) {
+      batchers_[c].Drain(*queues_[c]);
+      if (free_[c].empty() || !batchers_[c].Ready(now)) return;
+      std::vector<Request> batch = batchers_[c].Pop();
+      const std::size_t r = *free_[c].begin();
+      free_[c].erase(free_[c].begin());
+      metrics_.aggregate().RecordBatch(batch.size(), now);
+      if (router_ != nullptr) {
+        const std::uint64_t bid = batch_seq_++;
+        router_->AsyncBegin("batch_form", "batch",
+                            batch.front().arrival_s * 1e6, bid,
+                            {obs::Arg("occupancy", batch.size()),
+                             obs::Arg("chip", static_cast<std::uint64_t>(c))});
+        router_->AsyncEnd("batch_form", "batch", now * 1e6, bid);
+        chip_tracks_[c]->Complete(
+            "device_run", "cluster", now * 1e6, service_s_[c] * 1e6,
+            {obs::Arg("batch", bid), obs::Arg("occupancy", batch.size()),
+             obs::Arg("replica", static_cast<std::uint64_t>(r))});
+        cfg_.tracer->Count("cluster.batches");
+      }
+      schedule_[c][r].push_back(batch);
+      inflight_[c][r] = InFlight{now, std::move(batch)};
+      Push(Event{now + service_s_[c], seq_++, Event::kDone, Request{}, c, r});
+    }
+  }
+
+  void ScheduleDeadline(std::size_t c, double now) {
+    if (batchers_[c].empty() || free_[c].empty() ||
+        pending_deadlines_[c] > 0) {
+      return;
+    }
+    const double d = batchers_[c].Deadline();
+    if (!std::isfinite(d)) return;
+    Push(Event{std::max(d, now), seq_++, Event::kDeadline, Request{}, c, 0});
+    ++pending_deadlines_[c];
+  }
+
+  void CompleteBatch(std::size_t c, std::size_t r, double now) {
+    InFlight done = std::move(inflight_[c][r]);
+    inflight_[c][r].batch.clear();
+    free_[c].insert(r);
+    const double done_s = now + resp_hop_s_[c];  // response hop to the router
+    last_completion_s_ = std::max(last_completion_s_, done_s);
+    for (const Request& req : done.batch) {
+      metrics_.aggregate().RecordCompletion(done_s - req.arrival_s,
+                                            done.dispatch_s - req.arrival_s);
+      metrics_.RecordChipCompletion(c);
+      --outstanding_[c];
+      ++terminal_;
+      if (router_ != nullptr) {
+        const double disp_us = done.dispatch_s * 1e6;
+        router_->AsyncBegin("queue", "request", req.arrival_s * 1e6, req.id);
+        router_->AsyncEnd("queue", "request", disp_us, req.id);
+        obs::TraceTrack* ct = chip_tracks_[c];
+        ct->AsyncBegin("device", "device", disp_us, req.id);
+        ct->AsyncEnd("device", "device", now * 1e6, req.id,
+                     {obs::Arg("latency_s", done_s - req.arrival_s),
+                      obs::Arg("queue_delay_s",
+                               done.dispatch_s - req.arrival_s)});
+        router_->AsyncEnd("request", "request", done_s * 1e6, req.id);
+        cfg_.tracer->Count("cluster.completed");
+      }
+      if (closed_loop_ && issued_ < total_) AddArrival(done_s + think_s_);
+    }
+  }
+
+  void EvaluateScale(double now) {
+    if (!WorkRemains()) return;  // run is draining; stop rescheduling
+    const AutoscalePolicy& p = cfg_.autoscale;
+    std::size_t active = 0;
+    std::size_t outstanding = 0;
+    for (std::size_t c = 0; c < pools_.size(); ++c) {
+      if (!active_[c]) continue;
+      ++active;
+      outstanding += outstanding_[c];
+    }
+    const double per =
+        static_cast<double>(outstanding) / static_cast<double>(active);
+    const std::size_t ceil_chips = std::min(p.max_chips, pools_.size());
+    const std::size_t floor_chips = std::max<std::size_t>(p.min_chips, 1);
+    if (per > p.up_outstanding_per_chip && active < ceil_chips) {
+      for (std::size_t c = 0; c < pools_.size(); ++c) {
+        if (active_[c]) continue;
+        active_[c] = true;
+        ring_.AddChip(c);
+        metrics_.RecordScaleUp();
+        if (router_ != nullptr) {
+          router_->Instant(
+              "scale_up", "cluster", now * 1e6,
+              {obs::Arg("chip", static_cast<std::uint64_t>(c)),
+               obs::Arg("outstanding_per_chip", per)});
+          cfg_.tracer->Count("cluster.scale_ups");
+        }
+        break;
+      }
+    } else if (per < p.down_outstanding_per_chip && active > floor_chips) {
+      // Drain the highest active chip: it stops receiving traffic, its
+      // queued and in-flight work completes normally.
+      for (std::size_t c = pools_.size(); c-- > 0;) {
+        if (!active_[c]) continue;
+        active_[c] = false;
+        ring_.RemoveChip(c);
+        metrics_.RecordScaleDown();
+        if (router_ != nullptr) {
+          router_->Instant(
+              "scale_down", "cluster", now * 1e6,
+              {obs::Arg("chip", static_cast<std::uint64_t>(c)),
+               obs::Arg("outstanding_per_chip", per)});
+          cfg_.tracer->Count("cluster.scale_downs");
+        }
+        break;
+      }
+    }
+    Push(Event{now + p.eval_interval_s, seq_++, Event::kScaleEval, Request{},
+               0, 0});
+  }
+
+  // Replays the recorded per-(chip, replica) dispatch schedules through the
+  // replica engines to produce logits. Parallel across engines, sequential
+  // within one; batch composition is fixed by the DES, so results are
+  // independent of host_threads.
+  void ReplayNumerics(ClusterResult& result) {
+    if (inputs_ == nullptr) return;
+    for (serve::ReplicaPool* pool : pools_) {
+      if (!pool->plan().options().execute) return;
+    }
+    const nn::ForwardSpec& spec = pools_[0]->plan().spec();
+    result.logits = Matrix(total_, spec.classes);
+    std::vector<std::pair<std::size_t, std::size_t>> units;
+    for (std::size_t c = 0; c < pools_.size(); ++c) {
+      for (std::size_t r = 0; r < pools_[c]->size(); ++r) {
+        units.emplace_back(c, r);
+      }
+    }
+    ParallelForWith(
+        cfg_.host_threads, 0, units.size(),
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t u = begin; u < end; ++u) {
+            const auto [c, r] = units[u];
+            for (const std::vector<Request>& batch : schedule_[c][r]) {
+              Matrix in(batch.size(), spec.input);
+              for (std::size_t i = 0; i < batch.size(); ++i) {
+                auto src = inputs_->row(batch[i].row);
+                std::copy(src.begin(), src.end(), in.row(i).begin());
+              }
+              Matrix out = pools_[c]->plan().RunBatch(pools_[c]->engine(r), in);
+              for (std::size_t i = 0; i < batch.size(); ++i) {
+                auto dst = result.logits.row(batch[i].id);
+                std::copy(out.row(i).begin(), out.row(i).end(), dst.begin());
+              }
+            }
+          }
+        },
+        /*min_grain=*/1);
+  }
+
+  std::vector<serve::ReplicaPool*>& pools_;
+  const RouterConfig& cfg_;
+  ClusterMetrics metrics_;
+  const Matrix* inputs_;
+  const std::size_t total_;
+
+  std::vector<std::unique_ptr<serve::BoundedMpmcQueue<Request>>> queues_;
+  std::vector<serve::MicroBatcher> batchers_;
+  std::vector<double> service_s_, req_hop_s_, resp_hop_s_;
+  std::vector<std::vector<InFlight>> inflight_;           // [chip][replica]
+  std::vector<std::vector<std::vector<std::vector<Request>>>> schedule_;
+  std::vector<std::set<std::size_t>> free_;               // per chip
+  std::vector<std::size_t> pending_deadlines_;
+  std::vector<std::size_t> outstanding_;  // routed, not yet terminal
+  std::vector<bool> active_;
+  HashRing ring_{1};
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t issued_ = 0;
+  std::uint64_t terminal_ = 0;  // completed + rejected
+  std::uint64_t batch_seq_ = 0;
+  bool closed_loop_ = false;
+  double think_s_ = 0.0;
+  double last_completion_s_ = 0.0;
+  obs::TraceTrack* router_ = nullptr;  // null = tracing off
+  std::vector<obs::TraceTrack*> chip_tracks_;
+};
+
+}  // namespace
+
+Router::Router(std::vector<serve::ReplicaPool*> pools, RouterConfig config)
+    : pools_(std::move(pools)), config_(std::move(config)) {
+  REPRO_REQUIRE(!pools_.empty(), "router needs at least one chip pool");
+  for (const serve::ReplicaPool* pool : pools_) {
+    REPRO_REQUIRE(pool != nullptr && pool->size() > 0,
+                  "router chips need live replica pools");
+  }
+  REPRO_REQUIRE(config_.queue_capacity > 0, "queue capacity must be positive");
+}
+
+ClusterResult Router::RunOpenLoop(const serve::OpenLoopLoad& load,
+                                  const Matrix* inputs) {
+  REPRO_REQUIRE(load.qps > 0.0, "open-loop rate must be positive");
+  ClusterSim sim(pools_, config_, load.requests, inputs);
+  Rng rng(load.seed);
+  double t = 0.0;
+  for (std::size_t i = 0; i < load.requests; ++i) {
+    t += -std::log(1.0 - rng.Uniform()) / load.qps;  // Exp(qps) gaps
+    sim.AddArrival(t);
+  }
+  return sim.Run(/*closed_loop=*/false, /*think_s=*/0.0);
+}
+
+ClusterResult Router::RunClosedLoop(const serve::ClosedLoopLoad& load,
+                                    const Matrix* inputs) {
+  REPRO_REQUIRE(load.clients > 0, "closed loop needs at least one client");
+  REPRO_REQUIRE(load.clients <= config_.queue_capacity,
+                "closed-loop clients (%zu) exceed the per-chip queue bound "
+                "(%zu): the backpressure contract caps outstanding work",
+                load.clients, config_.queue_capacity);
+  ClusterSim sim(pools_, config_, load.requests, inputs);
+  const std::size_t initial = std::min(load.clients, load.requests);
+  for (std::size_t c = 0; c < initial; ++c) sim.AddArrival(0.0);
+  return sim.Run(/*closed_loop=*/true, load.think_s);
+}
+
+}  // namespace repro::cluster

@@ -8,11 +8,7 @@ namespace repro::ipu {
 
 double AllReduceSeconds(const M2000Arch& arch, std::size_t bytes) {
   REPRO_REQUIRE(arch.num_ipus >= 1, "empty pod");
-  if (arch.num_ipus == 1 || bytes == 0) return 0.0;
-  const double p = static_cast<double>(arch.num_ipus);
-  const double volume = 2.0 * (p - 1.0) / p * static_cast<double>(bytes);
-  return volume / arch.inter_ipu_bytes_per_sec +
-         2.0 * (p - 1.0) * arch.link_latency_sec;
+  return arch.fabric().RingAllReduceSeconds(bytes);
 }
 
 std::vector<ScalingPoint> DataParallelScaling(const M2000Arch& arch,

@@ -14,21 +14,33 @@
 #include <cstddef>
 #include <vector>
 
+#include "cluster/link_fabric.h"
 #include "ipusim/arch.h"
 
 namespace repro::ipu {
 
+// Thin wrapper over the cluster fabric model: the link constants and the
+// ring-allreduce algebra live in cluster/link_fabric.h (the single source
+// of truth); this struct keeps the historical data-parallel-training API.
 struct M2000Arch {
   IpuArch ipu = Gc200();
   std::size_t num_ipus = 4;
-  // Table 1: 320 GB/s inter-chip bandwidth per GC200.
-  double inter_ipu_bytes_per_sec = 320e9;
-  // Per-hop synchronisation latency of the IPU-Link fabric.
-  double link_latency_sec = 2e-6;
+  double inter_ipu_bytes_per_sec = kIpuLinkBytesPerSec;
+  double link_latency_sec = kIpuLinkLatencySec;
+
+  LinkFabric fabric() const {
+    return LinkFabric(LinkFabricConfig{
+        .num_ipus = num_ipus,
+        .link_bytes_per_sec = inter_ipu_bytes_per_sec,
+        .link_latency_sec = link_latency_sec,
+    });
+  }
 };
 
 // Ring allreduce over p participants: every gradient byte crosses the links
-// 2(p-1)/p times, plus 2(p-1) latency hops.
+// 2(p-1)/p times, plus 2(p-1) latency hops. Delegates to
+// LinkFabric::RingAllReduceSeconds (identical arithmetic, byte-identical
+// bench_multi_ipu output).
 double AllReduceSeconds(const M2000Arch& arch, std::size_t bytes);
 
 struct ScalingPoint {

@@ -1,0 +1,45 @@
+// The serving k-split GEMM lowering, shared by the single-chip ModelPlan
+// and the cluster ShardPlan (cluster/shard_plan.h).
+//
+// Lowers a feature-major out = W * x (W is m x k, packed block-major in
+// mb x kc blocks) as AmpGemm partial products plus a ReduceAdd stage. The
+// weight blocks never move: each vertex runs on the tile its block lives
+// on, so only the activation chunk crosses the exchange every batch. The
+// k-chunk bound keeps any single vertex from dragging a whole activation
+// column onto its tile -- the difference between a dense replica fitting
+// on ~40 tiles and not fitting at all.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ipusim/graph.h"
+#include "ipusim/program.h"
+
+namespace repro::serve {
+
+// Weight-upload handle of one lowered GEMM: the packed block-major weight
+// tensor plus its packing geometry (m x k split into gm x gk blocks of
+// mb x kc).
+struct KSplitGemm {
+  ipu::Tensor w;
+  std::size_t m = 0, k = 0, mb = 0, kc = 0, gm = 0, gk = 0;
+};
+
+// Largest kc <= 256 dividing k (so every edge is an exact row range).
+std::size_t PickKChunk(std::size_t k);
+
+// Appends the GEMM's compute sets to `seq` and returns the weight handle.
+// Requires x.rows >= k, x.cols == batch, out.rows == ceil(m/16)*16,
+// out.cols == batch; `accumulate` (out += W x) needs a single k-chunk.
+KSplitGemm AddKSplitGemm(ipu::Graph& g, ipu::Program& seq,
+                         const std::string& name, const ipu::Tensor& x,
+                         const ipu::Tensor& out, std::size_t m, std::size_t k,
+                         bool accumulate, std::size_t batch);
+
+// Packs a row-major m x k weight matrix into the block-major device layout
+// of `gw` (zero-padded to the block grid).
+std::vector<float> PackGemmBlocks(const KSplitGemm& gw, const float* w);
+
+}  // namespace repro::serve

@@ -16,103 +16,21 @@ using ipu::Tensor;
 
 std::size_t Pad16(std::size_t x) { return CeilDiv(x, 16) * 16; }
 
-// k-chunk for the split GEMM: bounds the per-vertex input edge (kc * B
-// floats) so one vertex never drags a whole 1024-feature activation onto
-// its tile -- the difference between a dense replica fitting on ~40 tiles
-// and not fitting at all. Must divide k so every edge is an exact row range.
-std::size_t PickKChunk(std::size_t k) {
-  constexpr std::size_t kMax = 256;
-  if (k <= kMax) return k;
-  for (std::size_t kc = kMax; kc >= 64; --kc) {
-    if (k % kc == 0) return kc;
-  }
-  return k;  // awkward prime-ish k: single chunk
-}
-
 }  // namespace
 
 ModelPlan::GemmWeights ModelPlan::addGemm(Program& seq, const std::string& name,
                                           const Tensor& x, const Tensor& out,
                                           std::size_t m, std::size_t k,
                                           bool accumulate) {
-  Graph& g = session_->graph();
-  const std::size_t B = opts_.max_batch;
-  GemmWeights gw;
-  gw.m = m;
-  gw.k = k;
-  gw.mb = 16;
-  gw.kc = PickKChunk(k);
-  gw.gm = CeilDiv(m, gw.mb);
-  gw.gk = k / gw.kc;
-  REPRO_REQUIRE(gw.gk * gw.kc == k, "k-chunk %zu does not divide k=%zu",
-                gw.kc, k);
-  REPRO_REQUIRE(x.rows >= k && x.cols == B, "gemm '%s' input shape",
-                name.c_str());
-  REPRO_REQUIRE(out.rows == gw.gm * gw.mb && out.cols == B,
-                "gemm '%s' output shape (want %zu padded rows)", name.c_str(),
-                gw.gm * gw.mb);
-  REPRO_REQUIRE(!accumulate || gw.gk == 1,
-                "accumulating gemm must be single-chunk");
-
-  gw.w = g.addVariable(name + "_w", gw.gm * gw.gk, gw.mb * gw.kc);
-  g.mapLinearly(gw.w, gw.mb * gw.kc);
-  Tensor partials;
-  if (gw.gk > 1) {
-    partials = g.addVariable(name + "_part", gw.gm * gw.gk, gw.mb * B);
-  }
-  ipu::ComputeSetId cs = g.addComputeSet(name + "_mm");
-  for (std::size_t im = 0; im < gw.gm; ++im) {
-    for (std::size_t ik = 0; ik < gw.gk; ++ik) {
-      const std::size_t blk = im * gw.gk + ik;
-      // The weight block never moves: the vertex runs where it lives, so
-      // only the activation chunk crosses the exchange each batch.
-      const std::size_t tile = g.tileOfElement(gw.w, blk * gw.mb * gw.kc);
-      ipu::VertexId v = g.addVertex(cs, ipu::codelets::kAmpGemm, tile);
-      g.connect(v, "a", gw.w.row(blk));
-      g.connect(v, "b", x.rowRange(ik * gw.kc, gw.kc));
-      if (gw.gk > 1) {
-        g.setTileMapping(partials.row(blk), tile);
-        g.connect(v, "out", partials.row(blk), true);
-      } else {
-        g.connect(v, "out", out.rowRange(im * gw.mb, gw.mb), true);
-      }
-      g.setInitialValue(v, "m", static_cast<double>(gw.mb));
-      g.setInitialValue(v, "k", static_cast<double>(gw.kc));
-      g.setInitialValue(v, "n", static_cast<double>(B));
-      if (accumulate) g.setInitialValue(v, "accumulate", 1.0);
-    }
-  }
-  seq.add(Program::Execute(cs));
-  if (gw.gk > 1) {
-    ipu::ComputeSetId red = g.addComputeSet(name + "_red");
-    for (std::size_t im = 0; im < gw.gm; ++im) {
-      const std::size_t tile = g.tileOfElement(out, im * gw.mb * B);
-      ipu::VertexId v = g.addVertex(red, ipu::codelets::kReduceAdd, tile);
-      for (std::size_t ik = 0; ik < gw.gk; ++ik) {
-        g.connect(v, "partials", partials.row(im * gw.gk + ik));
-      }
-      g.connect(v, "out", out.rowRange(im * gw.mb, gw.mb), true);
-    }
-    seq.add(Program::Execute(red));
-  }
-  return gw;
+  // The k-split lowering itself is shared with the cluster shard plans
+  // (serve/gemm_lowering.h).
+  return AddKSplitGemm(session_->graph(), seq, name, x, out, m, k, accumulate,
+                       opts_.max_batch);
 }
 
 std::vector<float> ModelPlan::packBlocks(const GemmWeights& gw,
                                          const float* w) {
-  std::vector<float> packed(gw.gm * gw.gk * gw.mb * gw.kc, 0.0f);
-  for (std::size_t im = 0; im < gw.gm; ++im) {
-    for (std::size_t ik = 0; ik < gw.gk; ++ik) {
-      float* blk = packed.data() + (im * gw.gk + ik) * gw.mb * gw.kc;
-      for (std::size_t i = 0; i < gw.mb; ++i) {
-        const std::size_t gi = im * gw.mb + i;
-        if (gi >= gw.m) break;  // zero padding stays
-        const float* src = w + gi * gw.k + ik * gw.kc;
-        std::copy(src, src + gw.kc, blk + i * gw.kc);
-      }
-    }
-  }
-  return packed;
+  return PackGemmBlocks(gw, w);
 }
 
 void ModelPlan::buildDenseHidden(Program& seq) {

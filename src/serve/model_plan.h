@@ -28,6 +28,7 @@
 #include "ipusim/session.h"
 #include "linalg/matrix.h"
 #include "nn/export.h"
+#include "serve/gemm_lowering.h"
 #include "util/error.h"
 
 namespace repro::serve {
@@ -95,11 +96,8 @@ class ModelPlan {
   ModelPlan() = default;
 
   // Weight-upload handles (block-major GEMM weights carry their packing
-  // geometry; see model_plan.cpp).
-  struct GemmWeights {
-    ipu::Tensor w;
-    std::size_t m = 0, k = 0, mb = 0, kc = 0, gm = 0, gk = 0;
-  };
+  // geometry; serve/gemm_lowering.h).
+  using GemmWeights = KSplitGemm;
 
   Status buildGraph();
   void buildDenseHidden(ipu::Program& seq);

@@ -1,0 +1,469 @@
+// Tests for the cluster serving fabric (src/cluster): LinkFabric collective
+// algebra (and its exact agreement with the multi_ipu wrappers it subsumed),
+// consistent-hash ring stability, router placement determinism and
+// backpressure, sharded-vs-unsharded logit parity, the autoscaler, and the
+// cluster determinism contract (metrics + logits invariant to host threads).
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/link_fabric.h"
+#include "cluster/router.h"
+#include "cluster/shard_plan.h"
+#include "core/device_time.h"
+#include "core/method.h"
+#include "ipusim/arch.h"
+#include "ipusim/multi_ipu.h"
+#include "linalg/matrix.h"
+#include "nn/export.h"
+#include "nn/model.h"
+#include "serve/model_plan.h"
+#include "serve/replica_pool.h"
+#include "serve/server.h"
+#include "util/bitops.h"
+#include "util/rng.h"
+
+namespace repro::cluster {
+namespace {
+
+using core::Method;
+
+// ---------------------------------------------------------------------------
+// LinkFabric algebra
+
+TEST(LinkFabricTest, AllReduceMatchesMultiIpuWrapperExactly) {
+  // multi_ipu.h::AllReduceSeconds is now a thin wrapper over the fabric;
+  // the numbers must be bit-identical to the pre-refactor formula.
+  const ipu::M2000Arch pod;
+  const ipu::LinkFabric fabric = pod.fabric();
+  for (std::size_t bytes : {std::size_t{0}, std::size_t{65576},
+                            std::size_t{4239400}, std::size_t{1} << 28}) {
+    EXPECT_EQ(ipu::AllReduceSeconds(pod, bytes),
+              fabric.RingAllReduceSeconds(bytes));
+  }
+}
+
+TEST(LinkFabricTest, ReduceScatterPlusAllGatherIsAllReduce) {
+  const ipu::LinkFabric fabric(
+      ipu::LinkFabricConfig{.num_ipus = 8,
+                            .link_bytes_per_sec = 100e9,
+                            .link_latency_sec = 1e-6});
+  const std::size_t bytes = 1 << 20;
+  EXPECT_NEAR(fabric.RingReduceScatterSeconds(bytes) +
+                  fabric.RingAllGatherSeconds(bytes),
+              fabric.RingAllReduceSeconds(bytes), 1e-15);
+}
+
+TEST(LinkFabricTest, RingHopsAreShortestPath) {
+  const ipu::LinkFabric fabric(ipu::LinkFabricConfig{.num_ipus = 8});
+  EXPECT_EQ(fabric.RingHops(0, 0), 0u);
+  EXPECT_EQ(fabric.RingHops(0, 1), 1u);
+  EXPECT_EQ(fabric.RingHops(0, 4), 4u);  // antipode
+  EXPECT_EQ(fabric.RingHops(0, 7), 1u);  // wraps backwards
+  EXPECT_EQ(fabric.RingHops(6, 1), 3u);
+}
+
+TEST(LinkFabricTest, PairwiseExchangeScalesWithDistance) {
+  const ipu::LinkFabric fabric(ipu::LinkFabricConfig{.num_ipus = 8});
+  const std::size_t bytes = 1 << 16;
+  const double d1 = fabric.PairwiseExchangeSeconds(bytes, 1);
+  const double d2 = fabric.PairwiseExchangeSeconds(bytes, 2);
+  const double d4 = fabric.PairwiseExchangeSeconds(bytes, 4);
+  EXPECT_NEAR(d2, 2.0 * d1, 1e-15);
+  EXPECT_NEAR(d4, 4.0 * d1, 1e-15);
+  // Distance 6 wraps: shortest path is 2 hops.
+  EXPECT_EQ(fabric.PairwiseExchangeSeconds(bytes, 6), d2);
+  // A single-chip fabric is free.
+  const ipu::LinkFabric one(ipu::LinkFabricConfig{.num_ipus = 1});
+  EXPECT_EQ(one.RingAllReduceSeconds(bytes), 0.0);
+}
+
+TEST(LinkFabricTest, AllReduceStepsCountAndBytes) {
+  // bytes x hops algebra of the traced decomposition: 2(p-1) pipeline
+  // steps, each carrying one 1/p chunk over one link.
+  const std::size_t p = 4;
+  const ipu::LinkFabric fabric(ipu::LinkFabricConfig{.num_ipus = p});
+  const std::size_t bytes = 65576;
+  const std::vector<ipu::FabricStep> steps = fabric.RingAllReduceSteps(bytes);
+  ASSERT_EQ(steps.size(), 2 * (p - 1));
+  double sum = 0.0;
+  for (const ipu::FabricStep& s : steps) {
+    EXPECT_EQ(s.bytes, CeilDiv(bytes, p));
+    EXPECT_EQ(s.hops, 1u);
+    sum += s.seconds;
+  }
+  // The step decomposition reproduces the closed-form cost (up to the
+  // double arithmetic of summing identical terms).
+  EXPECT_NEAR(sum, fabric.RingAllReduceSeconds(bytes),
+              1e-12 * fabric.RingAllReduceSeconds(bytes));
+}
+
+// ---------------------------------------------------------------------------
+// HashRing
+
+TEST(HashRingTest, RemovalOnlyRemapsTheDepartingChipsKeys) {
+  HashRing ring(64);
+  for (std::size_t c = 0; c < 4; ++c) ring.AddChip(c);
+  EXPECT_EQ(ring.chips(), 4u);
+
+  constexpr std::size_t kKeys = 2000;
+  std::vector<std::size_t> before(kKeys);
+  for (std::size_t k = 0; k < kKeys; ++k) before[k] = ring.Route(k);
+
+  ring.RemoveChip(2);
+  EXPECT_EQ(ring.chips(), 3u);
+  std::size_t moved = 0;
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    const std::size_t after = ring.Route(k);
+    if (before[k] == 2) {
+      EXPECT_NE(after, 2u);
+      ++moved;
+    } else {
+      EXPECT_EQ(after, before[k]) << "key " << k << " moved needlessly";
+    }
+  }
+  EXPECT_GT(moved, 0u);  // chip 2 did own some keys
+
+  // Re-adding restores the exact original mapping (points are a pure
+  // function of chip id).
+  ring.AddChip(2);
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(ring.Route(k), before[k]);
+  }
+}
+
+TEST(HashRingTest, EveryChipOwnsKeys) {
+  HashRing ring(64);
+  for (std::size_t c = 0; c < 8; ++c) ring.AddChip(c);
+  std::vector<std::size_t> counts(8, 0);
+  for (std::size_t k = 0; k < 4000; ++k) ++counts[ring.Route(k)];
+  for (std::size_t c = 0; c < 8; ++c) {
+    EXPECT_GT(counts[c], 0u) << "chip " << c << " owns no keys";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Router (timing-only plans: scheduling without numerics)
+
+core::ShlShape SmallShape(std::size_t n) {
+  core::ShlShape shape;
+  shape.input = n;
+  shape.hidden = n;
+  shape.classes = 10;
+  return shape;
+}
+
+std::unique_ptr<serve::ModelPlan> TimingPlan(std::size_t n,
+                                             std::size_t max_batch) {
+  Rng rng(41);
+  nn::Sequential model = nn::BuildShl(Method::kButterfly, SmallShape(n), rng);
+  nn::ForwardSpec spec = nn::ExportForward(model);
+  auto plan = serve::ModelPlan::Build(
+      spec, ipu::Gc200(),
+      serve::PlanOptions{.max_batch = max_batch, .execute = false});
+  EXPECT_TRUE(plan.ok()) << plan.status().message();
+  return std::move(plan.value());
+}
+
+struct PoolSet {
+  std::vector<std::unique_ptr<serve::ReplicaPool>> own;
+  std::vector<serve::ReplicaPool*> ptrs;
+};
+
+PoolSet MakePools(const serve::ModelPlan& plan, std::size_t chips,
+                  std::size_t replicas) {
+  PoolSet set;
+  for (std::size_t c = 0; c < chips; ++c) {
+    set.own.push_back(std::make_unique<serve::ReplicaPool>(plan, replicas));
+    set.ptrs.push_back(set.own.back().get());
+  }
+  return set;
+}
+
+TEST(RouterTest, LeastLoadedTieBreaksToLowestChip) {
+  // One closed-loop client: every request sees all chips idle, so the
+  // deterministic tie-break routes everything to chip 0.
+  auto plan = TimingPlan(64, 8);
+  PoolSet pools = MakePools(*plan, 4, 1);
+  RouterConfig rc;
+  rc.placement = Placement::kLeastLoaded;
+  rc.batch = serve::BatchPolicy{.max_batch = 8, .max_delay_s = 0.0};
+  Router router(pools.ptrs, rc);
+  ClusterResult res = router.RunClosedLoop(
+      serve::ClosedLoopLoad{.clients = 1, .requests = 12, .think_s = 0.0});
+  EXPECT_EQ(res.metrics.completed(), 12u);
+  EXPECT_EQ(res.metrics.routedPerChip(),
+            (std::vector<std::size_t>{12, 0, 0, 0}));
+}
+
+TEST(RouterTest, LeastLoadedSpreadsABurst) {
+  auto plan = TimingPlan(64, 8);
+  PoolSet pools = MakePools(*plan, 4, 1);
+  RouterConfig rc;
+  rc.placement = Placement::kLeastLoaded;
+  rc.batch = serve::BatchPolicy{.max_batch = 8, .max_delay_s = 200e-6};
+  rc.queue_capacity = 32;
+  Router router(pools.ptrs, rc);
+  ClusterResult res = router.RunClosedLoop(
+      serve::ClosedLoopLoad{.clients = 32, .requests = 96, .think_s = 0.0});
+  EXPECT_EQ(res.metrics.completed(), 96u);
+  EXPECT_EQ(res.metrics.rejected(), 0u);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_GT(res.metrics.routedPerChip()[c], 0u) << "chip " << c;
+  }
+}
+
+TEST(RouterTest, ConsistentHashRoutesAndCompletes) {
+  auto plan = TimingPlan(64, 8);
+  PoolSet pools = MakePools(*plan, 4, 1);
+  RouterConfig rc;
+  rc.placement = Placement::kConsistentHash;
+  rc.batch = serve::BatchPolicy{.max_batch = 8, .max_delay_s = 200e-6};
+  rc.queue_capacity = 64;
+  Router router(pools.ptrs, rc);
+  ClusterResult res = router.RunClosedLoop(
+      serve::ClosedLoopLoad{.clients = 32, .requests = 128, .think_s = 0.0});
+  EXPECT_EQ(res.metrics.completed(), 128u);
+  std::size_t sum = 0;
+  std::size_t chips_used = 0;
+  for (std::size_t c : res.metrics.routedPerChip()) {
+    sum += c;
+    chips_used += c > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(sum, 128u);
+  EXPECT_GT(chips_used, 1u);  // the hash spreads distinct request ids
+}
+
+TEST(RouterTest, PerChipBackpressureLoadSheds) {
+  auto plan = TimingPlan(64, 8);
+  PoolSet pools = MakePools(*plan, 2, 1);
+  RouterConfig rc;
+  rc.batch = serve::BatchPolicy{.max_batch = 8, .max_delay_s = 200e-6};
+  rc.queue_capacity = 4;  // tiny per-chip admission bound
+  Router router(pools.ptrs, rc);
+  // A near-simultaneous open-loop burst far beyond 2 chips x 4 slots.
+  ClusterResult res = router.RunOpenLoop(
+      serve::OpenLoopLoad{.qps = 1e9, .requests = 200, .seed = 3});
+  EXPECT_GT(res.metrics.rejected(), 0u);
+  EXPECT_EQ(res.metrics.admitted() + res.metrics.rejected(), 200u);
+  std::size_t per_chip = 0;
+  for (std::size_t c : res.metrics.rejectedPerChip()) per_chip += c;
+  EXPECT_EQ(per_chip, res.metrics.rejected());
+}
+
+TEST(RouterTest, AutoscalerScalesUpUnderLoad) {
+  auto plan = TimingPlan(64, 8);
+  const double service_s = plan->batchSeconds();
+  PoolSet pools = MakePools(*plan, 4, 1);
+  RouterConfig rc;
+  rc.batch = serve::BatchPolicy{.max_batch = 8, .max_delay_s = 200e-6};
+  rc.queue_capacity = 256;
+  rc.autoscale.enabled = true;
+  rc.autoscale.min_chips = 1;
+  rc.autoscale.max_chips = 4;
+  rc.autoscale.eval_interval_s = 2.0 * service_s;
+  rc.autoscale.up_outstanding_per_chip = 8.0;
+  rc.autoscale.down_outstanding_per_chip = 1.0;
+  Router router(pools.ptrs, rc);
+  // Overload a 1-chip cluster: arrivals outpace one chip's batch rate.
+  const double qps = 3.0 * 8.0 / service_s;
+  ClusterResult res = router.RunOpenLoop(
+      serve::OpenLoopLoad{.qps = qps, .requests = 600, .seed = 1});
+  EXPECT_GT(res.metrics.scaleUps(), 0u);
+  EXPECT_GE(res.metrics.finalActiveChips(), 1u);
+  EXPECT_LE(res.metrics.finalActiveChips(), 4u);
+  EXPECT_EQ(res.metrics.completed() + res.metrics.rejected(), 600u);
+}
+
+TEST(RouterTest, AutoscalerDrainsIdleChipsUnderSparseLoad) {
+  auto plan = TimingPlan(64, 8);
+  const double service_s = plan->batchSeconds();
+  PoolSet pools = MakePools(*plan, 4, 1);
+  RouterConfig rc;
+  rc.batch = serve::BatchPolicy{.max_batch = 8, .max_delay_s = 200e-6};
+  rc.queue_capacity = 256;
+  rc.autoscale.enabled = true;
+  rc.autoscale.min_chips = 1;
+  rc.autoscale.max_chips = 4;
+  rc.autoscale.initial_chips = 4;  // start wide, let the load justify it
+  rc.autoscale.eval_interval_s = 2.0 * service_s;
+  rc.autoscale.up_outstanding_per_chip = 8.0;
+  rc.autoscale.down_outstanding_per_chip = 1.0;
+  Router router(pools.ptrs, rc);
+  // Two closed-loop clients with long think times: far below one chip's
+  // capacity, so the mean outstanding per chip sits under the scale-down
+  // threshold at every evaluation.
+  ClusterResult res = router.RunClosedLoop(
+      serve::ClosedLoopLoad{.clients = 2,
+                            .requests = 60,
+                            .think_s = 4.0 * service_s});
+  EXPECT_GT(res.metrics.scaleDowns(), 0u);
+  EXPECT_LT(res.metrics.finalActiveChips(), 4u);
+  EXPECT_GE(res.metrics.finalActiveChips(), 1u);
+  EXPECT_EQ(res.metrics.completed(), 60u);
+}
+
+TEST(RouterTest, ClusterMetricsJsonExtendsAggregate) {
+  auto plan = TimingPlan(64, 8);
+  PoolSet pools = MakePools(*plan, 2, 1);
+  RouterConfig rc;
+  rc.batch = serve::BatchPolicy{.max_batch = 8, .max_delay_s = 200e-6};
+  Router router(pools.ptrs, rc);
+  ClusterResult res = router.RunClosedLoop(
+      serve::ClosedLoopLoad{.clients = 8, .requests = 24, .think_s = 0.0});
+  const std::string js = res.metrics.ToJson();
+  for (const char* key :
+       {"\"qps\":", "\"latency_p99_us\":", "\"occupancy_hist\":",
+        "\"chips\":", "\"final_active_chips\":", "\"scale_ups\":",
+        "\"routed_per_chip\":", "\"completed_per_chip\":"}) {
+    EXPECT_NE(js.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism contract: metrics and replayed logits are invariant to the
+// replay thread count.
+
+TEST(RouterTest, MetricsAndLogitsBitwiseIdenticalAcrossHostThreads) {
+  const std::size_t n = 64;
+  const std::size_t max_batch = 8;
+  Rng rng(41);
+  nn::Sequential model = nn::BuildShl(Method::kButterfly, SmallShape(n), rng);
+  nn::ForwardSpec spec = nn::ExportForward(model);
+  auto plan = serve::ModelPlan::Build(
+      spec, ipu::Gc200(), serve::PlanOptions{.max_batch = max_batch});
+  ASSERT_TRUE(plan.ok()) << plan.status().message();
+
+  Matrix inputs(max_batch, n);
+  Rng data_rng(7);
+  data_rng.FillUniform(inputs.data(), inputs.rows() * inputs.cols(), -1.0f,
+                       1.0f);
+
+  auto run = [&](std::size_t host_threads) {
+    PoolSet pools = MakePools(*plan.value(), 2, 1);
+    RouterConfig rc;
+    rc.batch = serve::BatchPolicy{.max_batch = max_batch,
+                                  .max_delay_s = 200e-6};
+    rc.host_threads = host_threads;
+    Router router(pools.ptrs, rc);
+    return router.RunClosedLoop(
+        serve::ClosedLoopLoad{.clients = 16, .requests = 48, .think_s = 0.0},
+        &inputs);
+  };
+  ClusterResult a = run(1);
+  ClusterResult b = run(4);
+  EXPECT_EQ(a.metrics.ToJson(), b.metrics.ToJson());
+  ASSERT_EQ(a.logits.rows(), b.logits.rows());
+  ASSERT_EQ(a.logits.cols(), b.logits.cols());
+  EXPECT_EQ(std::memcmp(a.logits.data(), b.logits.data(),
+                        a.logits.rows() * a.logits.cols() * sizeof(float)),
+            0);
+  EXPECT_EQ(a.metrics.completed(), 48u);
+}
+
+// ---------------------------------------------------------------------------
+// ShardPlan: tensor-parallel split, bitwise-near the unsharded plan
+
+void CheckShardParity(Method method, std::size_t num_chips) {
+  const std::size_t n = 64;
+  const std::size_t max_batch = 8;
+  Rng rng(41);
+  nn::Sequential model = nn::BuildShl(method, SmallShape(n), rng);
+  nn::ForwardSpec spec = nn::ExportForward(model);
+
+  auto unsharded = serve::ModelPlan::Build(
+      spec, ipu::Gc200(), serve::PlanOptions{.max_batch = max_batch});
+  ASSERT_TRUE(unsharded.ok()) << unsharded.status().message();
+
+  ShardOptions opts;
+  opts.num_chips = num_chips;
+  opts.max_batch = max_batch;
+  auto sharded = ShardPlan::Build(spec, ipu::Gc200(), opts);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().message();
+
+  Matrix x(max_batch, n);
+  Rng data_rng(7);
+  for (std::size_t i = 0; i < max_batch; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      x(i, j) = float(data_rng.Uniform(-1.0, 1.0));
+
+  std::unique_ptr<ipu::Engine> engine = unsharded.value()->MakeReplica();
+  Matrix ref = unsharded.value()->RunBatch(*engine, x);
+  Matrix got = sharded.value()->RunBatch(x);
+  ASSERT_EQ(got.rows(), ref.rows());
+  ASSERT_EQ(got.cols(), ref.cols());
+  for (std::size_t i = 0; i < ref.rows(); ++i) {
+    for (std::size_t j = 0; j < ref.cols(); ++j) {
+      EXPECT_NEAR(got(i, j), ref(i, j), 5e-4)
+          << core::MethodName(method) << " logit (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(ShardPlanTest, DenseShardMatchesUnsharded) {
+  CheckShardParity(Method::kBaseline, 4);
+}
+
+TEST(ShardPlanTest, ButterflyShardMatchesUnsharded) {
+  CheckShardParity(Method::kButterfly, 4);
+}
+
+TEST(ShardPlanTest, ButterflyShardAcrossTwoChips) {
+  CheckShardParity(Method::kButterfly, 2);
+}
+
+TEST(ShardPlanTest, FabricScheduleShape) {
+  const std::size_t n = 64;
+  Rng rng(41);
+  nn::Sequential bmodel = nn::BuildShl(Method::kButterfly, SmallShape(n), rng);
+  nn::ForwardSpec bspec = nn::ExportForward(bmodel);
+  ShardOptions opts;
+  opts.num_chips = 4;
+  opts.max_batch = 8;
+  auto bplan = ShardPlan::Build(bspec, ipu::Gc200(), opts);
+  ASSERT_TRUE(bplan.ok()) << bplan.status().message();
+  // log2(64) = 6 factors, log2(16) = 4 chip-local: 2 cross-chip exchanges
+  // plus the logits ring-reduce.
+  ASSERT_EQ(bplan.value()->fabricSteps().size(), 3u);
+  EXPECT_EQ(bplan.value()->fabricSteps()[0].name, "butterfly_exchange[f=4]");
+  EXPECT_EQ(bplan.value()->fabricSteps()[1].name, "butterfly_exchange[f=5]");
+  EXPECT_EQ(bplan.value()->fabricSteps()[2].name, "logits_reduce");
+  // Exchange payload: the chip's local (n/C) x B activation slab.
+  EXPECT_EQ(bplan.value()->fabricSteps()[0].bytes,
+            (n / 4) * 8 * sizeof(float));
+  const double sum = bplan.value()->fabricSteps()[0].seconds +
+                     bplan.value()->fabricSteps()[1].seconds +
+                     bplan.value()->fabricSteps()[2].seconds;
+  EXPECT_EQ(bplan.value()->fabricSeconds(), sum);
+  EXPECT_EQ(bplan.value()->batchSeconds(),
+            bplan.value()->stageASeconds() + bplan.value()->fabricSeconds() +
+                bplan.value()->stageBSeconds());
+
+  Rng rng2(41);
+  nn::Sequential dmodel = nn::BuildShl(Method::kBaseline, SmallShape(n), rng2);
+  nn::ForwardSpec dspec = nn::ExportForward(dmodel);
+  auto dplan = ShardPlan::Build(dspec, ipu::Gc200(), opts);
+  ASSERT_TRUE(dplan.ok()) << dplan.status().message();
+  ASSERT_EQ(dplan.value()->fabricSteps().size(), 2u);
+  EXPECT_EQ(dplan.value()->fabricSteps()[0].name, "hidden_reduce_scatter");
+  EXPECT_EQ(dplan.value()->fabricSteps()[1].name, "logits_reduce");
+}
+
+TEST(ShardPlanTest, RejectsUnsupportedConfigurations) {
+  const std::size_t n = 64;
+  Rng rng(41);
+  nn::Sequential model = nn::BuildShl(Method::kButterfly, SmallShape(n), rng);
+  nn::ForwardSpec spec = nn::ExportForward(model);
+  ShardOptions opts;
+  opts.max_batch = 8;
+  opts.num_chips = 3;  // not a power of two
+  EXPECT_FALSE(ShardPlan::Build(spec, ipu::Gc200(), opts).ok());
+  opts.num_chips = 32;  // beyond the supported pod size
+  EXPECT_FALSE(ShardPlan::Build(spec, ipu::Gc200(), opts).ok());
+}
+
+}  // namespace
+}  // namespace repro::cluster
