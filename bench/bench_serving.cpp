@@ -35,6 +35,7 @@ namespace {
 
 struct MethodResult {
   core::Method method = core::Method::kBaseline;
+  const char* ingress = "stream";  // "stream" (double-buffered) or "copy"
   std::size_t replicas = 0;
   std::size_t tiles_per_replica = 0;
   std::size_t probe_compiles = 0;
@@ -52,11 +53,12 @@ std::string Record(const MethodResult& r, const char* mode,
                    std::size_t n) {
   char head[512];
   std::snprintf(head, sizeof head,
-                "{\"method\": \"%s\", \"mode\": \"%s\", \"n\": %zu, "
+                "{\"method\": \"%s\", \"ingress\": \"%s\", \"mode\": \"%s\", "
+                "\"n\": %zu, "
                 "\"replicas\": %zu, \"tiles_per_replica\": %zu, "
                 "\"probe_compiles\": %zu, \"probe_cache_hits\": %zu, "
                 "\"service_us\": %.17g, \"offered_qps\": %.17g, ",
-                core::MethodName(r.method), mode, n, r.replicas,
+                core::MethodName(r.method), r.ingress, mode, n, r.replicas,
                 r.tiles_per_replica, r.probe_compiles, r.probe_cache_hits,
                 r.service_us, offered_qps);
   return std::string(head) + "\"counts\": " + r.counts.ToJson() +
@@ -132,68 +134,84 @@ int main(int argc, char** argv) {
     }
     r.tiles_per_replica = arch.num_tiles / r.replicas;
 
-    serve::PlanOptions opts = probe;
-    opts.num_tiles = r.tiles_per_replica;
-    // The serving plan's compile passes + calibration-run BSP timeline get
-    // their own trace process; the capacity probes above stay untraced.
-    opts.tracer = tp;
-    opts.trace_pid = 3 * mi;
-    opts.trace_label = std::string("plan:") + core::MethodName(method);
-    auto plan = serve::ModelPlan::Build(spec, arch, opts);
-    REPRO_REQUIRE(plan.ok(), "replica plan for %s: %s",
-                  core::MethodName(method), plan.status().message().c_str());
-    r.service_us = plan.value()->batchSeconds() * 1e6;
-    r.counts = plan.value()->counts();
+    // Both ingress paths ride the same capacity probe: streaming first
+    // (the production path), then the plain host-copy baseline it is
+    // gated against. Each path gets its own trio of trace processes.
+    for (int ingress = 0; ingress < 2; ++ingress) {
+      const bool streaming = ingress == 0;
+      MethodResult rr = r;
+      rr.ingress = streaming ? "stream" : "copy";
+      const std::size_t pid0 = 6 * mi + (streaming ? 0 : 3);
 
-    serve::ReplicaPool pool(*plan.value(), r.replicas);
-    serve::ServerConfig cfg;
-    cfg.batch = serve::BatchPolicy{.max_batch = max_batch,
-                                   .max_delay_s = delay_s};
-    cfg.host_threads = host_threads;
-    cfg.tracer = tp;
+      serve::PlanOptions opts = probe;
+      opts.num_tiles = rr.tiles_per_replica;
+      opts.streaming = streaming;
+      // The serving plan's compile passes + calibration-run BSP timeline get
+      // their own trace process; the capacity probes above stay untraced.
+      opts.tracer = tp;
+      opts.trace_pid = pid0;
+      opts.trace_label = std::string("plan:") + core::MethodName(method) +
+                         ":" + rr.ingress;
+      auto plan = serve::ModelPlan::Build(spec, arch, opts);
+      REPRO_REQUIRE(plan.ok(), "replica plan for %s: %s",
+                    core::MethodName(method), plan.status().message().c_str());
+      rr.service_us = plan.value()->batchSeconds() * 1e6;
+      rr.counts = plan.value()->counts();
 
-    // Closed loop: enough clients to fill every replica's batch slots,
-    // queue sized to the client count (the backpressure contract).
-    const std::size_t clients = r.replicas * max_batch;
-    cfg.queue_capacity = clients;
-    const std::size_t closed_requests =
-        cli.GetInt("requests", clients * (fast ? 4 : 16));
-    {
-      cfg.trace_pid = 3 * mi + 1;
-      cfg.trace_label =
-          std::string("serve:") + core::MethodName(method) + ":closed";
-      serve::Server server(pool, cfg);
-      serve::ServeResult res = server.RunClosedLoop(
-          serve::ClosedLoopLoad{.clients = clients,
+      serve::ReplicaPool pool(*plan.value(), rr.replicas);
+      serve::ServerConfig cfg;
+      cfg.batch = serve::BatchPolicy{.max_batch = max_batch,
+                                     .max_delay_s = delay_s};
+      cfg.host_threads = host_threads;
+      cfg.tracer = tp;
+
+      // Closed loop: two batches worth of clients per replica so the
+      // streaming path's depth-2 pipeline can actually fill (batch N+1's
+      // input transfer overlapping batch N's compute); the copy path gets
+      // the identical load and just queues the surplus. Queue sized to the
+      // client count (the backpressure contract).
+      const std::size_t clients = 2 * rr.replicas * max_batch;
+      cfg.queue_capacity = clients;
+      const std::size_t closed_requests =
+          cli.GetInt("requests", clients * (fast ? 4 : 16));
+      {
+        cfg.trace_pid = pid0 + 1;
+        cfg.trace_label = std::string("serve:") + core::MethodName(method) +
+                          ":" + rr.ingress + ":closed";
+        serve::Server server(pool, cfg);
+        serve::ServeResult res = server.RunClosedLoop(
+            serve::ClosedLoopLoad{.clients = clients,
+                                  .requests = closed_requests,
+                                  .think_s = 0.0});
+        rr.closed_qps = res.metrics.qps();
+        rr.closed = res.metrics;
+      }
+
+      // Open loop at a fraction of sustained capacity: the latency picture.
+      rr.offered_qps = rate_frac * rr.closed_qps;
+      {
+        cfg.trace_pid = pid0 + 2;
+        cfg.trace_label = std::string("serve:") + core::MethodName(method) +
+                          ":" + rr.ingress + ":open";
+        serve::Server server(pool, cfg);
+        serve::ServeResult res = server.RunOpenLoop(
+            serve::OpenLoopLoad{.qps = rr.offered_qps,
                                 .requests = closed_requests,
-                                .think_s = 0.0});
-      r.closed_qps = res.metrics.qps();
-      r.closed = res.metrics;
-    }
+                                .seed = seed});
+        rr.open = res.metrics;
+      }
 
-    // Open loop at a fraction of sustained capacity: the latency picture.
-    r.offered_qps = rate_frac * r.closed_qps;
-    {
-      cfg.trace_pid = 3 * mi + 2;
-      cfg.trace_label =
-          std::string("serve:") + core::MethodName(method) + ":open";
-      serve::Server server(pool, cfg);
-      serve::ServeResult res = server.RunOpenLoop(
-          serve::OpenLoopLoad{.qps = r.offered_qps,
-                              .requests = closed_requests,
-                              .seed = seed});
-      r.open = res.metrics;
+      json.Add(Record(rr, "closed", rr.closed, 0.0, n));
+      json.Add(Record(rr, "open", rr.open, rr.offered_qps, n));
+      results.push_back(std::move(rr));
     }
-
-    json.Add(Record(r, "closed", r.closed, 0.0, n));
-    json.Add(Record(r, "open", r.open, r.offered_qps, n));
-    results.push_back(std::move(r));
   }
 
-  Table t({"Method", "replicas", "tiles/rep", "service [us]", "closed QPS",
-           "open p50 [us]", "open p99 [us]", "occupancy", "rejected"});
+  Table t({"Method", "ingress", "replicas", "tiles/rep", "service [us]",
+           "closed QPS", "open p50 [us]", "open p99 [us]", "occupancy",
+           "rejected"});
   for (const MethodResult& r : results) {
-    t.AddRow({core::MethodName(r.method),
+    t.AddRow({core::MethodName(r.method), r.ingress,
               Table::Int(static_cast<long long>(r.replicas)),
               Table::Int(static_cast<long long>(r.tiles_per_replica)),
               Table::Num(r.service_us, 1), Table::Num(r.closed_qps, 0),
@@ -204,18 +222,43 @@ int main(int argc, char** argv) {
   }
   t.Print();
 
-  if (results.size() == 3) {
-    const MethodResult& dense = results[0];
+  // Streaming vs copy head-to-head per method; the --require-stream-win
+  // gate lets scripts/check.sh hold the double-buffered ingress to a
+  // reproducible throughput win (and actual overlap) over the host copy.
+  const double require_win = cli.GetDouble("require-stream-win", 0.0);
+  bool stream_win_ok = true;
+  std::printf("\nStreaming ingress vs host copy (closed-loop QPS):\n");
+  std::vector<const MethodResult*> stream_results;
+  for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+    const MethodResult& s = results[i];
+    const MethodResult& c = results[i + 1];
+    stream_results.push_back(&s);
+    const double ratio = s.closed_qps / c.closed_qps;
+    const double overlap_s = s.closed.overlappedHostSeconds();
+    std::printf("  %-10s stream %.0f QPS vs copy %.0f QPS (%.3fx), "
+                "overlapped host time %.1f us\n",
+                core::MethodName(s.method), s.closed_qps, c.closed_qps, ratio,
+                overlap_s * 1e6);
+    if (require_win > 0.0 && (ratio < require_win || overlap_s <= 0.0)) {
+      std::printf("  FAIL: %s streaming ratio %.4f < required %.4f or no "
+                  "overlap\n",
+                  core::MethodName(s.method), ratio, require_win);
+      stream_win_ok = false;
+    }
+  }
+
+  if (stream_results.size() == 3) {
+    const MethodResult& dense = *stream_results[0];
     std::printf(
         "\nReplicas per GC200 at n = %zu: dense %zu, butterfly %zu (%.1fx), "
         "pixelfly %zu (%.1fx)\n-- the O(n log n) / block-sparse factorizations "
         "turn the saved per-tile memory\ninto extra replicas, and replicas "
         "into serving throughput (%.0f -> %.0f QPS).\n",
-        n, dense.replicas, results[1].replicas,
-        double(results[1].replicas) / double(dense.replicas),
-        results[2].replicas,
-        double(results[2].replicas) / double(dense.replicas),
-        dense.closed_qps, results[1].closed_qps);
+        n, dense.replicas, stream_results[1]->replicas,
+        double(stream_results[1]->replicas) / double(dense.replicas),
+        stream_results[2]->replicas,
+        double(stream_results[2]->replicas) / double(dense.replicas),
+        dense.closed_qps, stream_results[1]->closed_qps);
   }
   // Disk/process cache statistics go to stdout only: they depend on what a
   // previous run left in --cache-dir, and the --json bytes are held to
@@ -235,5 +278,9 @@ int main(int argc, char** argv) {
                 trace_path.c_str(), tracer.CountersToJson().c_str());
   }
   json.Write();
+  if (!stream_win_ok) {
+    std::printf("\n--require-stream-win %.4f not met\n", require_win);
+    return 1;
+  }
   return 0;
 }

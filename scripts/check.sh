@@ -7,10 +7,14 @@
 #      fails the run; a new key fails too, so schema growth is an explicit,
 #      reviewed change (update the .keys file in the same commit);
 #   4. trace determinism: two bench_serving --trace runs at different host
-#      thread counts must produce bitwise-identical Chrome trace JSON, and
-#      that JSON's key set must match scripts/bench_schemas/trace_events.keys;
-#      bench_cluster repeats the same bitwise gate for its cluster metrics
-#      and trace, and --require-efficiency 0.75 gates 4-chip scaling >= 3x;
+#      thread counts must produce bitwise-identical Chrome trace JSON (and
+#      bitwise-identical metrics JSON), and the trace's key set must match
+#      scripts/bench_schemas/trace_events.keys; bench_cluster repeats the
+#      same bitwise gate for its cluster metrics and trace, and
+#      --require-efficiency 0.75 gates 4-chip scaling >= 3x;
+#      bench_serving --require-stream-win 1.01 then gates the streaming
+#      host-I/O claim: the double-buffered ingress must beat the host-copy
+#      baseline on every method, with overlap visible in the trace;
 #   5. executable artifact cache: cold-compile bench_serving / fig7 /
 #      serve_demo into a --cache-dir, then rerun each in a fresh process that
 #      must load every ipu::Executable from disk (0 compiles) and produce
@@ -76,15 +80,25 @@ fi
 
 echo "== trace determinism =="
 # The tracer's contract: simulated-time timestamps only, so the trace bytes
-# never depend on host parallelism (REPRO_THREADS or --host-threads).
+# never depend on host parallelism (REPRO_THREADS or --host-threads). The
+# streaming host-exchange spans ride the same contract, so the serving
+# metrics JSON (which now carries overlapped_host_s) is held to byte
+# identity across thread counts too.
 t1="$tmp_dir/trace_t1.json"
 t4="$tmp_dir/trace_t4.json"
+j1="$tmp_dir/serving_json_t1.json"
+j4="$tmp_dir/serving_json_t4.json"
 REPRO_THREADS=1 "$build_dir/bench/bench_serving" --fast --requests 128 \
-  --host-threads 1 --trace "$t1" > "$tmp_dir/trace_t1.log"
+  --host-threads 1 --trace "$t1" --json "$j1" > "$tmp_dir/trace_t1.log"
 REPRO_THREADS=4 "$build_dir/bench/bench_serving" --fast --requests 128 \
-  --host-threads 4 --trace "$t4" > "$tmp_dir/trace_t4.log"
+  --host-threads 4 --trace "$t4" --json "$j4" > "$tmp_dir/trace_t4.log"
 if ! cmp -s "$t1" "$t4"; then
   echo "FAIL: trace JSON differs across host thread counts"
+  exit 1
+fi
+if ! cmp -s "$j1" "$j4"; then
+  echo "FAIL: serving metrics JSON differs across host thread counts"
+  diff "$j1" "$j4" | head -10
   exit 1
 fi
 grep -o '"[A-Za-z_][A-Za-z_0-9]*":' "$t1" | sort -u > "$tmp_dir/trace.keys"
@@ -92,7 +106,40 @@ if ! diff -u "$schema_dir/trace_events.keys" "$tmp_dir/trace.keys"; then
   echo "FAIL: trace JSON keys changed (left: expected, right: actual)"
   exit 1
 fi
-echo "ok: trace bitwise-identical across host threads, schema stable"
+echo "ok: trace + metrics bitwise-identical across host threads, schema stable"
+
+echo "== streaming host I/O: overlap + throughput gate =="
+# bench_serving runs every method through both ingress paths off one
+# capacity probe. --require-stream-win 1.01 makes the bench itself exit
+# nonzero unless, for every method, the double-buffered streaming path
+# sustains >= 1.01x the host-copy baseline's closed-loop QPS with real
+# overlap recorded (overlapped_host_s > 0).
+stream_log="$tmp_dir/stream_gate.log"
+if ! "$build_dir/bench/bench_serving" --fast --require-stream-win 1.01 \
+    > "$stream_log"; then
+  echo "FAIL: streaming ingress did not clear 1.01x the copy baseline"
+  grep -A 4 'Streaming ingress vs host copy' "$stream_log" || true
+  exit 1
+fi
+grep -A 3 'Streaming ingress vs host copy' "$stream_log" || true
+# Both ingress paths must be present in the JSON record stream.
+if ! grep -q '"ingress": "stream"' "$tmp_dir/bench_serving.json" \
+    || ! grep -q '"ingress": "copy"' "$tmp_dir/bench_serving.json"; then
+  echo "FAIL: bench_serving JSON lacks stream/copy ingress records"
+  exit 1
+fi
+# The trace must show the host-exchange lane doing work behind compute:
+# stream spans with nonzero hidden time.
+if ! grep -q '"name": "stream_in"' "$t1"; then
+  echo "FAIL: trace has no stream_in host-exchange spans"
+  exit 1
+fi
+if ! grep -o '"overlapped_s": [^,}]*' "$t1" \
+    | grep -Evq ': 0(\.0+)?$'; then
+  echo "FAIL: no stream span in the trace hides any link time"
+  exit 1
+fi
+echo "ok: streaming beats copy >= 1.01x on every method, overlap visible in trace"
 
 echo "== cluster fabric: thread-count byte-identity + scaling sanity =="
 # The cluster DES shares the tracer contract: metrics JSON and trace bytes
@@ -238,10 +285,11 @@ fi
 grep 'speedup' "$tmp_dir/kernels_gate.log" || true
 echo "ok: dispatch paths observationally identical; specialized >= 3x generic"
 
-echo "== asan build (test_serve + test_session + test_obs + test_kernels) =="
+echo "== asan build (test_serve + test_session + test_obs + test_kernels + test_stream + test_executable) =="
 asan_dir="$build_dir-asan"
 cmake -B "$asan_dir" -S "$repo_root" -DREPRO_SANITIZE=address > /dev/null
-cmake --build "$asan_dir" -j --target test_serve test_session test_obs test_kernels
+cmake --build "$asan_dir" -j --target test_serve test_session test_obs \
+  test_kernels test_stream test_executable
 "$asan_dir/tests/test_serve" > "$tmp_dir/asan_serve.log" \
   || { echo "FAIL: asan test_serve"; tail -40 "$tmp_dir/asan_serve.log"; exit 1; }
 "$asan_dir/tests/test_session" > "$tmp_dir/asan_session.log" \
@@ -250,6 +298,10 @@ cmake --build "$asan_dir" -j --target test_serve test_session test_obs test_kern
   || { echo "FAIL: asan test_obs"; tail -40 "$tmp_dir/asan_obs.log"; exit 1; }
 "$asan_dir/tests/test_kernels" > "$tmp_dir/asan_kernels.log" \
   || { echo "FAIL: asan test_kernels"; tail -40 "$tmp_dir/asan_kernels.log"; exit 1; }
+"$asan_dir/tests/test_stream" > "$tmp_dir/asan_stream.log" \
+  || { echo "FAIL: asan test_stream"; tail -40 "$tmp_dir/asan_stream.log"; exit 1; }
+"$asan_dir/tests/test_executable" > "$tmp_dir/asan_executable.log" \
+  || { echo "FAIL: asan test_executable"; tail -40 "$tmp_dir/asan_executable.log"; exit 1; }
 echo "ok: asan clean"
 
 echo "all checks passed"

@@ -101,6 +101,7 @@ StatusOr<Executable> Compile(const Graph& graph, Program program,
   exe.cs_exchange = std::move(ctx.cs_exchange);
   exe.lowered_cs = std::move(ctx.lowered);
   exe.kernel_plan = std::move(ctx.kernel_plan);
+  exe.streams = std::move(ctx.streams);
   return exe;
 }
 

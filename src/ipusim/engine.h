@@ -36,8 +36,13 @@ struct RunReport {
   std::uint64_t compute_cycles = 0;
   std::uint64_t exchange_cycles = 0;
   std::uint64_t sync_cycles = 0;
-  double host_seconds = 0.0;  // host-link streaming time (separate domain)
-  double flops = 0.0;         // useful flops executed
+  double host_seconds = 0.0;  // host-link time the device waited on (stalls)
+  // Host-link transfer time hidden behind compute by double-buffered
+  // StreamIn/StreamOut ops. Informational: NOT part of seconds() -- the
+  // device never waited for it. host_seconds + overlapped_host_seconds is
+  // the total link occupancy.
+  double overlapped_host_seconds = 0.0;
+  double flops = 0.0;  // useful flops executed
   std::size_t bytes_exchanged = 0;
 
   // End-to-end simulated time: on-chip cycles plus host streaming.
@@ -132,6 +137,13 @@ class Engine {
   // threads when the source and destination regions do not overlap.
   void moveCopyData(const Program& copy);
   void chargeHostTransfer(std::size_t bytes, const char* name, RunReport& r);
+  // Double-buffered host FIFO ops: the link fills/drains one buffer while
+  // the device consumes/produces the other, so only the un-hidden part of
+  // the transfer lands in host_seconds (the rest in overlapped_host_seconds).
+  void execStreamIn(const Program& p, RunReport& r);
+  void execStreamOut(const Program& p, RunReport& r);
+  // Absolute simulated time "now": end of previous runs plus this report.
+  double simNowS(const RunReport& r) const;
   std::size_t hostWorkers() const;
   // "Now" on the trace clock, in microseconds: cycles so far on the chip
   // clock plus host streaming time, offset by the end of previous runs.
@@ -184,9 +196,23 @@ class Engine {
   obs::TraceTrack* tr_exchange_ = nullptr;
   obs::TraceTrack* tr_sync_ = nullptr;
   obs::TraceTrack* tr_host_ = nullptr;
-  // Simulated end time of all previous run() calls, so successive runs lay
-  // out back to back on the trace timeline.
+  // Simulated end time of all previous run() calls. Always advanced (not
+  // only when tracing): it anchors the trace timeline AND the absolute-time
+  // host-FIFO state below, so stream warmth carries across run() calls
+  // identically whether or not a tracer is attached.
   double trace_base_s_ = 0.0;
+  // Per-stream FIFO state, indexed like exe_->streams: absolute sim time
+  // the prefetched input buffer becomes ready (< 0 = nothing in flight).
+  std::vector<double> stream_ready_s_;
+  // Absolute sim times the host link is free in each direction (the link is
+  // full duplex: one in-flight transfer per direction).
+  double in_link_free_s_ = 0.0;
+  double out_link_free_s_ = 0.0;
 };
+
+// True when the program tree contains a StreamIn/StreamOut anywhere; the
+// engine's fast_repeat path needs a few warm-up iterations for such bodies
+// (the FIFO steady state) before scaling the per-iteration delta.
+bool ProgramHasStream(const Program& p);
 
 }  // namespace repro::ipu

@@ -1,5 +1,8 @@
 #include "ipusim/exe_cache.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -14,6 +17,21 @@ std::string KeyHex(std::uint64_t key) {
   char buf[17];
   std::snprintf(buf, sizeof(buf), "%016llx",
                 static_cast<unsigned long long>(key));
+  return buf;
+}
+
+// Temp names must be unique per writer: two processes (or threads) saving
+// the same key through a shared fixed ".tmp" name can interleave their
+// writes and rename a torn artifact into place. pid + a process-local
+// counter makes every in-flight write its own file; the final rename stays
+// the one atomic publish point.
+std::string UniqueTmpSuffix() {
+  static std::atomic<std::uint64_t> counter{0};
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), ".tmp.%ld.%llu",
+                static_cast<long>(::getpid()),
+                static_cast<unsigned long long>(
+                    counter.fetch_add(1, std::memory_order_relaxed)));
   return buf;
 }
 
@@ -100,9 +118,10 @@ StatusOr<std::shared_ptr<const Executable>> ExeCache::GetOrCompile(
     store_to_disk = !dir_.empty();
   }
   if (store_to_disk) {
-    // tmp + rename so a concurrent reader never sees a partial artifact.
+    // Unique tmp + rename so a concurrent reader never sees a partial
+    // artifact and concurrent writers never share a tmp file.
     const std::string final_path = PathFor(key);
-    const std::string tmp_path = final_path + ".tmp";
+    const std::string tmp_path = final_path + UniqueTmpSuffix();
     Status saved = exe->Save(tmp_path);
     if (saved.ok()) {
       std::error_code ec;

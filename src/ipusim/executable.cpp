@@ -168,7 +168,7 @@ Program TakeProgram(Reader& r, std::size_t depth = 0) {
     return p;
   }
   const std::uint8_t kind = r.TakeU8();
-  if (kind > static_cast<std::uint8_t>(Program::Kind::kHostRead)) {
+  if (kind > static_cast<std::uint8_t>(Program::Kind::kStreamOut)) {
     r.failed = true;
     return p;
   }
@@ -584,6 +584,11 @@ std::vector<std::uint8_t> Executable::Serialize() const {
     for (VertexId v : cs.vertices) PutU32(out, v);
   }
   PutKernelPlan(out, kernel_plan);
+  PutU64(out, streams.size());
+  for (const HostStream& hs : streams) {
+    PutU8(out, static_cast<std::uint8_t>(hs.dir));
+    PutTensor(out, hs.tensor);
+  }
   // Trailing integrity checksum over everything above. The payload is mostly
   // raw IEEE-754 bits, where a flipped byte still parses as a valid float;
   // without this, mid-file corruption would load silently.
@@ -662,6 +667,19 @@ StatusOr<Executable> Executable::Deserialize(
     exe.lowered_cs.push_back(std::move(cs));
   }
   exe.kernel_plan = TakeKernelPlan(r);
+  const std::uint64_t nstreams = r.TakeCount();
+  exe.streams.reserve(nstreams);
+  for (std::uint64_t i = 0; i < nstreams && !r.failed; ++i) {
+    HostStream hs;
+    const std::uint8_t dir = r.TakeU8();
+    if (dir > static_cast<std::uint8_t>(HostStream::Dir::kOut)) {
+      r.failed = true;
+      break;
+    }
+    hs.dir = static_cast<HostStream::Dir>(dir);
+    hs.tensor = TakeTensor(r);
+    exe.streams.push_back(hs);
+  }
   if (r.failed) {
     return Status::InvalidArgument("truncated or corrupt executable artifact");
   }
@@ -702,6 +720,45 @@ StatusOr<Executable> Executable::Deserialize(
                                           exe.lowered_cs.size());
       !plan_ok.ok()) {
     return plan_ok;
+  }
+  // Stream descriptors: each must name a valid in-range tensor view, and
+  // every stream op in the program must have a matching descriptor (the
+  // engine keys its per-stream FIFO state off the descriptor table).
+  const auto& vars = exe.graph->variables();
+  for (const HostStream& hs : exe.streams) {
+    if (hs.tensor.numel == 0 || hs.tensor.var >= vars.size() ||
+        hs.tensor.offset + hs.tensor.numel > vars[hs.tensor.var].numel) {
+      return Status::InvalidArgument(
+          "artifact host stream references out-of-range variable view");
+    }
+  }
+  const auto covered = [&](HostStream::Dir dir, const Tensor& t) {
+    for (const HostStream& hs : exe.streams) {
+      if (hs.dir == dir && hs.tensor.var == t.var &&
+          hs.tensor.offset == t.offset && hs.tensor.numel == t.numel) {
+        return true;
+      }
+    }
+    return false;
+  };
+  const std::function<bool(const Program&)> streams_ok =
+      [&](const Program& p) {
+        if (p.kind == Program::Kind::kStreamIn &&
+            !covered(HostStream::Dir::kIn, p.dst)) {
+          return false;
+        }
+        if (p.kind == Program::Kind::kStreamOut &&
+            !covered(HostStream::Dir::kOut, p.src)) {
+          return false;
+        }
+        for (const Program& c : p.children) {
+          if (!streams_ok(c)) return false;
+        }
+        return true;
+      };
+  if (!streams_ok(exe.program)) {
+    return Status::InvalidArgument(
+        "artifact program streams a tensor with no host stream descriptor");
   }
   return exe;
 }

@@ -35,7 +35,8 @@ inline constexpr std::size_t kNumMemCategories =
 // Bumped whenever the byte layout below changes; Load() rejects artifacts
 // written by any other version with a clean Status (never a crash).
 // v2: appended the specialize_kernels KernelPlan section (codelet.h).
-inline constexpr std::uint32_t kExecutableFormatVersion = 2;
+// v3: appended the host-stream descriptor section (HostStream below).
+inline constexpr std::uint32_t kExecutableFormatVersion = 3;
 
 struct TileLedger {
   std::array<std::size_t, kNumMemCategories> bytes{};
@@ -70,6 +71,16 @@ struct LoweredComputeSet {
   // Execution order: program order of the merged members, emission order
   // within each member. The engine's serial flop accumulation follows it.
   std::vector<VertexId> vertices;
+};
+
+// One double-buffered host FIFO endpoint, collected by the validate pass
+// from the program's StreamIn/StreamOut ops. The ledger charges the second
+// buffer's footprint per tile, and the engine keys its per-stream prefetch
+// state off these descriptors (dir + tensor identity).
+struct HostStream {
+  enum class Dir : std::uint8_t { kIn = 0, kOut = 1 };
+  Dir dir = Dir::kIn;
+  Tensor tensor;
 };
 
 // What one compiler pass did, for CompileStats::ToJson() and the profiler.
@@ -124,6 +135,9 @@ struct Executable {
   // the engine resolves string-keyed VertexArgs per vertex, the generic
   // fallback path). See codelet.h for the types.
   KernelPlan kernel_plan;
+  // Host FIFO endpoints in first-appearance program order (validate pass).
+  // Empty for programs without StreamIn/StreamOut ops.
+  std::vector<HostStream> streams;
 
   const IpuArch& arch() const { return graph->arch(); }
 

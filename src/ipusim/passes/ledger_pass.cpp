@@ -48,8 +48,20 @@ Status LedgerPass::Run(LoweringContext& ctx, PassReport& report) {
     }
   }
 
+  // --- host streams: the second FIFO buffer ---
+  // The streamed tensor itself is charged as a variable above; double
+  // buffering needs one more buffer of the same shape on the same tiles so
+  // the link can fill/drain it while the device uses the first.
+  for (const HostStream& hs : ctx.streams) {
+    ForEachMappedRange(graph, hs.tensor,
+                       [&](std::size_t tile, std::size_t, std::size_t len) {
+                         ctx.tiles[tile][MemCategory::kExchangeBuffers] +=
+                             len * sizeof(float);
+                       });
+  }
+
   for (std::size_t t = 0; t < arch.num_tiles; ++t) {
-    ctx.tiles[t][MemCategory::kExchangeBuffers] = ctx.exchange_buffer_bytes[t];
+    ctx.tiles[t][MemCategory::kExchangeBuffers] += ctx.exchange_buffer_bytes[t];
     for (const auto& name : tile_codelets[t]) {
       ctx.tiles[t][MemCategory::kVertexCode] += registry.Lookup(name).code_bytes;
     }

@@ -71,6 +71,14 @@ class AccessWalker {
         add(p.src.var, false);
         ++step_;
         break;
+      case Program::Kind::kStreamIn:
+        add(p.dst.var, true);
+        ++step_;
+        break;
+      case Program::Kind::kStreamOut:
+        add(p.src.var, false);
+        ++step_;
+        break;
     }
   }
 

@@ -55,6 +55,12 @@ struct LoweringContext {
   // Specialized dispatch tables, filled by the specialize_kernels pass
   // (disabled/empty when the pass is off).
   KernelPlan kernel_plan;
+
+  // Host FIFO descriptors collected by the validate pass from the program's
+  // StreamIn/StreamOut ops (first-appearance order, deduplicated). The
+  // ledger charges each descriptor's second buffer; the engine keys its
+  // prefetch state off the table.
+  std::vector<HostStream> streams;
 };
 
 class CompilerPass {

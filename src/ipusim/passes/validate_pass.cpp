@@ -40,6 +40,54 @@ Status ValidateProgramTargets(const Program& p, std::size_t num_cs) {
   return Status::Ok();
 }
 
+// Collects every StreamIn/StreamOut endpoint into `streams`, deduplicated
+// by (direction, tensor identity) in first-appearance program order -- the
+// deterministic table the engine and ledger key off.
+Status CollectStreams(const Program& p, std::vector<HostStream>& streams) {
+  const auto record = [&](HostStream::Dir dir, const Tensor& t) -> Status {
+    if (t.numel == 0) {
+      return Status::InvalidArgument("host stream over an empty tensor view");
+    }
+    for (const HostStream& hs : streams) {
+      if (hs.dir == dir && hs.tensor.var == t.var &&
+          hs.tensor.offset == t.offset && hs.tensor.numel == t.numel) {
+        return Status::Ok();  // same FIFO reused; one descriptor
+      }
+    }
+    streams.push_back({dir, t});
+    return Status::Ok();
+  };
+  if (p.kind == Program::Kind::kStreamIn) {
+    if (Status s = record(HostStream::Dir::kIn, p.dst); !s.ok()) return s;
+  }
+  if (p.kind == Program::Kind::kStreamOut) {
+    if (Status s = record(HostStream::Dir::kOut, p.src); !s.ok()) return s;
+  }
+  for (const auto& child : p.children) {
+    if (Status s = CollectStreams(child, streams); !s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+// An input FIFO's landing region must not overlap an output FIFO's source:
+// the prefetched next batch would clobber results still draining out.
+Status CheckStreamRegionsDisjoint(const std::vector<HostStream>& streams) {
+  for (const HostStream& in : streams) {
+    if (in.dir != HostStream::Dir::kIn) continue;
+    for (const HostStream& out : streams) {
+      if (out.dir != HostStream::Dir::kOut) continue;
+      if (in.tensor.var == out.tensor.var &&
+          in.tensor.offset < out.tensor.offset + out.tensor.numel &&
+          out.tensor.offset < in.tensor.offset + in.tensor.numel) {
+        return Status::InvalidArgument(
+            "StreamIn destination overlaps StreamOut source on variable " +
+            std::to_string(in.tensor.var));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 Status ValidatePass::Run(LoweringContext& ctx, PassReport& report) {
@@ -65,6 +113,9 @@ Status ValidatePass::Run(LoweringContext& ctx, PassReport& report) {
       return s;
     }
   }
+  ctx.streams.clear();
+  if (Status s = CollectStreams(ctx.program, ctx.streams); !s.ok()) return s;
+  if (Status s = CheckStreamRegionsDisjoint(ctx.streams); !s.ok()) return s;
   return Status::Ok();
 }
 

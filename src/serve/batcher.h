@@ -14,6 +14,7 @@
 #pragma once
 
 #include <deque>
+#include <utility>
 #include <vector>
 
 #include "serve/request.h"
@@ -38,7 +39,7 @@ class MicroBatcher {
   // admission bound applies, so the batcher never becomes an unbounded
   // buffer behind it.
   std::size_t Drain(BoundedMpmcQueue<Request>& queue);
-  void Add(Request r) { pending_.push_back(r); }
+  void Add(Request r) { pending_.push_back(std::move(r)); }
 
   std::size_t pending() const { return pending_.size(); }
   bool empty() const { return pending_.empty(); }

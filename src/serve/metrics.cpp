@@ -133,6 +133,7 @@ std::string ServeMetrics::ToJson() const {
   field("latency_mean_us", Num(meanLatency() * 1e6));
   field("latency_max_us", Num(maxLatency() * 1e6));
   field("queue_delay_mean_us", Num(meanQueueDelay() * 1e6));
+  field("overlapped_host_s", Num(overlapped_host_s_));
   field("mean_occupancy", Num(meanOccupancy()));
   field("padding_fraction", Num(paddingFraction()));
   std::string hist = "[";

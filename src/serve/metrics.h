@@ -46,6 +46,10 @@ class ServeMetrics {
   bool RecordBatch(std::size_t occupancy, double now_s = 0.0);
   // One completed request: end-to-end latency and its queue-wait component.
   void RecordCompletion(double latency_s, double queue_delay_s);
+  // Host-link transfer time hidden behind replica compute by the streaming
+  // ingress path (seconds, accumulated per dispatched batch). Stays zero on
+  // the per-batch copy path.
+  void RecordOverlap(double overlapped_s) { overlapped_host_s_ += overlapped_s; }
   // Called once at end of run with the simulated makespan.
   void Finalize(double horizon_s);
 
@@ -65,6 +69,8 @@ class ServeMetrics {
   double meanLatency() const;
   double maxLatency() const;
   double meanQueueDelay() const;
+  // Total host-link seconds hidden behind compute (streaming ingress).
+  double overlappedHostSeconds() const { return overlapped_host_s_; }
   // Mean real requests per dispatched batch.
   double meanOccupancy() const;
   // Fraction of executed batch slots that were padding.
@@ -86,6 +92,7 @@ class ServeMetrics {
   double latency_sum_s_ = 0.0;
   double latency_max_s_ = 0.0;
   double queue_delay_sum_s_ = 0.0;
+  double overlapped_host_s_ = 0.0;
   std::size_t invariant_violations_ = 0;
   std::vector<double> latencies_;  // completion order
   std::vector<std::size_t> occ_hist_;

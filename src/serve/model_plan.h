@@ -37,6 +37,13 @@ struct PlanOptions {
   std::size_t max_batch = 32;
   // Execute arithmetic (serving) or timing/memory only (capacity probes).
   bool execute = true;
+  // Bracket the forward pass with double-buffered StreamIn/StreamOut host
+  // FIFOs (the default) instead of synchronous HostWrite/HostRead: batch
+  // N+1's input transfer overlaps batch N's compute, so a busy replica's
+  // steady-state period is max(link, compute) rather than link + compute.
+  // The ledger charges each FIFO's second buffer. false keeps the per-batch
+  // copy path, the comparison baseline bench_serving measures against.
+  bool streaming = true;
   // 0 = whole device; otherwise the replica's tile-slice size.
   std::size_t num_tiles = 0;
   // Butterfly stages at PopTorch-parity cost (the calibrated default).
@@ -72,11 +79,33 @@ class ModelPlan {
   const ipu::IpuArch& arch() const { return arch_; }
   std::size_t maxBatch() const { return opts_.max_batch; }
 
-  // Simulated service time of one (max_batch-shaped) batch, including
-  // host-link input/output streaming. Constant per plan: the cycle model is
-  // data-independent, so this is measured once at build time.
+  // Simulated cold (first-batch) service time of one (max_batch-shaped)
+  // batch, including host-link input/output streaming. Constant per plan:
+  // the cycle model is data-independent, so this is measured once at build
+  // time. For streaming plans this is the un-overlapped end-to-end time;
+  // the warm steady-state phase times live in streamProfile().
   double batchSeconds() const { return batch_seconds_; }
   ipu::GraphCounts counts() const { return session_->counts(); }
+
+  // Per-batch phase decomposition for the streaming pipeline: input link
+  // time, on-device compute time, output link time. A copy-path plan
+  // reports enabled = false with in_s = out_s = 0 and compute_s =
+  // batchSeconds(), which makes the serving scheduler's pipelined dispatch
+  // reproduce the unpipelined event times exactly.
+  struct StreamProfile {
+    bool enabled = false;
+    double in_s = 0.0;
+    double compute_s = 0.0;
+    double out_s = 0.0;
+  };
+  const StreamProfile& streamProfile() const { return stream_profile_; }
+
+  // The shared compile artifact and its save path (checkpointing; the
+  // train_stream example round-trips plans through these).
+  const ipu::Executable& executable() const { return session_->executable(); }
+  Status SaveExecutable(const std::string& path) const {
+    return session_->save(path);
+  }
 
   // Fresh engine over the shared executable, with this plan's trained
   // weights written into its private storage (execute plans; timing-only
@@ -116,6 +145,7 @@ class ModelPlan {
   ipu::IpuArch arch_;                      // replica-slice arch
   std::unique_ptr<ipu::Session> session_;  // non-movable; owns graph+engine
   double batch_seconds_ = 0.0;
+  StreamProfile stream_profile_;
   ipu::Tensor x_, hidden_, logits_;
   GemmWeights dense_w_, lr_vt_, lr_u_, cls_w_;
   std::vector<ipu::Tensor> bfly_w_;  // per factor, (n/2) x 4

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <queue>
 #include <set>
 #include <utility>
@@ -42,10 +43,11 @@ class Simulation {
         queue_(cfg.queue_capacity),
         batcher_(cfg.batch),
         metrics_(cfg.batch.max_batch),
-        service_s_(pool.plan().batchSeconds()),
+        profile_(pool.plan().streamProfile()),
+        depth_(profile_.enabled ? 2 : 1),
         inputs_(inputs),
         total_(total_requests),
-        inflight_(pool.size()),
+        replicas_(pool.size()),
         schedule_(pool.size()) {
     for (std::size_t r = 0; r < pool.size(); ++r) free_.insert(r);
     if (cfg.tracer != nullptr) {
@@ -104,9 +106,13 @@ class Simulation {
           --pending_deadlines_;
           break;
         case Event::kDone: {
-          InFlight done = std::move(inflight_[e.replica]);
-          inflight_[e.replica].batch.clear();
-          free_.insert(e.replica);
+          // Per-replica completions are FIFO: out_free advances
+          // monotonically at dispatch, so the front of the pipeline is
+          // always the batch this event announces.
+          ReplicaState& rs = replicas_[e.replica];
+          InFlight done = std::move(rs.fifo.front());
+          rs.fifo.pop_front();
+          if (rs.fifo.size() < depth_) free_.insert(e.replica);
           last_completion_s_ = std::max(last_completion_s_, now);
           for (const Request& req : done.batch) {
             metrics_.RecordCompletion(now - req.arrival_s,
@@ -156,14 +162,41 @@ class Simulation {
   // dispatching ready batches to free replicas until neither makes progress.
   // The batcher holds at most one forming batch, so backlog accumulates in
   // the queue where TryPush enforces the admission bound.
+  //
+  // Dispatch pipelines three phases per replica -- input link, compute,
+  // output link -- each a monotonic resource. On a streaming plan a replica
+  // admits a second batch while the first computes (depth 2), so the
+  // admitted batch's input transfer runs behind the in-flight compute; the
+  // hidden portion is the overlap metric. A copy plan has in_s = out_s = 0
+  // and depth 1, which makes these formulas reproduce the unpipelined event
+  // times exactly.
   void Pump(double now) {
     for (;;) {
       batcher_.Drain(queue_);
       if (free_.empty() || !batcher_.Ready(now)) return;
       std::vector<Request> batch = batcher_.Pop();
-      const std::size_t r = *free_.begin();
-      free_.erase(free_.begin());
+      // Least-loaded free replica, lowest id on ties (set iterates
+      // ascending): spread across idle replicas first, pipeline under load.
+      std::size_t r = *free_.begin();
+      for (std::size_t cand : free_) {
+        if (replicas_[cand].fifo.size() < replicas_[r].fifo.size()) r = cand;
+      }
+      ReplicaState& rs = replicas_[r];
+      const double in_start = std::max(now, rs.in_free);
+      const double in_done = in_start + profile_.in_s;
+      const double comp_start = std::max(in_done, rs.comp_free);
+      const double comp_done = comp_start + profile_.compute_s;
+      const double out_start = std::max(comp_done, rs.out_free);
+      const double out_done = out_start + profile_.out_s;
+      // Input-link time spent while the replica was still computing the
+      // previous batch: transfer hidden behind compute.
+      const double overlapped =
+          std::max(0.0, std::min(in_done, rs.comp_free) - in_start);
+      rs.in_free = in_done;
+      rs.comp_free = comp_done;
+      rs.out_free = out_done;
       metrics_.RecordBatch(batch.size(), now);
+      metrics_.RecordOverlap(overlapped);
       if (ingress_ != nullptr) {
         // Batch formation spans the oldest member's arrival to dispatch.
         const std::uint64_t bid = batch_seq_++;
@@ -171,15 +204,27 @@ class Simulation {
                              batch.front().arrival_s * 1e6, bid,
                              {obs::Arg("occupancy", batch.size())});
         ingress_->AsyncEnd("batch_form", "batch", now * 1e6, bid);
-        replica_tracks_[r]->Complete("device_run", "serve", now * 1e6,
-                                     service_s_ * 1e6,
+        if (profile_.enabled) {
+          replica_tracks_[r]->Complete("stream_in", "host", in_start * 1e6,
+                                       profile_.in_s * 1e6,
+                                       {obs::Arg("batch", bid),
+                                        obs::Arg("overlapped_s", overlapped)});
+        }
+        replica_tracks_[r]->Complete("device_run", "serve", comp_start * 1e6,
+                                     profile_.compute_s * 1e6,
                                      {obs::Arg("batch", bid),
                                       obs::Arg("occupancy", batch.size())});
+        if (profile_.enabled) {
+          replica_tracks_[r]->Complete("stream_out", "host", out_start * 1e6,
+                                       profile_.out_s * 1e6,
+                                       {obs::Arg("batch", bid)});
+        }
         cfg_.tracer->Count("serve.batches");
       }
       schedule_[r].push_back(batch);
-      inflight_[r] = InFlight{now, std::move(batch)};
-      Push(Event{now + service_s_, seq_++, Event::kDone, Request{}, r});
+      rs.fifo.push_back(InFlight{now, std::move(batch)});
+      if (rs.fifo.size() >= depth_) free_.erase(r);
+      Push(Event{out_done, seq_++, Event::kDone, Request{}, r});
     }
   }
 
@@ -225,20 +270,32 @@ class Simulation {
         /*min_grain=*/1);
   }
 
+  // One replica's pipeline: absolute sim times each phase resource frees,
+  // plus the in-flight batches in dispatch (= completion) order.
+  struct ReplicaState {
+    double in_free = 0.0;
+    double comp_free = 0.0;
+    double out_free = 0.0;
+    std::deque<InFlight> fifo;
+  };
+
   ReplicaPool& pool_;
   const ServerConfig& cfg_;
   BoundedMpmcQueue<Request> queue_;
   MicroBatcher batcher_;
   ServeMetrics metrics_;
-  const double service_s_;
+  const ModelPlan::StreamProfile profile_;
+  const std::size_t depth_;  // in-flight batches per replica (2 = streaming)
   const Matrix* inputs_;
   const std::size_t total_;
 
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;
   std::uint64_t seq_ = 0;
   std::uint64_t issued_ = 0;
-  std::set<std::size_t> free_;  // free replicas, lowest id dispatches first
-  std::vector<InFlight> inflight_;
+  // Replicas with pipeline headroom; dispatch picks the least-loaded,
+  // lowest id on ties.
+  std::set<std::size_t> free_;
+  std::vector<ReplicaState> replicas_;
   std::vector<std::vector<std::vector<Request>>> schedule_;  // per replica
   std::size_t pending_deadlines_ = 0;
   double last_completion_s_ = 0.0;

@@ -6,9 +6,13 @@
 // bounded ingress queue -- a full queue load-sheds and counts a rejection
 // (open loop) while closed-loop clients are capped by the queue bound, the
 // backpressure contract. The micro-batcher drains the queue and dispatches
-// a batch to the lowest-numbered free replica when it is full or the oldest
-// request has waited out max_delay; each dispatch occupies that replica for
-// the plan's constant batchSeconds().
+// a batch to the least-loaded free replica when it is full or the oldest
+// request has waited out max_delay. Dispatch models the plan's three-phase
+// pipeline (input link, compute, output link): streaming plans admit two
+// batches in flight per replica so batch N+1's input transfer hides behind
+// batch N's compute (the overlap lands in ServeMetrics::overlappedHostSeconds),
+// while copy plans collapse to the classic one-batch-per-replica schedule
+// occupying the replica for the constant batchSeconds().
 //
 // Determinism contract: every metric derives from simulated event times
 // produced by this single-threaded scheduler, so the metrics JSON is

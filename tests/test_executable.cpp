@@ -300,5 +300,57 @@ TEST(ExeCacheTest, SessionsShareOneCompileThroughTheCache) {
   EXPECT_EQ(cache.stats().disk_stores, 0u);
 }
 
+TEST(ExeCacheTest, ConcurrentWritersNeverPublishATornArtifact) {
+  // Two cache instances over one directory model two processes racing to
+  // store the same key. Each writer saves through its own unique temp file
+  // and publishes with an atomic rename, so whatever lands on disk must
+  // always pass the trailing-checksum validation on load -- a shared ".tmp"
+  // name would let the writers interleave and rename a torn file into
+  // place. Repeat the race with loads mixed in to shake out interleavings.
+  const std::string dir = TempPath("exe_cache_two_writers");
+  std::filesystem::remove_all(dir);
+  for (int round = 0; round < 4; ++round) {
+    std::filesystem::remove_all(dir);
+    ExeCache writer_a(dir);
+    ExeCache writer_b(dir);
+    ExeCache* writers[2] = {&writer_a, &writer_b};
+    std::vector<std::string> reports(8);
+    ParallelForWith(8, 0, 8, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        Session s(Gc200(), SessionOptions{.cache = writers[i % 2]});
+        auto plan = BuildMatMul(s.graph(), 32, 64, 16, MatMulImpl::kPoplin);
+        EXPECT_TRUE(plan.ok());
+        EXPECT_TRUE(s.compile(plan.value().prog).ok());
+        reports[i] = s.run().ToJson();
+      }
+    });
+    for (std::size_t i = 1; i < reports.size(); ++i)
+      EXPECT_EQ(reports[i], reports[0]);
+
+    // Whatever the race left behind must be a complete, valid artifact
+    // (and nothing else -- no stray temp files survive the publish).
+    std::size_t artifacts = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      const std::string name = entry.path().filename().string();
+      EXPECT_EQ(name.find(".tmp"), std::string::npos) << name;
+      StatusOr<Executable> loaded = Executable::Load(entry.path().string());
+      EXPECT_TRUE(loaded.ok()) << name << ": " << loaded.status().message();
+      ++artifacts;
+    }
+    EXPECT_EQ(artifacts, 1u);
+
+    // A third, cold cache must be able to serve the artifact from disk.
+    ExeCache reader(dir);
+    Session s(Gc200(), SessionOptions{.cache = &reader});
+    auto plan = BuildMatMul(s.graph(), 32, 64, 16, MatMulImpl::kPoplin);
+    ASSERT_TRUE(plan.ok());
+    ASSERT_TRUE(s.compile(plan.value().prog).ok());
+    EXPECT_EQ(s.run().ToJson(), reports[0]);
+    EXPECT_EQ(reader.stats().disk_hits, 1u);
+    EXPECT_EQ(reader.stats().misses, 0u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace repro::ipu

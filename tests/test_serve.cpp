@@ -480,5 +480,124 @@ TEST(ServerTest, ClosedLoopNeverRejects) {
   ASSERT_EQ(r.logits.rows(), 100u);
 }
 
+// ---------------------------------------------------------------------------
+// Edge cases sharpened by the streaming work
+
+TEST(ServeMetricsTest, ZeroBatchesYieldZeroNotNan) {
+  ServeMetrics m(8);
+  EXPECT_EQ(m.batches(), 0u);
+  EXPECT_DOUBLE_EQ(m.meanOccupancy(), 0.0);
+  EXPECT_DOUBLE_EQ(m.paddingFraction(), 0.0);
+  EXPECT_DOUBLE_EQ(m.overlappedHostSeconds(), 0.0);
+}
+
+TEST(MicroBatcherTest, EmptyBatcherDeadlineIsPositiveInfinity) {
+  MicroBatcher b(BatchPolicy{.max_batch = 4, .max_delay_s = 100e-6});
+  EXPECT_TRUE(std::isinf(b.Deadline()));
+  EXPECT_GT(b.Deadline(), 0.0);
+  // Ready() compares against that +infinity: never ready while empty.
+  EXPECT_FALSE(b.Ready(0.0));
+  EXPECT_FALSE(b.Ready(1e30));
+}
+
+TEST(MicroBatcherTest, ReadyIsBitExactAtTheDeadlineDouble) {
+  // An awkward (arrival + delay) sum: the scheduler wakes at exactly
+  // Deadline()'s double, so Ready must flip at that bit pattern, not an
+  // epsilon later.
+  MicroBatcher b(BatchPolicy{.max_batch = 8, .max_delay_s = 1e-4});
+  b.Add(Request{0, 0.1, 0});
+  const double deadline = b.Deadline();
+  EXPECT_FALSE(b.Ready(std::nextafter(deadline, 0.0)));
+  EXPECT_TRUE(b.Ready(deadline));
+  EXPECT_TRUE(b.Ready(std::nextafter(deadline, 1.0)));
+}
+
+// ---------------------------------------------------------------------------
+// Streaming ingress vs the synchronous copy baseline
+
+TEST(ServerTest, StreamingPlanOutservesCopyPlanAndRecordsOverlap) {
+  Rng rng(5);
+  nn::Sequential model = nn::BuildShl(Method::kButterfly, SmallShape(64), rng);
+  nn::ForwardSpec spec = nn::ExportForward(model);
+
+  auto run = [&](bool streaming) {
+    auto plan = ModelPlan::Build(spec, ipu::Gc200(),
+                                 PlanOptions{.max_batch = 4,
+                                             .execute = false,
+                                             .streaming = streaming});
+    REPRO_REQUIRE(plan.ok(), "plan: %s", plan.status().message().c_str());
+    ReplicaPool pool(*plan.value(), /*replicas=*/2);
+    ServerConfig cfg;
+    cfg.batch = BatchPolicy{.max_batch = 4, .max_delay_s = 50e-6};
+    // Two batches worth of clients per replica so the depth-2 FIFO fills.
+    cfg.queue_capacity = 16;
+    Server server(pool, cfg);
+    return server.RunClosedLoop(
+        ClosedLoopLoad{.clients = 16, .requests = 240, .think_s = 0.0});
+  };
+
+  const ServeResult stream = run(true);
+  const ServeResult copy = run(false);
+  EXPECT_GT(stream.metrics.overlappedHostSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(copy.metrics.overlappedHostSeconds(), 0.0);
+  EXPECT_GT(stream.metrics.qps(), copy.metrics.qps());
+}
+
+TEST(ModelPlanTest, StreamingAndCopyPlansAgreeOnLogitsBitwise) {
+  Rng rng(5);
+  nn::Sequential model = nn::BuildShl(Method::kButterfly, SmallShape(64), rng);
+  nn::ForwardSpec spec = nn::ExportForward(model);
+  Matrix x(4, 64);
+  Rng data_rng(13);
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    for (std::size_t j = 0; j < x.cols(); ++j)
+      x(i, j) = float(data_rng.Uniform(-1.0, 1.0));
+
+  auto logits = [&](bool streaming) {
+    auto plan = ModelPlan::Build(
+        spec, ipu::Gc200(),
+        PlanOptions{.max_batch = 4, .streaming = streaming});
+    REPRO_REQUIRE(plan.ok(), "plan: %s", plan.status().message().c_str());
+    std::unique_ptr<ipu::Engine> engine = plan.value()->MakeReplica();
+    return plan.value()->RunBatch(*engine, x);
+  };
+
+  const Matrix s = logits(true);
+  const Matrix c = logits(false);
+  ASSERT_EQ(s.rows(), c.rows());
+  ASSERT_EQ(s.cols(), c.cols());
+  for (std::size_t i = 0; i < s.rows(); ++i)
+    for (std::size_t j = 0; j < s.cols(); ++j)
+      EXPECT_EQ(s(i, j), c(i, j)) << "(" << i << ", " << j << ")";
+}
+
+TEST(ModelPlanTest, StreamProfileDecomposesBatchSeconds) {
+  Rng rng(5);
+  nn::Sequential model = nn::BuildShl(Method::kButterfly, SmallShape(64), rng);
+  nn::ForwardSpec spec = nn::ExportForward(model);
+  auto plan = ModelPlan::Build(spec, ipu::Gc200(),
+                               PlanOptions{.max_batch = 4, .execute = false});
+  ASSERT_TRUE(plan.ok()) << plan.status().message();
+  const ModelPlan::StreamProfile& p = plan.value()->streamProfile();
+  EXPECT_TRUE(p.enabled);
+  EXPECT_GT(p.in_s, 0.0);
+  EXPECT_GT(p.compute_s, 0.0);
+  EXPECT_GT(p.out_s, 0.0);
+  // Cold end-to-end time is the un-overlapped sum of the three phases.
+  EXPECT_NEAR(p.in_s + p.compute_s + p.out_s, plan.value()->batchSeconds(),
+              1e-15);
+
+  auto copy = ModelPlan::Build(spec, ipu::Gc200(),
+                               PlanOptions{.max_batch = 4,
+                                           .execute = false,
+                                           .streaming = false});
+  ASSERT_TRUE(copy.ok());
+  const ModelPlan::StreamProfile& q = copy.value()->streamProfile();
+  EXPECT_FALSE(q.enabled);
+  EXPECT_DOUBLE_EQ(q.in_s, 0.0);
+  EXPECT_DOUBLE_EQ(q.out_s, 0.0);
+  EXPECT_DOUBLE_EQ(q.compute_s, copy.value()->batchSeconds());
+}
+
 }  // namespace
 }  // namespace repro::serve
