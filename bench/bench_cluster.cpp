@@ -23,15 +23,15 @@
 
 #include "bench_json.h"
 #include "cluster/link_fabric.h"
+#include "cluster/placer.h"
 #include "cluster/router.h"
 #include "cluster/shard_plan.h"
 #include "core/method.h"
+#include "gpusim/gpu_backend.h"
 #include "ipusim/arch.h"
-#include "ipusim/exe_cache.h"
 #include "ipusim/multi_ipu.h"
 #include "nn/export.h"
 #include "nn/model.h"
-#include "obs/trace.h"
 #include "serve/model_plan.h"
 #include "serve/replica_pool.h"
 #include "serve/server.h"
@@ -71,10 +71,17 @@ int main(int argc, char** argv) {
   const std::string placement_name =
       cli.GetString("placement", "least_loaded");
   const double require_eff = cli.GetDouble("require-efficiency", 0.0);
-  const std::string trace_path = cli.GetString("trace", "");
-  const std::string cache_dir = cli.GetString("cache-dir", "");
-  BenchJsonWriter json("cluster", cli.GetString("json", ""));
-  ipu::ExeCache cache(cache_dir);
+  // --backend pins every chip slot's substrate: "ipu" (replica pools, the
+  // historical cluster), "gpu" (A30 roofline slots, timing-only), or
+  // "auto" (cluster::CostModelPlacer decides per model from the backends'
+  // own cost estimates and emits the decision as a "placement" record).
+  const std::string backend_mode = cli.GetString("backend", "ipu");
+  REPRO_REQUIRE(backend_mode == "ipu" || backend_mode == "gpu" ||
+                    backend_mode == "auto",
+                "--backend must be ipu, gpu or auto (got '%s')",
+                backend_mode.c_str());
+  BenchIo io("cluster", cli);
+  ipu::ExeCache& cache = io.cache();
 
   REPRO_REQUIRE(chips_max >= 1 && chips_max <= 16 && IsPow2(chips_max),
                 "--chips-max must be a power of two in [1, 16]");
@@ -83,8 +90,7 @@ int main(int argc, char** argv) {
           ? cluster::Placement::kConsistentHash
           : cluster::Placement::kLeastLoaded;
 
-  obs::Tracer tracer;
-  obs::Tracer* const tp = trace_path.empty() ? nullptr : &tracer;
+  obs::Tracer* const tp = io.tracer();
 
   const ipu::IpuArch arch = ipu::Gc200();
   const ipu::M2000Arch pod;  // IPU-Link constants: the fabric's source
@@ -120,14 +126,62 @@ int main(int argc, char** argv) {
     REPRO_REQUIRE(plan.ok(), "timing plan for %s: %s",
                   core::MethodName(method), plan.status().message().c_str());
 
+    // Substrate for this model's chip slots. The deployed slots share the
+    // cluster's per-chip replica budget; the placer's decision, though,
+    // compares what a whole device of each kind can serve (IPU capacity
+    // probe vs the GPU's HBM/SM-concurrency capacity) -- the substrate
+    // choice is a per-device economics question, not a budget question.
+    gpu::GpuBackendOptions gopts;
+    gopts.max_batch = max_batch;
+    gopts.replica_cap = replicas;
+    bool use_gpu = backend_mode == "gpu";
+    if (backend_mode == "auto") {
+      serve::PlanOptions spopts{.max_batch = max_batch, .execute = false};
+      spopts.cache = &cache;
+      const serve::CapacityProbe cp =
+          serve::ProbeMaxReplicas(spec, arch, spopts, 256);
+      REPRO_REQUIRE(cp.replicas > 0, "%s fits no IPU replica at n=%zu",
+                    core::MethodName(method), n);
+      serve::PlanOptions scopts = spopts;
+      scopts.num_tiles = arch.num_tiles / cp.replicas;
+      scopts.streaming = true;
+      auto splan = serve::ModelPlan::Build(spec, arch, scopts);
+      REPRO_REQUIRE(splan.ok(), "placer plan for %s: %s",
+                    core::MethodName(method),
+                    splan.status().message().c_str());
+      const serve::IpuBackend ipu_cost(*splan.value(), nullptr, cp.replicas);
+      gpu::GpuBackendOptions score_gopts;
+      score_gopts.max_batch = max_batch;
+      const gpu::GpuBackend gpu_cost(spec, gpu::A30(), score_gopts);
+      const cluster::CostModelPlacer placer;
+      const cluster::PlacementDecision d =
+          placer.Decide(ipu_cost, gpu_cost, core::MethodName(method), n);
+      use_gpu = d.winner == "gpu";
+      io.Add("{\"section\": \"placement\", \"decision\": " + d.ToJson() +
+             "}");
+      std::printf("placer: %-10s n=%zu -> %s (margin %.2fx)\n",
+                  core::MethodName(method), n, d.winner.c_str(), d.margin);
+    }
+    const char* slot_backend = use_gpu ? "gpu" : "ipu";
+
     std::vector<ScalePoint> points;
     for (std::size_t chips = 1; chips <= chips_max; chips *= 2) {
       std::vector<std::unique_ptr<serve::ReplicaPool>> pools;
-      std::vector<serve::ReplicaPool*> pool_ptrs;
+      std::vector<std::unique_ptr<serve::IpuBackend>> ipu_slots;
+      std::vector<std::unique_ptr<gpu::GpuBackend>> gpu_slots;
+      std::vector<serve::ExecutionBackend*> slots;
       for (std::size_t c = 0; c < chips; ++c) {
-        pools.push_back(
-            std::make_unique<serve::ReplicaPool>(*plan.value(), replicas));
-        pool_ptrs.push_back(pools.back().get());
+        if (use_gpu) {
+          gpu_slots.push_back(
+              std::make_unique<gpu::GpuBackend>(spec, gpu::A30(), gopts));
+          slots.push_back(gpu_slots.back().get());
+        } else {
+          pools.push_back(
+              std::make_unique<serve::ReplicaPool>(*plan.value(), replicas));
+          ipu_slots.push_back(std::make_unique<serve::IpuBackend>(
+              *plan.value(), pools.back().get()));
+          slots.push_back(ipu_slots.back().get());
+        }
       }
       cluster::RouterConfig rc;
       rc.placement = placement;
@@ -137,7 +191,7 @@ int main(int argc, char** argv) {
       rc.host_threads = host_threads;
       const std::size_t clients = chips * replicas * max_batch;
       rc.queue_capacity = clients;
-      cluster::Router router(pool_ptrs, rc);
+      cluster::Router router(slots, rc);
       const std::size_t requests = clients * (fast ? 4 : 8);
       cluster::ClusterResult res = router.RunClosedLoop(
           serve::ClosedLoopLoad{.clients = clients,
@@ -154,8 +208,9 @@ int main(int argc, char** argv) {
       if (method == core::Method::kButterfly && chips == 4) {
         butterfly_eff4 = pt.efficiency;
       }
-      json.Add(std::string("{\"section\": \"scaling\", \"method\": \"") +
+      io.Add(std::string("{\"section\": \"scaling\", \"method\": \"") +
                core::MethodName(method) +
+               "\", \"backend\": \"" + slot_backend +
                "\", \"placement\": \"" + cluster::PlacementName(placement) +
                "\", \"n\": " + std::to_string(n) +
                ", \"chips\": " + std::to_string(chips) +
@@ -175,6 +230,21 @@ int main(int argc, char** argv) {
   t.Print();
 
   // --- Section 2: tensor-parallel shard plans (execute) -------------------
+  // Sections 2 and 3 exercise execute plans and the numerics replay, which
+  // only the IPU substrate provides (GpuBackend is timing-only).
+  if (backend_mode != "ipu") {
+    std::printf("\nsections 2-3 (shard + execute cluster) need the IPU "
+                "substrate; skipped under --backend %s\n",
+                backend_mode.c_str());
+    io.Finish();
+    if (require_eff > 0.0 && chips_max >= 4 && butterfly_eff4 < require_eff) {
+      std::printf("FAIL: butterfly efficiency at 4 chips %.3f < required "
+                  "%.3f\n",
+                  butterfly_eff4, require_eff);
+      return 1;
+    }
+    return 0;
+  }
   const std::size_t shard_chips = std::min<std::size_t>(
       4, std::max<std::size_t>(2, chips_max));
   std::printf("\nTensor-parallel shard across %zu chips (execute plans):\n",
@@ -236,7 +306,7 @@ int main(int argc, char** argv) {
                ", \"seconds\": " + Num(s.seconds) + "}";
     }
     steps += "]";
-    json.Add(std::string("{\"section\": \"shard\", \"method\": \"") +
+    io.Add(std::string("{\"section\": \"shard\", \"method\": \"") +
              core::MethodName(method) +
              "\", \"n\": " + std::to_string(n) +
              ", \"chips\": " + std::to_string(shard_chips) +
@@ -309,7 +379,7 @@ int main(int argc, char** argv) {
         checksum += std::abs(static_cast<double>(res.logits(i, j)));
       }
     }
-    json.Add(std::string("{\"section\": \"router_exec\", \"chips\": ") +
+    io.Add(std::string("{\"section\": \"router_exec\", \"chips\": ") +
              std::to_string(exec_chips) +
              ", \"requests\": " + std::to_string(requests) +
              ", \"logits_checksum\": " + Num(checksum) +
@@ -346,7 +416,7 @@ int main(int argc, char** argv) {
         serve::OpenLoopLoad{.qps = offered,
                             .requests = arequests,
                             .seed = seed});
-    json.Add(std::string("{\"section\": \"autoscale\", \"chips\": ") +
+    io.Add(std::string("{\"section\": \"autoscale\", \"chips\": ") +
              std::to_string(chips_max) +
              ", \"offered_qps\": " + Num(offered) +
              ", \"scale_up_events\": " +
@@ -364,14 +434,7 @@ int main(int argc, char** argv) {
 
   std::printf("\nbutterfly scaling efficiency at 4 chips: %.0f%%\n",
               100.0 * butterfly_eff4);
-  if (tp != nullptr) {
-    const Status ws = tracer.WriteFile(trace_path);
-    REPRO_REQUIRE(ws.ok(), "writing trace %s: %s", trace_path.c_str(),
-                  ws.message().c_str());
-    std::printf("trace: %s (load in https://ui.perfetto.dev)\ncounters: %s\n",
-                trace_path.c_str(), tracer.CountersToJson().c_str());
-  }
-  json.Write();
+  io.Finish();
   if (require_eff > 0.0 && chips_max >= 4 &&
       butterfly_eff4 < require_eff) {
     std::printf("FAIL: butterfly efficiency at 4 chips %.3f < required "

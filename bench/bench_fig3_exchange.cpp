@@ -45,7 +45,8 @@ Sample MeasureCopy(std::size_t bytes, std::size_t src_tile,
 int main(int argc, char** argv) {
   using repro::Table;
   repro::Cli cli(argc, argv);
-  repro::BenchJsonWriter json("fig3_exchange", cli.GetString("json", ""));
+  repro::BenchIo io("fig3_exchange", cli);
+  repro::BenchJsonWriter& json = io.json();
   repro::PrintBanner(
       "Fig 3: exchange latency/bandwidth vs size, neighbouring (0,1) vs "
       "distant (0,644) tile pair");
@@ -78,6 +79,6 @@ int main(int argc, char** argv) {
       "curve shape.\n",
       repro::ipu::Gc200().exchange_bytes_per_cycle *
           repro::ipu::Gc200().clock_hz / 1e9);
-  json.Write();
+  io.Finish();
   return 0;
 }

@@ -29,7 +29,8 @@ double IpuGflops(std::size_t m, std::size_t k, std::size_t n) {
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
-  BenchJsonWriter json("fig4_skew", cli.GetString("json", ""));
+  BenchIo io("fig4_skew", cli);
+  BenchJsonWriter& json = io.json();
   const gpu::GpuArch garch = gpu::A30();
   // Constant work: m * inner = base^2 at fixed output width, so skew thins
   // one dimension of A as s = m/n grows or shrinks.
@@ -88,6 +89,6 @@ int main(int argc, char** argv) {
       100.0 * gpu_sk / std::max(gpu_sq, 1.0),
       100.0 * tc_sk / std::max(tc_sq, 1.0),
       100.0 * ipu_sk / std::max(ipu_sq, 1.0));
-  json.Write();
+  io.Finish();
   return 0;
 }

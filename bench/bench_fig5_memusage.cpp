@@ -15,7 +15,8 @@ using namespace repro;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
-  BenchJsonWriter json("fig5_memusage", cli.GetString("json", ""));
+  BenchIo io("fig5_memusage", cli);
+  BenchJsonWriter& json = io.json();
   const ipu::IpuArch arch = ipu::Gc200();
 
   PrintBanner("Fig 5: IPU graph objects and memory vs MM problem size");
@@ -66,6 +67,6 @@ int main(int argc, char** argv) {
       "Reproduced: non-data\noverhead (vertex state, edge pointers, exchange "
       "buffers, control code) grows\nwith problem size%s.\n",
       overhead_grows ? " monotonically here" : "");
-  json.Write();
+  io.Finish();
   return 0;
 }

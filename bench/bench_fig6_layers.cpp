@@ -21,7 +21,8 @@ using core::Method;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
-  BenchJsonWriter json("fig6_layers", cli.GetString("json", ""));
+  BenchIo io("fig6_layers", cli);
+  BenchJsonWriter& json = io.json();
   const unsigned max_pow = cli.Fast() ? 11 : 13;
 
   for (Device dev : {Device::kGpuNoTc, Device::kGpuTc, Device::kIpu}) {
@@ -81,6 +82,6 @@ int main(int argc, char** argv) {
         break;
     }
   }
-  json.Write();
+  io.Finish();
   return 0;
 }

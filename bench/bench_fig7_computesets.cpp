@@ -8,8 +8,6 @@
 #include "bench_json.h"
 #include "core/device_time.h"
 #include "core/ipu_lowering.h"
-#include "ipusim/exe_cache.h"
-#include "obs/trace.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -17,7 +15,7 @@ using namespace repro;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
-  BenchJsonWriter json("fig7_computesets", cli.GetString("json", ""));
+  BenchIo io("fig7_computesets", cli);
   const ipu::IpuArch arch = ipu::Gc200();
   const unsigned max_pow = cli.Fast() ? 11 : 13;
   // --fuse / --reuse toggle the compiler passes; both default on (the fused
@@ -31,18 +29,13 @@ int main(int argc, char** argv) {
   // (timing-only sessions skip per-vertex argument resolution when on).
   const bool specialize = !cli.Has("no-specialize");
   opts.specialize_kernels = specialize;
-  // --cache-dir persists the compiled artifacts: a second run at the same
-  // sweep reloads them instead of recompiling (and check.sh asserts its
-  // ledger JSON is byte-identical to the cold compile).
-  const std::string cache_dir = cli.GetString("cache-dir", "");
-  ipu::ExeCache cache(cache_dir);
-  opts.cache = &cache;
-
-  // --trace dumps the compile-pass spans and the timing run's BSP timeline
-  // of every lowering as one Chrome trace (a process per (method, n)).
-  const std::string trace_path = cli.GetString("trace", "");
-  obs::Tracer tracer;
-  obs::Tracer* const tp = trace_path.empty() ? nullptr : &tracer;
+  // BenchIo carries the shared --json / --trace / --cache-dir surface:
+  // --cache-dir persists the compiled artifacts (a second run reloads them
+  // instead of recompiling, and check.sh asserts its ledger JSON is
+  // byte-identical to the cold compile); --trace dumps the compile-pass
+  // spans and every lowering's BSP timeline as one Chrome trace.
+  opts.cache = &io.cache();
+  obs::Tracer* const tp = io.tracer();
   // The linear lowering keeps default pass flags regardless of --fuse /
   // --reuse (those ablate the factorized graphs only), so it gets its own
   // options object carrying just the trace sink.
@@ -51,7 +44,7 @@ int main(int argc, char** argv) {
   // applies to the linear lowering too (the host-wall ratio covers every
   // engine the bench stands up).
   lin_opts.specialize_kernels = specialize;
-  lin_opts.cache = &cache;
+  lin_opts.cache = &io.cache();
   std::size_t next_pid = 0;
   auto traced = [&](core::IpuLoweringOptions base, const char* method,
                     std::size_t n) {
@@ -73,7 +66,7 @@ int main(int argc, char** argv) {
         core::TimeButterflyIpu(arch, n, n, traced(opts, "butterfly", n));
     const core::IpuLayerTiming pf = core::TimePixelflyIpu(
         arch, n, core::ScaledPixelflyConfig(n), traced(opts, "pixelfly", n));
-    json.Add("{\"n\": " + std::to_string(n) +
+    io.Add("{\"n\": " + std::to_string(n) +
              ", \"linear\": " + lin.counts.ToJson() +
              ", \"butterfly\": " + bf.counts.ToJson() +
              ", \"pixelfly\": " + pf.counts.ToJson() + "}");
@@ -99,22 +92,8 @@ int main(int argc, char** argv) {
       "  denser per-vertex work. The number of compute sets correlates with\n"
       "  the number of variables, edges and vertices, and with total memory\n"
       "  -- the same correlation PopVision shows in the paper.\n");
-  // Cache statistics stay on stdout: the --json bytes are compared cold vs
-  // warm by scripts/check.sh and must not depend on disk-cache state.
-  const ipu::ExeCacheStats cs_stats = cache.stats();
-  std::printf("\ncompile cache: %zu lookups, %zu memory hits, %zu disk hits, "
-              "%zu compiles, %zu artifacts stored%s%s\n",
-              cs_stats.lookups(), cs_stats.memory_hits, cs_stats.disk_hits,
-              cs_stats.misses, cs_stats.disk_stores,
-              cache_dir.empty() ? "" : " in ", cache_dir.c_str());
+  io.PrintCacheStats();
   PrintEngineHostWall(specialize);
-  if (tp != nullptr) {
-    const Status ws = tracer.WriteFile(trace_path);
-    REPRO_REQUIRE(ws.ok(), "writing trace %s: %s", trace_path.c_str(),
-                  ws.message().c_str());
-    std::printf("\ntrace: %s (load in https://ui.perfetto.dev)\ncounters: %s\n",
-                trace_path.c_str(), tracer.CountersToJson().c_str());
-  }
-  json.Write();
+  io.Finish();
   return 0;
 }

@@ -258,7 +258,8 @@ DispatchResult RunDispatchPath(bool specialize, const DispatchShape& shape,
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const bool fast = cli.Fast();
-  BenchJsonWriter json("kernels", cli.GetString("json", ""));
+  BenchIo io("kernels", cli);
+  BenchJsonWriter& json = io.json();
   // --require-speedup X: exit nonzero unless the specialized run path is at
   // least X times the generic path's vertex throughput (0 disables).
   const double require_speedup = cli.GetDouble("require-speedup", 0.0);
@@ -332,7 +333,7 @@ int main(int argc, char** argv) {
                   run_speedup, build_speedup);
     json.Add(rec);
   }
-  json.Write();
+  io.Finish();
 
   if (require_speedup > 0.0 && run_speedup < require_speedup) {
     std::printf("FAIL: specialized run speedup %.2fx below required %.2fx\n",

@@ -12,7 +12,6 @@
 #include "cluster/link_fabric.h"
 #include "core/device_time.h"
 #include "ipusim/multi_ipu.h"
-#include "obs/trace.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -20,12 +19,10 @@ using namespace repro;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
-  BenchJsonWriter json("multi_ipu", cli.GetString("json", ""));
   // --trace: the per-method gradient-allreduce collective schedule
   // (LinkFabric ring steps) as Chrome trace spans. Off by default; all
   // stdout/--json bytes are unchanged without it.
-  const std::string trace_path = cli.GetString("trace", "");
-  obs::Tracer tracer;
+  BenchIo io("multi_ipu", cli);
   ipu::M2000Arch pod;
   core::ShlShape shape;
 
@@ -55,7 +52,7 @@ int main(int argc, char** argv) {
                     "\"efficiency\": %.17g}",
                     core::MethodName(m), params, pt.ipus,
                     pt.step_seconds * 1e6, pt.speedup, pt.efficiency);
-      json.Add(rec);
+      io.Add(rec);
     }
     t.AddRow({core::MethodName(m), Table::Int(static_cast<long long>(params)),
               Table::Num(pts[0].step_seconds * 1e6, 1),
@@ -63,12 +60,12 @@ int main(int argc, char** argv) {
               Table::Num(pts[2].step_seconds * 1e6, 1),
               Table::Num(pts[2].speedup, 2),
               Table::Num(100.0 * pts[2].efficiency, 0) + "%"});
-    if (!trace_path.empty()) {
+    if (io.tracer() != nullptr) {
       // One track per method: the full-pod ring allreduce of its gradient
       // vector, step by step on the virtual clock.
       obs::TraceTrack& track =
-          tracer.track(0, 1 + static_cast<std::size_t>(m), "multi_ipu",
-                       core::MethodName(m));
+          io.tracer()->track(0, 1 + static_cast<std::size_t>(m), "multi_ipu",
+                             core::MethodName(m));
       double cursor_us = 0.0;
       for (const ipu::FabricStep& s :
            pod.fabric().RingAllReduceSteps(params * sizeof(float))) {
@@ -77,7 +74,7 @@ int main(int argc, char** argv) {
                         obs::Arg("hops", static_cast<std::uint64_t>(s.hops))});
         cursor_us += s.seconds * 1e6;
       }
-      tracer.Count("multi_ipu.collective_steps");
+      io.tracer()->Count("multi_ipu.collective_steps");
     }
   }
   t.Print();
@@ -91,13 +88,6 @@ int main(int argc, char** argv) {
       "%.1f us\n(%.0fx less inter-chip traffic -- the same 98.5%% compression "
       "that saves\non-chip memory also buys scale-out efficiency).\n",
       dense_ar, bfly_ar, dense_ar / bfly_ar);
-  if (!trace_path.empty()) {
-    const Status ws = tracer.WriteFile(trace_path);
-    REPRO_REQUIRE(ws.ok(), "writing trace %s: %s", trace_path.c_str(),
-                  ws.message().c_str());
-    std::printf("trace: %s (load in https://ui.perfetto.dev)\n",
-                trace_path.c_str());
-  }
-  json.Write();
+  io.Finish();
   return 0;
 }

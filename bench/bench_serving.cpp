@@ -10,16 +10,28 @@
 //      measure p50/p95/p99 latency and load shedding under headroom.
 // Arrivals are deterministic (seeded Rng), so --json output is reproducible
 // bit for bit for a fixed flag set.
+//
+// --backend picks the serving substrate:
+//   ipu   (default) the flow above, byte-identical to the pre-backend
+//         bench (scripts/check.sh holds it to the golden files);
+//   gpu   the same models priced through gpu::GpuBackend (A30 roofline,
+//         captured-graph serving) behind the identical DES scheduler;
+//   auto  cluster::CostModelPlacer decides per (method, n) -- the paper's
+//         IPU-vs-GPU crossover as a live placement decision -- and a
+//         2-slot heterogeneous router serves one model from both
+//         substrates at once (chip tracks carry the backend name).
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_json.h"
+#include "cluster/placer.h"
+#include "cluster/router.h"
 #include "core/device_time.h"
 #include "core/method.h"
+#include "gpusim/gpu_backend.h"
 #include "ipusim/arch.h"
-#include "ipusim/exe_cache.h"
-#include "obs/trace.h"
 #include "nn/export.h"
 #include "nn/model.h"
 #include "serve/model_plan.h"
@@ -65,6 +77,283 @@ std::string Record(const MethodResult& r, const char* mode,
          ", \"metrics\": " + m.ToJson() + "}";
 }
 
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+const core::Method kServeMethods[] = {core::Method::kBaseline,
+                                      core::Method::kButterfly,
+                                      core::Method::kPixelfly};
+
+nn::ForwardSpec BuildSpec(core::Method method, std::size_t n,
+                          std::uint64_t seed, nn::Sequential& model_out) {
+  core::ShlShape shape;
+  shape.input = n;
+  shape.hidden = n;
+  shape.pixelfly = core::ScaledPixelflyConfig(n);
+  Rng rng(seed);
+  model_out = nn::BuildShl(method, shape, rng);
+  return nn::ExportForward(model_out);
+}
+
+// --backend gpu: the same three models served from the A30 cost model. The
+// DES scheduler, batcher and metrics are the ones the IPU path uses; only
+// the ExecutionBackend differs (timing-only, so no numerics replay).
+int RunGpuMode(Cli& cli, BenchIo& io) {
+  const bool fast = cli.Fast();
+  const std::size_t n = cli.GetInt("n", 1024);
+  const std::size_t max_batch = cli.GetInt("batch", 32);
+  const double delay_s = cli.GetDouble("delay-us", 200.0) * 1e-6;
+  const std::size_t cap = cli.GetInt("cap", 256);
+  const double rate_frac = cli.GetDouble("rate-frac", 0.7);
+  const std::uint64_t seed = cli.GetInt("seed", 1);
+  obs::Tracer* const tp = io.tracer();
+
+  PrintBanner("Serving capacity on the A30 cost model: captured-graph "
+              "replicas behind the same DES scheduler");
+  std::printf("n = %zu, max_batch = %zu, batching delay = %.0f us, replica "
+              "cap = %zu\n\n",
+              n, max_batch, delay_s * 1e6, cap);
+
+  Table t({"Method", "replicas", "mem cap", "SM conc", "service [us]",
+           "closed QPS", "open p50 [us]", "open p99 [us]"});
+  std::size_t mi = 0;
+  for (core::Method method : kServeMethods) {
+    ++mi;
+    nn::Sequential model;
+    const nn::ForwardSpec spec = BuildSpec(method, n, seed, model);
+    gpu::GpuBackendOptions gopts;
+    gopts.max_batch = max_batch;
+    gopts.replica_cap = cap;
+    gpu::GpuBackend backend(spec, gpu::A30(), gopts);
+
+    serve::ServerConfig cfg;
+    cfg.batch = serve::BatchPolicy{.max_batch = max_batch,
+                                   .max_delay_s = delay_s};
+    cfg.tracer = tp;
+    const std::size_t clients = 2 * backend.replicas() * max_batch;
+    cfg.queue_capacity = clients;
+    const std::size_t requests =
+        cli.GetInt("requests", clients * (fast ? 4 : 16));
+
+    serve::ServeMetrics closed{1}, open{1};
+    {
+      cfg.trace_pid = 2 * mi;
+      cfg.trace_label = std::string("serve:gpu:") + core::MethodName(method) +
+                        ":closed";
+      serve::Server server(backend, cfg);
+      closed = server
+                   .RunClosedLoop(serve::ClosedLoopLoad{.clients = clients,
+                                                        .requests = requests,
+                                                        .think_s = 0.0})
+                   .metrics;
+    }
+    const double offered = rate_frac * closed.qps();
+    {
+      cfg.trace_pid = 2 * mi + 1;
+      cfg.trace_label = std::string("serve:gpu:") + core::MethodName(method) +
+                        ":open";
+      serve::Server server(backend, cfg);
+      open = server
+                 .RunOpenLoop(serve::OpenLoopLoad{.qps = offered,
+                                                  .requests = requests,
+                                                  .seed = seed})
+                 .metrics;
+    }
+
+    auto rec = [&](const char* mode, const serve::ServeMetrics& m,
+                   double offered_qps) {
+      io.Add(std::string("{\"method\": \"") + core::MethodName(method) +
+             "\", \"backend\": \"gpu\", \"mode\": \"" + mode +
+             "\", \"n\": " + std::to_string(n) +
+             ", \"replicas\": " + std::to_string(backend.replicas()) +
+             ", \"mem_replicas\": " + std::to_string(backend.memReplicas()) +
+             ", \"concurrent_batches\": " +
+             std::to_string(backend.concurrentBatches()) +
+             ", \"kernels\": " + std::to_string(backend.forwardCost().kernels) +
+             ", \"weight_bytes\": " + std::to_string(backend.weightBytes()) +
+             ", \"service_us\": " + Num(backend.batchSeconds() * 1e6) +
+             ", \"offered_qps\": " + Num(offered_qps) +
+             ", \"metrics\": " + m.ToJson() + "}");
+    };
+    rec("closed", closed, 0.0);
+    rec("open", open, offered);
+    t.AddRow({core::MethodName(method),
+              Table::Int(static_cast<long long>(backend.replicas())),
+              Table::Int(static_cast<long long>(backend.memReplicas())),
+              Table::Int(static_cast<long long>(backend.concurrentBatches())),
+              Table::Num(backend.batchSeconds() * 1e6, 1),
+              Table::Num(closed.qps(), 0),
+              Table::Num(open.LatencyPercentile(50.0) * 1e6, 1),
+              Table::Num(open.LatencyPercentile(99.0) * 1e6, 1)});
+  }
+  t.Print();
+  std::printf(
+      "\nDense batches span a few SM tiles (many concurrent batches); the\n"
+      "factorized layers' batched small-GEMM stages own the whole device,\n"
+      "so their GPU serving capacity collapses to one batch in flight.\n");
+  io.Finish();
+  return 0;
+}
+
+// --backend auto: the paper's crossover as a placement decision. For each
+// (method, n) the placer scores an IPU deployment (capacity probe + timing
+// plan) against the A30 cost model and picks the substrate with more QPS
+// per hourly dollar; then a 2-slot heterogeneous router serves the --n
+// butterfly model from both substrates at once, so the routing decision is
+// visible as a trace span per chip track ("chip 0 [ipu]" / "chip 1 [gpu]").
+int RunAutoMode(Cli& cli, BenchIo& io) {
+  const bool fast = cli.Fast();
+  const std::size_t n = cli.GetInt("n", 1024);
+  const std::size_t max_batch = cli.GetInt("batch", 32);
+  const double delay_s = cli.GetDouble("delay-us", 200.0) * 1e-6;
+  const std::size_t cap = cli.GetInt("cap", 256);
+  const std::uint64_t seed = cli.GetInt("seed", 1);
+  const std::size_t host_threads = cli.GetInt("host-threads", 0);
+  const bool specialize = !cli.Has("no-specialize");
+  const bool require_crossover = cli.Has("require-crossover");
+  obs::Tracer* const tp = io.tracer();
+  const ipu::IpuArch arch = ipu::Gc200();
+  const cluster::CostModelPlacer placer;
+
+  PrintBanner("Cost-model placement: IPU replica pools vs A30 "
+              "captured-graph serving, per (method, n)");
+  std::printf("max_batch = %zu, replica cap = %zu, rates: IPU $%.2f/h, "
+              "GPU $%.2f/h\n\n",
+              max_batch, cap, placer.config().ipu_usd_per_hour,
+              placer.config().gpu_usd_per_hour);
+
+  const std::size_t sweep[] = {256, 512, 1024};
+  Table t({"Method", "n", "IPU QPS/dev", "GPU QPS/dev", "IPU QPS/$",
+           "GPU QPS/$", "winner", "margin"});
+  bool crossover_ok = true;
+  for (const std::size_t ni : sweep) {
+    for (core::Method method : kServeMethods) {
+      nn::Sequential model;
+      const nn::ForwardSpec spec = BuildSpec(method, ni, seed, model);
+
+      serve::PlanOptions popts{.max_batch = max_batch, .execute = false};
+      popts.specialize_kernels = specialize;
+      popts.cache = &io.cache();
+      const serve::CapacityProbe cp =
+          serve::ProbeMaxReplicas(spec, arch, popts, cap);
+      if (cp.replicas == 0) {
+        std::printf("%-10s n=%zu fits no IPU replica, skipping\n",
+                    core::MethodName(method), ni);
+        continue;
+      }
+      serve::PlanOptions opts = popts;
+      opts.num_tiles = arch.num_tiles / cp.replicas;
+      opts.streaming = true;
+      auto plan = serve::ModelPlan::Build(spec, arch, opts);
+      REPRO_REQUIRE(plan.ok(), "timing plan for %s: %s",
+                    core::MethodName(method),
+                    plan.status().message().c_str());
+      const serve::IpuBackend ipu_b(*plan.value(), nullptr, cp.replicas);
+
+      gpu::GpuBackendOptions gopts;
+      gopts.max_batch = max_batch;
+      gopts.replica_cap = cap;
+      const gpu::GpuBackend gpu_b(spec, gpu::A30(), gopts);
+
+      const cluster::PlacementDecision d =
+          placer.Decide(ipu_b, gpu_b, core::MethodName(method), ni);
+      io.Add("{\"mode\": \"crossover\", \"decision\": " + d.ToJson() + "}");
+      t.AddRow({core::MethodName(method),
+                Table::Int(static_cast<long long>(ni)),
+                Table::Num(d.ipu.qps_per_device, 0),
+                Table::Num(d.gpu.qps_per_device, 0),
+                Table::Num(d.ipu.score, 0), Table::Num(d.gpu.score, 0),
+                d.winner, Table::Num(d.margin, 2)});
+
+      // The paper's crossover, held as a gate: at n >= 1024 dense GEMM
+      // belongs on the GPU while the factorized layers belong on the IPU.
+      if (ni >= 1024) {
+        const bool dense = method == core::Method::kBaseline;
+        const std::string expect = dense ? "gpu" : "ipu";
+        if (d.winner != expect) {
+          std::printf("crossover MISS: %s n=%zu went to %s, expected %s\n",
+                      core::MethodName(method), ni, d.winner.c_str(),
+                      expect.c_str());
+          crossover_ok = false;
+        }
+      }
+    }
+  }
+  t.Print();
+
+  // Heterogeneous serving: one butterfly model, one router, both
+  // substrates live. The IPU slot carries a real replica pool (numerics
+  // capable); the GPU slot serves from the cost model.
+  {
+    nn::Sequential model;
+    const nn::ForwardSpec spec =
+        BuildSpec(core::Method::kButterfly, n, seed, model);
+    serve::PlanOptions popts{.max_batch = max_batch, .execute = false};
+    popts.specialize_kernels = specialize;
+    popts.cache = &io.cache();
+    const serve::CapacityProbe cp =
+        serve::ProbeMaxReplicas(spec, arch, popts, cap);
+    REPRO_REQUIRE(cp.replicas > 0, "butterfly fits no replica at n=%zu", n);
+    serve::PlanOptions opts = popts;
+    opts.num_tiles = arch.num_tiles / cp.replicas;
+    opts.streaming = true;
+    auto plan = serve::ModelPlan::Build(spec, arch, opts);
+    REPRO_REQUIRE(plan.ok(), "hetero plan: %s",
+                  plan.status().message().c_str());
+    serve::ReplicaPool pool(*plan.value(), cp.replicas);
+    serve::IpuBackend ipu_b(*plan.value(), &pool);
+    gpu::GpuBackendOptions gopts;
+    gopts.max_batch = max_batch;
+    gopts.replica_cap = cap;
+    gpu::GpuBackend gpu_b(spec, gpu::A30(), gopts);
+
+    cluster::RouterConfig rc;
+    rc.batch = serve::BatchPolicy{.max_batch = max_batch,
+                                  .max_delay_s = delay_s};
+    rc.host_threads = host_threads;
+    rc.tracer = tp;
+    rc.trace_pid = 1;
+    rc.trace_label = "serve:auto:hetero";
+    const std::size_t clients =
+        (ipu_b.replicas() + gpu_b.replicas()) * max_batch;
+    rc.queue_capacity = clients;
+    cluster::Router router({&ipu_b, &gpu_b}, rc);
+    const std::size_t requests =
+        cli.GetInt("requests", clients * (fast ? 2 : 8));
+    cluster::ClusterResult res = router.RunClosedLoop(
+        serve::ClosedLoopLoad{.clients = clients,
+                              .requests = requests,
+                              .think_s = 0.0});
+    io.Add(std::string("{\"mode\": \"hetero\", \"method\": \"Butterfly\", "
+                       "\"n\": ") +
+           std::to_string(n) + ", \"chips\": 2, \"ipu_replicas\": " +
+           std::to_string(ipu_b.replicas()) + ", \"gpu_replicas\": " +
+           std::to_string(gpu_b.replicas()) +
+           ", \"metrics\": " + res.metrics.ToJson() + "}");
+    std::printf("\nheterogeneous router (butterfly n=%zu): ipu %zu replicas "
+                "+ gpu %zu replicas -> %.0f QPS, %zu + %zu requests routed\n",
+                n, ipu_b.replicas(), gpu_b.replicas(), res.metrics.qps(),
+                res.metrics.routedPerChip()[0],
+                res.metrics.routedPerChip()[1]);
+  }
+
+  io.PrintCacheStats();
+  PrintEngineHostWall(specialize);
+  io.Finish();
+  if (require_crossover && !crossover_ok) {
+    std::printf("\n--require-crossover not met\n");
+    return 1;
+  }
+  if (require_crossover) {
+    std::printf("crossover gate: dense -> gpu, butterfly/pixelfly -> ipu at "
+                "n >= 1024, as the paper's Table 4 predicts\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -79,20 +368,24 @@ int main(int argc, char** argv) {
   // Host workers for the serving numerics replay; trace + metrics bytes are
   // invariant to it (scripts/check.sh cmp(1)s two --host-threads runs).
   const std::size_t host_threads = cli.GetInt("host-threads", 0);
-  const std::string trace_path = cli.GetString("trace", "");
-  // Compile cache: always on in-process (the probe and the serving plan
-  // share artifacts); --cache-dir additionally persists artifacts on disk
-  // so a second invocation warm-starts without compiling at all.
-  const std::string cache_dir = cli.GetString("cache-dir", "");
   // --no-specialize falls back to the generic string-keyed vertex dispatch
   // (the conformance oracle); all --json bytes are identical either way,
   // only the "engine host wall" stdout line moves.
   const bool specialize = !cli.Has("no-specialize");
-  BenchJsonWriter json("serving", cli.GetString("json", ""));
-  ipu::ExeCache cache(cache_dir);
+  // Shared --json / --trace / --cache-dir surface. The compile cache is
+  // always on in-process (the probe and the serving plan share artifacts);
+  // --cache-dir additionally persists artifacts on disk so a second
+  // invocation warm-starts without compiling at all.
+  BenchIo io("serving", cli);
+  const std::string backend_mode = cli.GetString("backend", "ipu");
+  REPRO_REQUIRE(backend_mode == "ipu" || backend_mode == "gpu" ||
+                    backend_mode == "auto",
+                "--backend must be ipu, gpu or auto (got '%s')",
+                backend_mode.c_str());
+  if (backend_mode == "gpu") return RunGpuMode(cli, io);
+  if (backend_mode == "auto") return RunAutoMode(cli, io);
 
-  obs::Tracer tracer;
-  obs::Tracer* const tp = trace_path.empty() ? nullptr : &tracer;
+  obs::Tracer* const tp = io.tracer();
 
   core::ShlShape shape;
   shape.input = n;
@@ -106,12 +399,9 @@ int main(int argc, char** argv) {
               "cap = %zu\n\n",
               n, max_batch, delay_s * 1e6, cap);
 
-  const core::Method methods[] = {core::Method::kBaseline,
-                                  core::Method::kButterfly,
-                                  core::Method::kPixelfly};
   std::vector<MethodResult> results;
   std::size_t mi = 0;
-  for (core::Method method : methods) {
+  for (core::Method method : kServeMethods) {
     ++mi;
     Rng rng(seed);
     nn::Sequential model = nn::BuildShl(method, shape, rng);
@@ -119,7 +409,7 @@ int main(int argc, char** argv) {
 
     serve::PlanOptions probe{.max_batch = max_batch, .execute = false};
     probe.specialize_kernels = specialize;
-    probe.cache = &cache;
+    probe.cache = &io.cache();
     MethodResult r;
     r.method = method;
     const serve::CapacityProbe cp =
@@ -201,8 +491,8 @@ int main(int argc, char** argv) {
         rr.open = res.metrics;
       }
 
-      json.Add(Record(rr, "closed", rr.closed, 0.0, n));
-      json.Add(Record(rr, "open", rr.open, rr.offered_qps, n));
+      io.Add(Record(rr, "closed", rr.closed, 0.0, n));
+      io.Add(Record(rr, "open", rr.open, rr.offered_qps, n));
       results.push_back(std::move(rr));
     }
   }
@@ -263,21 +553,9 @@ int main(int argc, char** argv) {
   // Disk/process cache statistics go to stdout only: they depend on what a
   // previous run left in --cache-dir, and the --json bytes are held to
   // cold-vs-warm equality by scripts/check.sh.
-  const ipu::ExeCacheStats cs = cache.stats();
-  std::printf("\ncompile cache: %zu lookups, %zu memory hits, %zu disk hits, "
-              "%zu compiles, %zu artifacts stored%s%s\n",
-              cs.lookups(), cs.memory_hits, cs.disk_hits, cs.misses,
-              cs.disk_stores, cache_dir.empty() ? "" : " in ",
-              cache_dir.c_str());
+  io.PrintCacheStats();
   PrintEngineHostWall(specialize);
-  if (tp != nullptr) {
-    const Status ws = tracer.WriteFile(trace_path);
-    REPRO_REQUIRE(ws.ok(), "writing trace %s: %s", trace_path.c_str(),
-                  ws.message().c_str());
-    std::printf("\ntrace: %s (load in https://ui.perfetto.dev)\ncounters: %s\n",
-                trace_path.c_str(), tracer.CountersToJson().c_str());
-  }
-  json.Write();
+  io.Finish();
   if (!stream_win_ok) {
     std::printf("\n--require-stream-win %.4f not met\n", require_win);
     return 1;

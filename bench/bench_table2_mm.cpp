@@ -97,7 +97,8 @@ std::string Fmt(double gflops, double peak_gflops) {
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const bool fast = cli.Fast();
-  BenchJsonWriter json("table2_mm", cli.GetString("json", ""));
+  BenchIo io("table2_mm", cli);
+  BenchJsonWriter& json = io.json();
   g_json = &json;
   const std::vector<std::size_t> dense_sizes =
       fast ? std::vector<std::size_t>{512, 1024}
@@ -178,6 +179,6 @@ int main(int argc, char** argv) {
       "  TF32 closes the gap (TC on), at the cost of structural constraints.\n"
       "  CSR beats COO on both devices (note 2; COO modelled at ~0.6x CSR).\n"
       "  IPU blocked suffers from temporal data and copies (note 3).\n");
-  json.Write();
+  io.Finish();
   return 0;
 }

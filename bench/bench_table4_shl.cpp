@@ -15,7 +15,6 @@
 #include "bench_json.h"
 #include "core/device_time.h"
 #include "data/synthetic.h"
-#include "ipusim/exe_cache.h"
 #include "nn/trainer.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -47,7 +46,7 @@ const PaperRow kPaper[] = {
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
-  BenchJsonWriter json("table4_shl", cli.GetString("json", ""));
+  BenchIo io("table4_shl", cli);
   const bool fast = cli.Fast();
   const std::size_t train_n = cli.GetInt("train", fast ? 1200 : 3000);
   const std::size_t test_n = cli.GetInt("test", fast ? 400 : 1000);
@@ -70,8 +69,7 @@ int main(int argc, char** argv) {
   tcfg.lr = cli.GetDouble("lr", 0.003);
   // Compile cache for the IPU step-time lowerings (the classifier matmul
   // recurs across methods in-process; --cache-dir warm-starts across runs).
-  const std::string cache_dir = cli.GetString("cache-dir", "");
-  ipu::ExeCache cache(cache_dir);
+  ipu::ExeCache& cache = io.cache();
 
   PrintBanner(
       "Table 4: SHL benchmark (accuracy from real training on the synthetic "
@@ -101,7 +99,7 @@ int main(int argc, char** argv) {
         core::TrainStepSeconds(Device::kIpu, row.method, shape, &cache).seconds *
         steps;
 
-    json.Add(std::string("{\"method\": \"") + core::MethodName(row.method) +
+    io.Add(std::string("{\"method\": \"") + core::MethodName(row.method) +
              "\", \"n_params\": " + std::to_string(res.n_params) +
              ", \"accuracy\": " + std::to_string(res.test_accuracy) +
              ", \"t_gpu_tc_seconds\": " + std::to_string(t_tc) +
@@ -144,12 +142,7 @@ int main(int argc, char** argv) {
       "\nNote: absolute accuracies differ from the paper (synthetic dataset "
       "stands in\nfor CIFAR-10) and absolute times differ by a constant factor (the paper\ntrains more steps); method ordering, compression and cross-device ratios "
       "are the reproduced\nquantities. See EXPERIMENTS.md.\n");
-  const ipu::ExeCacheStats cs = cache.stats();
-  std::printf("\ncompile cache: %zu lookups, %zu memory hits, %zu disk hits, "
-              "%zu compiles, %zu artifacts stored%s%s\n",
-              cs.lookups(), cs.memory_hits, cs.disk_hits, cs.misses,
-              cs.disk_stores, cache_dir.empty() ? "" : " in ",
-              cache_dir.c_str());
-  json.Write();
+  io.PrintCacheStats();
+  io.Finish();
   return 0;
 }

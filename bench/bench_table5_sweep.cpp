@@ -34,7 +34,8 @@ struct SweepPoint {
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
-  BenchJsonWriter json("table5_sweep", cli.GetString("json", ""));
+  BenchIo io("table5_sweep", cli);
+  BenchJsonWriter& json = io.json();
   const bool fast = cli.Fast();
   const std::size_t train_n = fast ? 800 : 1500;
   const std::size_t epochs = fast ? 1 : 3;
@@ -138,6 +139,6 @@ int main(int argc, char** argv) {
       "  No configuration is optimal for time, accuracy and parameter count\n"
       "  at once -- pick per target (paper Section 5).\n",
       time_stds[2], time_stds[0], time_stds[1]);
-  json.Write();
+  io.Finish();
   return 0;
 }

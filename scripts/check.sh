@@ -9,8 +9,13 @@
 #   4. trace determinism: two bench_serving --trace runs at different host
 #      thread counts must produce bitwise-identical Chrome trace JSON (and
 #      bitwise-identical metrics JSON), and the trace's key set must match
-#      scripts/bench_schemas/trace_events.keys; bench_cluster repeats the
-#      same bitwise gate for its cluster metrics and trace, and
+#      scripts/bench_schemas/trace_events.keys; the same run's metrics and
+#      trace are then held byte-identical to the pre-ExecutionBackend
+#      goldens in scripts/golden/, and bench_serving --backend auto
+#      --require-crossover gates the cost-model placer (dense -> gpu,
+#      butterfly/pixelfly -> ipu at n >= 1024, heterogeneous breakdown in
+#      JSON and per-substrate chip tracks in the trace); bench_cluster
+#      repeats the bitwise gate for its cluster metrics and trace, and
 #      --require-efficiency 0.75 gates 4-chip scaling >= 3x;
 #      bench_serving --require-stream-win 1.01 then gates the streaming
 #      host-I/O claim: the double-buffered ingress must beat the host-copy
@@ -107,6 +112,59 @@ if ! diff -u "$schema_dir/trace_events.keys" "$tmp_dir/trace.keys"; then
   exit 1
 fi
 echo "ok: trace + metrics bitwise-identical across host threads, schema stable"
+
+echo "== IPU backend byte-identity vs pre-refactor goldens =="
+# The ExecutionBackend refactor's observational contract: routing the IPU
+# serving path through serve::IpuBackend must not change a byte of the
+# metrics or trace JSON. The goldens were captured from the pre-refactor
+# code with exactly the command of the t1 run above.
+if ! cmp -s "$j1" "$repo_root/scripts/golden/bench_serving_ipu.json"; then
+  echo "FAIL: bench_serving --json differs from the pre-refactor golden"
+  diff "$j1" "$repo_root/scripts/golden/bench_serving_ipu.json" | head -10
+  exit 1
+fi
+if ! cmp -s "$t1" "$repo_root/scripts/golden/bench_serving_ipu_trace.json"; then
+  echo "FAIL: bench_serving --trace differs from the pre-refactor golden"
+  exit 1
+fi
+echo "ok: IPU backend serving bytes identical to the pre-refactor goldens"
+
+echo "== backend auto mode: cost-model crossover gate =="
+# The placer must route dense to the GPU and butterfly/pixelfly to the IPU
+# at n >= 1024 (the paper's Table 4 economics); --require-crossover makes
+# the bench itself exit nonzero otherwise. The auto-mode record stream
+# (placement decisions + heterogeneous router metrics) carries its own
+# schema.
+auto_json="$tmp_dir/serving_auto.json"
+auto_trace="$tmp_dir/serving_auto_trace.json"
+if ! REPRO_THREADS=1 "$build_dir/bench/bench_serving" --backend auto --fast \
+    --requests 64 --require-crossover --json "$auto_json" \
+    --trace "$auto_trace" > "$tmp_dir/serving_auto.log"; then
+  echo "FAIL: --backend auto did not reproduce the IPU/GPU crossover"
+  grep -E 'placer|crossover' "$tmp_dir/serving_auto.log" | tail -12
+  exit 1
+fi
+grep 'crossover gate' "$tmp_dir/serving_auto.log" || true
+grep -o '"[A-Za-z_][A-Za-z_0-9]*":' "$auto_json" | sort -u \
+  > "$tmp_dir/serving_auto.keys"
+if ! diff -u "$schema_dir/bench_serving_auto.keys" "$tmp_dir/serving_auto.keys"; then
+  echo "FAIL: bench_serving --backend auto JSON keys changed"
+  exit 1
+fi
+# The heterogeneous demo must have routed work to both substrates, visible
+# in the per-backend metrics breakdown and as per-substrate chip tracks in
+# the trace.
+if ! grep -q '"backend": "ipu"' "$auto_json" \
+    || ! grep -q '"backend": "gpu"' "$auto_json"; then
+  echo "FAIL: auto-mode JSON lacks the per-backend breakdown rows"
+  exit 1
+fi
+if ! grep -q 'chip 0 \[ipu\]' "$auto_trace" \
+    || ! grep -q 'chip 1 \[gpu\]' "$auto_trace"; then
+  echo "FAIL: auto-mode trace lacks the per-substrate chip tracks"
+  exit 1
+fi
+echo "ok: dense -> gpu, butterfly/pixelfly -> ipu at n >= 1024; auto schema stable"
 
 echo "== streaming host I/O: overlap + throughput gate =="
 # bench_serving runs every method through both ingress paths off one

@@ -1,0 +1,91 @@
+#include "cluster/placer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace repro::cluster {
+namespace {
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string BackendScore::ToJson() const {
+  std::string s = "{";
+  s += "\"backend\": \"" + backend + "\"";
+  s += ", \"batch_seconds\": " + Num(batch_seconds);
+  s += ", \"replicas\": " + std::to_string(replicas);
+  s += ", \"qps_per_device\": " + Num(qps_per_device);
+  s += ", \"usd_per_hour\": " + Num(usd_per_hour);
+  s += ", \"usd_per_mreq\": " + Num(usd_per_mreq);
+  s += ", \"score\": " + Num(score);
+  s += "}";
+  return s;
+}
+
+std::string PlacementDecision::ToJson() const {
+  std::string s = "{";
+  s += "\"method\": \"" + method + "\"";
+  s += ", \"n\": " + std::to_string(n);
+  s += ", \"winner\": \"" + winner + "\"";
+  s += ", \"margin\": " + Num(margin);
+  s += ", \"ipu\": " + ipu.ToJson();
+  s += ", \"gpu\": " + gpu.ToJson();
+  s += "}";
+  return s;
+}
+
+BackendScore CostModelPlacer::Score(const serve::ExecutionBackend& backend,
+                                    double usd_per_hour) const {
+  REPRO_REQUIRE(usd_per_hour > 0, "placer: hourly rate must be positive");
+  BackendScore sc;
+  sc.backend = backend.name();
+  sc.batch_seconds = backend.batchSeconds();
+  sc.replicas = backend.maxReplicasPerDevice();
+  REPRO_REQUIRE(sc.replicas > 0, "placer: backend %s reports zero capacity",
+                backend.name());
+  // Steady-state pipelined throughput: with I/O overlap a replica admits a
+  // new batch every bottleneck phase; without, every batchSeconds().
+  const serve::StreamProfile& sp = backend.streamProfile();
+  double cadence = sc.batch_seconds;
+  if (sp.enabled) {
+    cadence = std::max({sp.in_s, sp.compute_s, sp.out_s});
+  }
+  REPRO_REQUIRE(cadence > 0, "placer: backend %s has zero batch cadence",
+                backend.name());
+  sc.qps_per_device = static_cast<double>(sc.replicas) *
+                      static_cast<double>(backend.maxBatch()) / cadence;
+  sc.usd_per_hour = usd_per_hour;
+  sc.usd_per_mreq = usd_per_hour / (sc.qps_per_device * 3600.0) * 1e6;
+  sc.score = sc.qps_per_device / usd_per_hour;
+  return sc;
+}
+
+PlacementDecision CostModelPlacer::Decide(const serve::ExecutionBackend& ipu,
+                                          const serve::ExecutionBackend& gpu,
+                                          const std::string& method,
+                                          std::size_t n) const {
+  PlacementDecision d;
+  d.method = method;
+  d.n = n;
+  d.ipu = Score(ipu, config_.ipu_usd_per_hour);
+  d.gpu = Score(gpu, config_.gpu_usd_per_hour);
+  // Ties go to the IPU: equal economics favor the substrate that can also
+  // replay numerics.
+  if (d.gpu.score > d.ipu.score) {
+    d.winner = d.gpu.backend;
+    d.margin = d.gpu.score / d.ipu.score;
+  } else {
+    d.winner = d.ipu.backend;
+    d.margin = d.ipu.score / d.gpu.score;
+  }
+  return d;
+}
+
+}  // namespace repro::cluster

@@ -1,0 +1,80 @@
+// cluster::CostModelPlacer: pins each router chip slot to a substrate by
+// the backends' own cost estimates.
+//
+// Every ExecutionBackend already knows its per-batch service time, stream
+// phase decomposition and per-device replica capacity -- the same numbers
+// the DES dispatches on. The placer turns those into a deployment score:
+//
+//   qps_per_device = maxReplicasPerDevice() * maxBatch() / bottleneck_phase
+//   score          = qps_per_device / usd_per_hour
+//
+// where bottleneck_phase is the widest stream phase (in / compute / out)
+// when the backend overlaps I/O, else the whole batchSeconds(). Throughput
+// per dollar is the right axis for a replica-parallel serving fleet: both
+// substrates hit their latency floor at max_batch, so the decision is
+// purely how many requests an hourly dollar buys.
+//
+// Decide() compares one IPU-priced and one GPU-priced backend for the same
+// exported model and returns the winner with its margin (score ratio >= 1).
+// Deterministic: pure arithmetic over the backends' estimates, no RNG, no
+// wall clock; ToJson() uses the repo-wide %.17g double format.
+#pragma once
+
+#include <string>
+
+#include "serve/backend.h"
+
+namespace repro::cluster {
+
+struct PlacerConfig {
+  // List-price hourly rates (public cloud, single device, 2023-era):
+  // the paper's GC200 IPU-M2000 quarter vs an A30.
+  double ipu_usd_per_hour = 2.2;
+  double gpu_usd_per_hour = 1.1;
+};
+
+// One backend's serving economics, as the placer saw them.
+struct BackendScore {
+  std::string backend;       // ExecutionBackend::name()
+  double batch_seconds = 0;  // end-to-end batch latency
+  std::size_t replicas = 0;  // maxReplicasPerDevice()
+  double qps_per_device = 0;
+  double usd_per_hour = 0;
+  double usd_per_mreq = 0;  // dollars per million requests
+  double score = 0;         // qps_per_device / usd_per_hour
+
+  // Flat object, stable key order, %.17g doubles.
+  std::string ToJson() const;
+};
+
+struct PlacementDecision {
+  std::string method;  // model family being placed (e.g. "Butterfly")
+  std::size_t n = 0;   // hidden size
+  std::string winner;  // name() of the higher-scoring backend
+  double margin = 0;   // winner score / loser score (>= 1)
+  BackendScore ipu;
+  BackendScore gpu;
+
+  std::string ToJson() const;
+};
+
+class CostModelPlacer {
+ public:
+  explicit CostModelPlacer(PlacerConfig config = {}) : config_(config) {}
+
+  const PlacerConfig& config() const { return config_; }
+
+  // Price one backend at the given hourly rate.
+  BackendScore Score(const serve::ExecutionBackend& backend,
+                     double usd_per_hour) const;
+
+  // Compare the IPU-priced and GPU-priced backends for one model.
+  PlacementDecision Decide(const serve::ExecutionBackend& ipu,
+                           const serve::ExecutionBackend& gpu,
+                           const std::string& method, std::size_t n) const;
+
+ private:
+  PlacerConfig config_;
+};
+
+}  // namespace repro::cluster

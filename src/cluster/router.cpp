@@ -137,22 +137,26 @@ struct EventLater {
 // numerics replay at the end, which cannot touch any recorded time.
 class ClusterSim {
  public:
-  ClusterSim(std::vector<serve::ReplicaPool*>& pools,
+  ClusterSim(std::vector<serve::ExecutionBackend*>& backends,
              const RouterConfig& cfg, std::size_t total_requests,
              const Matrix* inputs)
-      : pools_(pools),
+      : backends_(backends),
         cfg_(cfg),
-        metrics_(cfg.batch.max_batch, pools.size()),
+        metrics_(cfg.batch.max_batch, backends.size()),
         inputs_(inputs),
         total_(total_requests) {
-    const std::size_t C = pools_.size();
+    const std::size_t C = backends_.size();
     for (std::size_t c = 0; c < C; ++c) {
       queues_.push_back(
           std::make_unique<serve::BoundedMpmcQueue<Request>>(
               cfg.queue_capacity));
       batchers_.emplace_back(cfg.batch);
-      service_s_.push_back(pools_[c]->plan().batchSeconds());
-      const nn::ForwardSpec& spec = pools_[c]->plan().spec();
+      service_s_.push_back(backends_[c]->batchSeconds());
+      // Per-backend occupancy attribution: chips sharing a substrate label
+      // share one breakdown row in the metrics JSON.
+      backend_row_.push_back(
+          metrics_.aggregate().RegisterBackend(backends_[c]->name()));
+      const nn::ForwardSpec& spec = backends_[c]->spec();
       req_hop_s_.push_back(
           cfg.fabric != nullptr
               ? cfg.fabric->PointToPointSeconds(spec.input * sizeof(float))
@@ -161,10 +165,12 @@ class ClusterSim {
           cfg.fabric != nullptr
               ? cfg.fabric->PointToPointSeconds(spec.classes * sizeof(float))
               : 0.0);
-      inflight_.emplace_back(pools_[c]->size());
-      schedule_.emplace_back(pools_[c]->size());
+      inflight_.emplace_back(backends_[c]->replicas());
+      schedule_.emplace_back(backends_[c]->replicas());
       free_.emplace_back();
-      for (std::size_t r = 0; r < pools_[c]->size(); ++r) free_[c].insert(r);
+      for (std::size_t r = 0; r < backends_[c]->replicas(); ++r) {
+        free_[c].insert(r);
+      }
       pending_deadlines_.push_back(0);
       outstanding_.push_back(0);
     }
@@ -191,8 +197,11 @@ class ClusterSim {
       router_ = &cfg.tracer->track(cfg.trace_pid, 0, pname, "router");
       chip_tracks_.reserve(C);
       for (std::size_t c = 0; c < C; ++c) {
+        // The slot's substrate is part of the track name, so the
+        // router -> chip dispatch spans read as routing decisions.
         chip_tracks_.push_back(&cfg.tracer->track(
-            cfg.trace_pid, 1 + c, pname, "chip " + std::to_string(c)));
+            cfg.trace_pid, 1 + c, pname,
+            "chip " + std::to_string(c) + " [" + backends_[c]->name() + "]"));
       }
     }
     if (cfg.autoscale.enabled) {
@@ -268,9 +277,9 @@ class ClusterSim {
     // Least loaded: fewest outstanding routed requests among active chips,
     // ties to the lowest chip id (the deterministic dispatch order tests
     // pin down).
-    std::size_t best = pools_.size();
+    std::size_t best = backends_.size();
     std::size_t best_load = std::numeric_limits<std::size_t>::max();
-    for (std::size_t c = 0; c < pools_.size(); ++c) {
+    for (std::size_t c = 0; c < backends_.size(); ++c) {
       if (!active_[c]) continue;
       if (outstanding_[c] < best_load) {
         best = c;
@@ -282,7 +291,7 @@ class ClusterSim {
 
   void RouteRequest(const Request& req, double now) {
     const std::size_t chip = PickChip(req);
-    REPRO_REQUIRE(chip < pools_.size(), "router has no active chip");
+    REPRO_REQUIRE(chip < backends_.size(), "router has no active chip");
     ++outstanding_[chip];
     metrics_.RecordRouted(chip);
     if (router_ != nullptr) {
@@ -328,7 +337,7 @@ class ClusterSim {
       std::vector<Request> batch = batchers_[c].Pop();
       const std::size_t r = *free_[c].begin();
       free_[c].erase(free_[c].begin());
-      metrics_.aggregate().RecordBatch(batch.size(), now);
+      metrics_.aggregate().RecordBatchFor(backend_row_[c], batch.size(), now);
       if (router_ != nullptr) {
         const std::uint64_t bid = batch_seq_++;
         router_->AsyncBegin("batch_form", "batch",
@@ -393,17 +402,17 @@ class ClusterSim {
     const AutoscalePolicy& p = cfg_.autoscale;
     std::size_t active = 0;
     std::size_t outstanding = 0;
-    for (std::size_t c = 0; c < pools_.size(); ++c) {
+    for (std::size_t c = 0; c < backends_.size(); ++c) {
       if (!active_[c]) continue;
       ++active;
       outstanding += outstanding_[c];
     }
     const double per =
         static_cast<double>(outstanding) / static_cast<double>(active);
-    const std::size_t ceil_chips = std::min(p.max_chips, pools_.size());
+    const std::size_t ceil_chips = std::min(p.max_chips, backends_.size());
     const std::size_t floor_chips = std::max<std::size_t>(p.min_chips, 1);
     if (per > p.up_outstanding_per_chip && active < ceil_chips) {
-      for (std::size_t c = 0; c < pools_.size(); ++c) {
+      for (std::size_t c = 0; c < backends_.size(); ++c) {
         if (active_[c]) continue;
         active_[c] = true;
         ring_.AddChip(c);
@@ -420,7 +429,7 @@ class ClusterSim {
     } else if (per < p.down_outstanding_per_chip && active > floor_chips) {
       // Drain the highest active chip: it stops receiving traffic, its
       // queued and in-flight work completes normally.
-      for (std::size_t c = pools_.size(); c-- > 0;) {
+      for (std::size_t c = backends_.size(); c-- > 0;) {
         if (!active_[c]) continue;
         active_[c] = false;
         ring_.RemoveChip(c);
@@ -445,14 +454,14 @@ class ClusterSim {
   // independent of host_threads.
   void ReplayNumerics(ClusterResult& result) {
     if (inputs_ == nullptr) return;
-    for (serve::ReplicaPool* pool : pools_) {
-      if (!pool->plan().options().execute) return;
+    for (serve::ExecutionBackend* backend : backends_) {
+      if (!backend->canExecute()) return;
     }
-    const nn::ForwardSpec& spec = pools_[0]->plan().spec();
+    const nn::ForwardSpec& spec = backends_[0]->spec();
     result.logits = Matrix(total_, spec.classes);
     std::vector<std::pair<std::size_t, std::size_t>> units;
-    for (std::size_t c = 0; c < pools_.size(); ++c) {
-      for (std::size_t r = 0; r < pools_[c]->size(); ++r) {
+    for (std::size_t c = 0; c < backends_.size(); ++c) {
+      for (std::size_t r = 0; r < backends_[c]->replicas(); ++r) {
         units.emplace_back(c, r);
       }
     }
@@ -467,7 +476,7 @@ class ClusterSim {
                 auto src = inputs_->row(batch[i].row);
                 std::copy(src.begin(), src.end(), in.row(i).begin());
               }
-              Matrix out = pools_[c]->plan().RunBatch(pools_[c]->engine(r), in);
+              Matrix out = backends_[c]->ExecuteBatch(r, in);
               for (std::size_t i = 0; i < batch.size(); ++i) {
                 auto dst = result.logits.row(batch[i].id);
                 std::copy(out.row(i).begin(), out.row(i).end(), dst.begin());
@@ -478,7 +487,7 @@ class ClusterSim {
         /*min_grain=*/1);
   }
 
-  std::vector<serve::ReplicaPool*>& pools_;
+  std::vector<serve::ExecutionBackend*>& backends_;
   const RouterConfig& cfg_;
   ClusterMetrics metrics_;
   const Matrix* inputs_;
@@ -487,6 +496,7 @@ class ClusterSim {
   std::vector<std::unique_ptr<serve::BoundedMpmcQueue<Request>>> queues_;
   std::vector<serve::MicroBatcher> batchers_;
   std::vector<double> service_s_, req_hop_s_, resp_hop_s_;
+  std::vector<std::size_t> backend_row_;  // chip -> metrics breakdown row
   std::vector<std::vector<InFlight>> inflight_;           // [chip][replica]
   std::vector<std::vector<std::vector<std::vector<Request>>>> schedule_;
   std::vector<std::set<std::size_t>> free_;               // per chip
@@ -509,12 +519,26 @@ class ClusterSim {
 
 }  // namespace
 
+Router::Router(std::vector<serve::ExecutionBackend*> backends,
+               RouterConfig config)
+    : backends_(std::move(backends)), config_(std::move(config)) {
+  REPRO_REQUIRE(!backends_.empty(), "router needs at least one chip slot");
+  for (const serve::ExecutionBackend* backend : backends_) {
+    REPRO_REQUIRE(backend != nullptr && backend->replicas() > 0,
+                  "router chips need live execution backends");
+  }
+  REPRO_REQUIRE(config_.queue_capacity > 0, "queue capacity must be positive");
+}
+
 Router::Router(std::vector<serve::ReplicaPool*> pools, RouterConfig config)
-    : pools_(std::move(pools)), config_(std::move(config)) {
-  REPRO_REQUIRE(!pools_.empty(), "router needs at least one chip pool");
-  for (const serve::ReplicaPool* pool : pools_) {
+    : config_(std::move(config)) {
+  REPRO_REQUIRE(!pools.empty(), "router needs at least one chip pool");
+  for (serve::ReplicaPool* pool : pools) {
     REPRO_REQUIRE(pool != nullptr && pool->size() > 0,
                   "router chips need live replica pools");
+    owned_.push_back(
+        std::make_unique<serve::IpuBackend>(pool->plan(), pool));
+    backends_.push_back(owned_.back().get());
   }
   REPRO_REQUIRE(config_.queue_capacity > 0, "queue capacity must be positive");
 }
@@ -522,7 +546,7 @@ Router::Router(std::vector<serve::ReplicaPool*> pools, RouterConfig config)
 ClusterResult Router::RunOpenLoop(const serve::OpenLoopLoad& load,
                                   const Matrix* inputs) {
   REPRO_REQUIRE(load.qps > 0.0, "open-loop rate must be positive");
-  ClusterSim sim(pools_, config_, load.requests, inputs);
+  ClusterSim sim(backends_, config_, load.requests, inputs);
   Rng rng(load.seed);
   double t = 0.0;
   for (std::size_t i = 0; i < load.requests; ++i) {
@@ -539,7 +563,7 @@ ClusterResult Router::RunClosedLoop(const serve::ClosedLoopLoad& load,
                 "closed-loop clients (%zu) exceed the per-chip queue bound "
                 "(%zu): the backpressure contract caps outstanding work",
                 load.clients, config_.queue_capacity);
-  ClusterSim sim(pools_, config_, load.requests, inputs);
+  ClusterSim sim(backends_, config_, load.requests, inputs);
   const std::size_t initial = std::min(load.clients, load.requests);
   for (std::size_t c = 0; c < initial; ++c) sim.AddArrival(0.0);
   return sim.Run(/*closed_loop=*/true, load.think_s);

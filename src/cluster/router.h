@@ -1,7 +1,8 @@
 // cluster::Router: the serving front door of a multi-chip IPU cluster.
 //
-// Each chip runs its own serve::ReplicaPool behind a bounded ingress queue
-// and micro-batcher (the per-shard admission-control contract: a full chip
+// Each chip slot runs its own serve::ExecutionBackend (an IPU replica pool
+// or the GPU roofline backend) behind a bounded ingress queue and
+// micro-batcher (the per-shard admission-control contract: a full chip
 // queue load-sheds, it never grows). The router sits in front and places
 // every request on a chip:
 //
@@ -31,6 +32,7 @@
 
 #include "cluster/link_fabric.h"
 #include "linalg/matrix.h"
+#include "serve/backend.h"
 #include "serve/replica_pool.h"
 #include "serve/server.h"
 
@@ -156,12 +158,20 @@ struct ClusterResult {
 
 class Router {
  public:
-  // One ReplicaPool per chip (not owned; all pools must outlive the
-  // router). Pools may differ in plan/service time -- each chip dispatches
-  // at its own plan's batchSeconds().
+  // One ExecutionBackend per chip slot (not owned; all backends must
+  // outlive the router). Slots may differ in substrate, model and service
+  // time -- each chip dispatches at its own backend's batchSeconds(), and
+  // the metrics JSON carries a per-backend occupancy breakdown.
+  Router(std::vector<serve::ExecutionBackend*> backends, RouterConfig config);
+
+  // IPU convenience: wraps each pool in an owned IpuBackend (the
+  // historical all-IPU cluster).
   Router(std::vector<serve::ReplicaPool*> pools, RouterConfig config);
 
-  std::size_t numChips() const { return pools_.size(); }
+  std::size_t numChips() const { return backends_.size(); }
+  const serve::ExecutionBackend& backend(std::size_t chip) const {
+    return *backends_[chip];
+  }
 
   // Same load shapes as the single-chip serve::Server. `inputs` supplies
   // request features (request i runs row i % inputs.rows()); nullptr = no
@@ -172,7 +182,8 @@ class Router {
                               const Matrix* inputs = nullptr);
 
  private:
-  std::vector<serve::ReplicaPool*> pools_;
+  std::vector<std::unique_ptr<serve::IpuBackend>> owned_;  // pool ctor only
+  std::vector<serve::ExecutionBackend*> backends_;
   RouterConfig config_;
 };
 

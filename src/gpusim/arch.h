@@ -26,6 +26,11 @@ struct GpuArch {
   // Framework (PyTorch) per-op dispatch overhead on top of the raw kernel.
   double framework_overhead_sec = 2.0e-6;
   double clock_hz = 1.44e9;
+  // Host link (PCIe 4.0 x16, effective): what a serving batch pays to get
+  // features onto the device and logits back. The GPU serving backend's
+  // StreamProfile phases derive from these.
+  double pcie_bytes_per_sec = 25e9;
+  double pcie_latency_sec = 5e-6;
 };
 
 inline constexpr GpuArch A30() { return GpuArch{}; }

@@ -48,25 +48,35 @@ KernelEstimate EstimateGemm(const GpuArch& arch, GemmKernel kernel,
   const std::size_t bytes = (m * k + k * n + m * n) * sizeof(float);
   e.fits_memory = bytes <= arch.dram_bytes;
 
-  // Tile utilisation: partially filled output tiles waste lanes. Tensor
-  // cores additionally waste lanes up to the 16-granularity of their MMA
-  // shapes, which is why TC performance collapses fastest under skew.
-  double util = std::min(1.0, static_cast<double>(m) / p.tile_m) *
-                std::min(1.0, static_cast<double>(n) / p.tile_n);
-  util = std::sqrt(util);  // tiles overlap m and n losses only partially
-  if (tc) {
-    util *= static_cast<double>(m) / static_cast<double>(CeilDiv(m, 16) * 16);
-    util *= static_cast<double>(n) / static_cast<double>(CeilDiv(n, 16) * 16);
-    util *= static_cast<double>(k) / static_cast<double>(CeilDiv(k, 16) * 16);
-  }
-  // Short inner dimension: the k-loop cannot hide latency.
-  util *= std::min(1.0, std::sqrt(static_cast<double>(k) / 64.0));
+  // Tensor cores execute 16-granular MMA shapes: misaligned operands are
+  // padded to the next multiple of 16 and the wasted lanes cost real time,
+  // so the TC kernel is priced at the padded shape while e.flops stays the
+  // real work (reported gflops still drop under misalignment). Pricing the
+  // padded shape -- rather than scaling efficiency by the fill ratios --
+  // keeps cost monotone in every dimension, which the serving backends rely
+  // on: a strictly larger batch can never be estimated cheaper.
+  const std::size_t em = tc ? CeilDiv(m, std::size_t{16}) * 16 : m;
+  const std::size_t ek = tc ? CeilDiv(k, std::size_t{16}) * 16 : k;
+  const std::size_t en = tc ? CeilDiv(n, std::size_t{16}) * 16 : n;
 
-  const std::size_t blocks = CeilDiv(m, p.tile_m) * CeilDiv(n, p.tile_n);
+  // Tile utilisation: partially filled output tiles waste lanes, which is
+  // why performance collapses under skew (and fastest for TC, whose tiles
+  // are widest).
+  double util = std::min(1.0, static_cast<double>(em) / p.tile_m) *
+                std::min(1.0, static_cast<double>(en) / p.tile_n);
+  util = std::sqrt(util);  // tiles overlap m and n losses only partially
+  // Short inner dimension: the k-loop cannot hide latency.
+  util *= std::min(1.0, std::sqrt(static_cast<double>(ek) / 64.0));
+
+  const std::size_t blocks = CeilDiv(em, p.tile_m) * CeilDiv(en, p.tile_n);
+  e.blocks = blocks;
   const double occ = Occupancy(arch, blocks);
   const double eff = p.base_eff * util * (0.12 + 0.88 * occ);
 
-  const double compute_s = e.flops / (peak * std::max(eff, 1e-4));
+  const double padded_flops = 2.0 * static_cast<double>(em) *
+                              static_cast<double>(ek) *
+                              static_cast<double>(en);
+  const double compute_s = padded_flops / (peak * std::max(eff, 1e-4));
   // DRAM traffic: operands + result (cuBLAS streams with high reuse).
   const double mem_s =
       static_cast<double>(bytes) / arch.dram_bytes_per_sec;
@@ -81,6 +91,7 @@ KernelEstimate EstimateBatchedSmallGemm(const GpuArch& arch, bool tensor_cores,
   KernelEstimate e;
   e.flops = 2.0 * static_cast<double>(batches) * static_cast<double>(bm) *
             static_cast<double>(bk) * static_cast<double>(bn);
+  e.blocks = batches;  // one CTA per small matmul
   // Strided tiny matmuls are memory-bound with poor coalescing: effective
   // bandwidth halves once the stride exceeds a 128-byte transaction.
   const double traffic = static_cast<double>(batches) *
@@ -108,6 +119,7 @@ KernelEstimate EstimateBlockSparseGemm(const GpuArch& arch, bool tensor_cores,
   KernelEstimate e;
   e.flops = 2.0 * static_cast<double>(nblocks) * static_cast<double>(b) *
             static_cast<double>(b) * static_cast<double>(batch);
+  e.blocks = nblocks;  // one CTA per sparse block
   // Aligned block tiles keep accesses coalesced; with tensor cores the
   // blocks map straight onto MMA shapes (pixelfly's design point). Base
   // efficiencies calibrated to keep pixelfly ~at parity with dense Linear
@@ -132,6 +144,7 @@ KernelEstimate EstimateElementwise(const GpuArch& arch, std::size_t n,
                                    std::size_t bytes_per_elem) {
   KernelEstimate e;
   e.flops = static_cast<double>(n);
+  e.blocks = CeilDiv(n, std::size_t{1024});  // 1024 threads per CTA
   e.seconds = static_cast<double>(n * bytes_per_elem) /
                   arch.dram_bytes_per_sec +
               arch.launch_overhead_sec;

@@ -26,6 +26,12 @@ struct KernelEstimate {
   double seconds = 0.0;
   double flops = 0.0;
   bool fits_memory = true;
+  // Thread blocks the kernel launches (output tiles for GEMM, one per small
+  // matmul for the batched kernel, one per sparse block for block-sparse).
+  // Feeds the SM-concurrency bound of the GPU serving backend: a kernel
+  // spanning more resident blocks than the device leaves no room to run
+  // other batches concurrently.
+  std::size_t blocks = 1;
 
   double gflops() const { return seconds > 0 ? flops / seconds / 1e9 : 0.0; }
 };

@@ -1,0 +1,87 @@
+// gpu::GpuBackend: the A30 as a serving substrate behind
+// serve::ExecutionBackend.
+//
+// Where IpuBackend runs a compiled BSP graph, this backend *prices* the
+// same exported forward pass through the roofline kernel models
+// (gemm_model / layer_cost): hidden layer by method, bias + ReLU
+// elementwise, classifier GEMM. Serving assumes a captured execution graph
+// (CUDA-graph style): the per-op launch and framework overheads that
+// dominate the paper's eager-mode Fig. 6 numbers collapse to one launch per
+// batch, which is the strongest realistic GPU deployment to place against.
+//
+// Replica capacity is the two-sided bound the placer cares about:
+//  * HBM: how many weight + activation-workspace footprints fit in
+//    hbm_fraction of DRAM;
+//  * SM concurrency: how many batches can execute at once given the
+//    widest kernel's CTA span (a dense forward's widest kernel covers a
+//    few dozen CTAs and leaves SMs free; a butterfly stage's 512-block
+//    batched small-GEMM owns the whole device). This asymmetry is the
+//    paper's crossover, expressed as serving capacity.
+//
+// Timing-only: canExecute() is false, so the DES scheduler never asks it
+// for logits -- the same contract capacity-probe IPU plans already follow.
+#pragma once
+
+#include <cstddef>
+
+#include "gpusim/arch.h"
+#include "gpusim/layer_cost.h"
+#include "serve/backend.h"
+
+namespace repro::gpu {
+
+struct GpuBackendOptions {
+  std::size_t max_batch = 32;
+  // TF32 tensor cores on (the A30's best case; the calibrated Table 2
+  // cublas(TF32) kernel).
+  bool tensor_cores = true;
+  // Upper bound on replicas, mirroring the IPU capacity probe's cap.
+  std::size_t replica_cap = 256;
+  // Fraction of DRAM usable for replica weights + workspace (the rest is
+  // framework/runtime reserve).
+  double hbm_fraction = 0.9;
+};
+
+class GpuBackend final : public serve::ExecutionBackend {
+ public:
+  // `spec` is not owned and must outlive the backend.
+  GpuBackend(const nn::ForwardSpec& spec, const GpuArch& arch,
+             GpuBackendOptions opts = {});
+
+  const char* name() const override { return "gpu"; }
+  const nn::ForwardSpec& spec() const override { return *spec_; }
+  std::size_t maxBatch() const override { return opts_.max_batch; }
+  double batchSeconds() const override { return batch_seconds_; }
+  const serve::StreamProfile& streamProfile() const override {
+    return profile_;
+  }
+  std::size_t replicas() const override { return replicas_; }
+  std::size_t maxReplicasPerDevice() const override { return replicas_; }
+  std::size_t replicaMemoryBytes() const override { return replica_bytes_; }
+  bool canExecute() const override { return false; }
+  Matrix ExecuteBatch(std::size_t replica, const Matrix& inputs) override;
+
+  // The priced forward pass (kernel count, flops, bottleneck kernel) and
+  // the capacity decomposition, for bench records and tests.
+  const LayerCost& forwardCost() const { return forward_; }
+  double graphSeconds() const { return profile_.compute_s; }
+  std::size_t weightBytes() const { return weight_bytes_; }
+  std::size_t memReplicas() const { return mem_replicas_; }
+  std::size_t concurrentBatches() const { return concurrency_; }
+  const GpuArch& arch() const { return arch_; }
+
+ private:
+  const nn::ForwardSpec* spec_;
+  GpuArch arch_;
+  GpuBackendOptions opts_;
+  LayerCost forward_;
+  serve::StreamProfile profile_;
+  double batch_seconds_ = 0.0;
+  std::size_t weight_bytes_ = 0;
+  std::size_t replica_bytes_ = 0;
+  std::size_t mem_replicas_ = 0;
+  std::size_t concurrency_ = 0;
+  std::size_t replicas_ = 0;
+};
+
+}  // namespace repro::gpu

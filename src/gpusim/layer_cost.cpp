@@ -1,9 +1,20 @@
 #include "gpusim/layer_cost.h"
 
 #include "util/bitops.h"
+#include "util/error.h"
 
 namespace repro::gpu {
 namespace {
+
+// A zero-dimension layer has no kernels to price; silently returning a
+// 0-cost estimate used to let such layers vanish from crossover sweeps
+// (ButterflyForward(n = 0) "cost nothing"). Every public entry point
+// rejects them up front instead.
+void RequirePositive(const char* layer, std::size_t batch, std::size_t dim,
+                     const char* dim_name) {
+  REPRO_REQUIRE(batch > 0, "%s: batch must be positive", layer);
+  REPRO_REQUIRE(dim > 0, "%s: %s must be positive", layer, dim_name);
+}
 
 KernelEstimate Gemm(const GpuArch& arch, bool tc, std::size_t m, std::size_t k,
                     std::size_t n) {
@@ -19,6 +30,8 @@ void AddFrameworkOverhead(const GpuArch& arch, LayerCost& c) {
 
 LayerCost LinearForward(const GpuArch& arch, std::size_t batch, std::size_t in,
                         std::size_t out, bool tensor_cores) {
+  RequirePositive("LinearForward", batch, in, "in");
+  RequirePositive("LinearForward", batch, out, "out");
   LayerCost c;
   c += Gemm(arch, tensor_cores, batch, in, out);
   c += EstimateElementwise(arch, batch * out);  // bias add
@@ -28,6 +41,8 @@ LayerCost LinearForward(const GpuArch& arch, std::size_t batch, std::size_t in,
 
 LayerCost ButterflyForward(const GpuArch& arch, std::size_t batch,
                            std::size_t n, bool tensor_cores) {
+  RequirePositive("ButterflyForward", batch, n, "n");
+  REPRO_REQUIRE(n > 1, "ButterflyForward: n must be >= 2 (got %zu)", n);
   LayerCost c;
   const unsigned stages = Log2(NextPow2(n));
   for (unsigned s = 0; s < stages; ++s) {
@@ -45,6 +60,13 @@ LayerCost PixelflyForward(const GpuArch& arch, std::size_t batch,
                           std::size_t n, std::size_t block_size,
                           std::size_t butterfly_size, std::size_t low_rank,
                           bool tensor_cores) {
+  RequirePositive("PixelflyForward", batch, n, "n");
+  REPRO_REQUIRE(block_size > 0 && block_size <= n,
+                "PixelflyForward: block_size %zu outside [1, n=%zu]",
+                block_size, n);
+  REPRO_REQUIRE(butterfly_size > 1,
+                "PixelflyForward: butterfly_size must be >= 2 (got %zu)",
+                butterfly_size);
   LayerCost c;
   const std::size_t grid = n / block_size;  // block rows in the grid
   const std::size_t nblocks = 2 * grid * Log2(butterfly_size);
@@ -60,6 +82,8 @@ LayerCost PixelflyForward(const GpuArch& arch, std::size_t batch,
 
 LayerCost FastfoodForward(const GpuArch& arch, std::size_t batch,
                           std::size_t n, bool /*tensor_cores*/) {
+  RequirePositive("FastfoodForward", batch, n, "n");
+  REPRO_REQUIRE(n > 1, "FastfoodForward: n must be >= 2 (got %zu)", n);
   // On the GPU the Walsh-Hadamard transforms run as single fused kernels
   // (the reference implementation ships a batched FWHT kernel), so the
   // whole pipeline is ~6 launches: 2 FWHT + 3 diagonals + 1 gather. Each
@@ -79,6 +103,7 @@ LayerCost FastfoodForward(const GpuArch& arch, std::size_t batch,
 
 LayerCost CirculantForward(const GpuArch& arch, std::size_t batch,
                            std::size_t n, bool tensor_cores) {
+  RequirePositive("CirculantForward", batch, n, "n");
   LayerCost c;
   c += EstimateElementwise(arch, n * n, 8);  // materialise circulant matrix
   c += Gemm(arch, tensor_cores, batch, n, n);
@@ -89,6 +114,9 @@ LayerCost CirculantForward(const GpuArch& arch, std::size_t batch,
 LayerCost LowRankForward(const GpuArch& arch, std::size_t batch,
                          std::size_t in, std::size_t out, std::size_t rank,
                          bool tensor_cores) {
+  RequirePositive("LowRankForward", batch, in, "in");
+  RequirePositive("LowRankForward", batch, out, "out");
+  REPRO_REQUIRE(rank > 0, "LowRankForward: rank must be positive");
   LayerCost c;
   c += Gemm(arch, tensor_cores, batch, in, rank);
   c += Gemm(arch, tensor_cores, batch, rank, out);

@@ -14,17 +14,34 @@ struct LayerCost {
   double seconds = 0.0;
   double flops = 0.0;
   std::size_t kernels = 0;
+  // Two distinct extremes of the composition:
+  //  * max_kernel_seconds -- the slowest single kernel (the latency
+  //    bottleneck a fused/captured graph cannot hide);
+  //  * max_kernel_blocks -- the widest kernel's CTA span. Serving capacity
+  //    keys off this one: every batch in flight needs its widest kernel
+  //    resident, so a 512-CTA batched small-GEMM caps concurrency at one
+  //    batch while a few-tile GEMM leaves room for dozens.
+  double max_kernel_seconds = 0.0;
+  std::size_t max_kernel_blocks = 1;
 
   LayerCost& operator+=(const KernelEstimate& e) {
     seconds += e.seconds;
     flops += e.flops;
     kernels += 1;
+    if (e.seconds > max_kernel_seconds) max_kernel_seconds = e.seconds;
+    if (e.blocks > max_kernel_blocks) max_kernel_blocks = e.blocks;
     return *this;
   }
   LayerCost& operator+=(const LayerCost& other) {
     seconds += other.seconds;
     flops += other.flops;
     kernels += other.kernels;
+    if (other.max_kernel_seconds > max_kernel_seconds) {
+      max_kernel_seconds = other.max_kernel_seconds;
+    }
+    if (other.max_kernel_blocks > max_kernel_blocks) {
+      max_kernel_blocks = other.max_kernel_blocks;
+    }
     return *this;
   }
 };

@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/error.h"
+
 namespace repro::gpu {
 
 KernelEstimate EstimateSpmm(const GpuArch& arch, SparseFormat format,
                             std::size_t m, std::size_t k, std::size_t n,
                             std::size_t nnz) {
+  REPRO_REQUIRE(m > 0 && k > 0 && n > 0,
+                "EstimateSpmm: zero dimension (m=%zu, k=%zu, n=%zu)", m, k, n);
   KernelEstimate e;
   e.flops = 2.0 * static_cast<double>(nnz) * static_cast<double>(n);
   const double density =
@@ -17,6 +21,12 @@ KernelEstimate EstimateSpmm(const GpuArch& arch, SparseFormat format,
   // ~0.94 real TFLOP/s at 99% sparsity, ~1.08 real TFLOP/s at 90%.
   double eff = 0.089 + 0.16 * density;
   if (format == SparseFormat::kCoo) eff *= 0.62;  // atomics on row index
+  // Skinny dense operands starve the gather pipeline the same way a short
+  // inner dimension starves a GEMM's k-loop; mirror the GEMM model's
+  // sqrt(dim/64) damping so batch-1 SpMM serving costs stay consistent with
+  // the dense path instead of pricing a lone column at full efficiency.
+  // No effect at the calibrated n >= 64 shapes.
+  eff *= std::min(1.0, std::sqrt(static_cast<double>(n) / 64.0));
   const double compute_s = e.flops / (arch.fp32_peak_flops * eff);
   const double traffic =
       static_cast<double>(nnz) * 8.0 +

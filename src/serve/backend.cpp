@@ -1,0 +1,48 @@
+#include "serve/backend.h"
+
+#include "serve/model_plan.h"
+#include "serve/replica_pool.h"
+#include "util/error.h"
+
+namespace repro::serve {
+
+IpuBackend::IpuBackend(const ModelPlan& plan, ReplicaPool* pool,
+                       std::size_t max_replicas_per_device)
+    : plan_(&plan), pool_(pool), max_replicas_(max_replicas_per_device) {
+  REPRO_REQUIRE(pool == nullptr || &pool->plan() == &plan,
+                "IpuBackend pool was built from a different plan");
+}
+
+const nn::ForwardSpec& IpuBackend::spec() const { return plan_->spec(); }
+
+std::size_t IpuBackend::maxBatch() const { return plan_->maxBatch(); }
+
+double IpuBackend::batchSeconds() const { return plan_->batchSeconds(); }
+
+const StreamProfile& IpuBackend::streamProfile() const {
+  return plan_->streamProfile();
+}
+
+std::size_t IpuBackend::replicas() const {
+  return pool_ != nullptr ? pool_->size() : 0;
+}
+
+std::size_t IpuBackend::maxReplicasPerDevice() const {
+  return max_replicas_ != 0 ? max_replicas_ : replicas();
+}
+
+std::size_t IpuBackend::replicaMemoryBytes() const {
+  return plan_->counts().total_bytes;
+}
+
+bool IpuBackend::canExecute() const {
+  return pool_ != nullptr && plan_->options().execute;
+}
+
+Matrix IpuBackend::ExecuteBatch(std::size_t replica, const Matrix& inputs) {
+  REPRO_REQUIRE(pool_ != nullptr && replica < pool_->size(),
+                "IpuBackend replica %zu out of range", replica);
+  return plan_->RunBatch(pool_->engine(replica), inputs);
+}
+
+}  // namespace repro::serve

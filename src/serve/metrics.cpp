@@ -27,6 +27,25 @@ ServeMetrics::ServeMetrics(std::size_t max_batch)
   REPRO_REQUIRE(max_batch > 0, "max_batch must be positive");
 }
 
+std::size_t ServeMetrics::RegisterBackend(const std::string& label) {
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    if (backends_[i].label == label) return i;
+  }
+  backends_.push_back(BackendSlice{label, 0, 0});
+  return backends_.size() - 1;
+}
+
+bool ServeMetrics::RecordBatchFor(std::size_t backend, std::size_t occupancy,
+                                  double now_s) {
+  REPRO_REQUIRE(backend < backends_.size(),
+                "backend index %zu not registered (%zu known)", backend,
+                backends_.size());
+  if (!RecordBatch(occupancy, now_s)) return false;
+  ++backends_[backend].batches;
+  backends_[backend].occupied_slots += occupancy;
+  return true;
+}
+
 bool ServeMetrics::RecordBatch(std::size_t occupancy, double now_s) {
   if (occupancy < 1 || occupancy > max_batch_) {
     // A malformed batch is a server bug worth seeing, not worth dying for:
@@ -143,6 +162,31 @@ std::string ServeMetrics::ToJson() const {
   }
   hist += "]";
   field("occupancy_hist", hist);
+  // Per-backend occupancy/padding breakdown, present only when at least one
+  // backend label was registered: single-backend servers keep the
+  // historical key set (and bytes) exactly.
+  if (!backends_.empty()) {
+    std::string b = "[";
+    for (std::size_t i = 0; i < backends_.size(); ++i) {
+      const BackendSlice& bs = backends_[i];
+      const double mean =
+          bs.batches == 0 ? 0.0
+                          : static_cast<double>(bs.occupied_slots) /
+                                static_cast<double>(bs.batches);
+      const double padding =
+          bs.batches == 0
+              ? 0.0
+              : 1.0 - static_cast<double>(bs.occupied_slots) /
+                          static_cast<double>(bs.batches * max_batch_);
+      if (i > 0) b += ", ";
+      b += "{\"backend\": \"" + bs.label + "\", \"batches\": " +
+           Num(bs.batches) + ", \"occupied_slots\": " +
+           Num(bs.occupied_slots) + ", \"mean_occupancy\": " + Num(mean) +
+           ", \"padding_fraction\": " + Num(padding) + "}";
+    }
+    b += "]";
+    field("backends", b);
+  }
   s += "}";
   return s;
 }

@@ -34,6 +34,15 @@ class ServeMetrics {
     track_ = track;
   }
 
+  // Declares an execution-backend label ("ipu", "gpu") for the per-backend
+  // occupancy/padding breakdown and returns its index for RecordBatchFor.
+  // Re-registering a label returns the existing index (two IPU chips share
+  // one row). When nothing is registered ToJson() omits the "backends"
+  // section entirely, so single-backend servers keep their historical JSON
+  // byte for byte.
+  std::size_t RegisterBackend(const std::string& label);
+  std::size_t registeredBackends() const { return backends_.size(); }
+
   void RecordAdmitted() { ++admitted_; }
   void RecordRejected() { ++rejected_; }
   // One dispatched micro-batch with `occupancy` real requests (the rest of
@@ -44,6 +53,11 @@ class ServeMetrics {
   // instead of aborting. Returns whether the batch was accepted. `now_s`
   // timestamps the error event on the serving clock.
   bool RecordBatch(std::size_t occupancy, double now_s = 0.0);
+  // RecordBatch plus per-backend attribution: the batch lands in both the
+  // aggregate accounting and the `backend` row (an index from
+  // RegisterBackend).
+  bool RecordBatchFor(std::size_t backend, std::size_t occupancy,
+                      double now_s = 0.0);
   // One completed request: end-to-end latency and its queue-wait component.
   void RecordCompletion(double latency_s, double queue_delay_s);
   // Host-link transfer time hidden behind replica compute by the streaming
@@ -83,6 +97,14 @@ class ServeMetrics {
   std::string ToJson() const;
 
  private:
+  // One row of the per-backend breakdown: batches and slot occupancy
+  // attributed to one substrate label.
+  struct BackendSlice {
+    std::string label;
+    std::size_t batches = 0;
+    std::size_t occupied_slots = 0;
+  };
+
   std::size_t max_batch_;
   std::size_t admitted_ = 0;
   std::size_t rejected_ = 0;
@@ -96,6 +118,7 @@ class ServeMetrics {
   std::size_t invariant_violations_ = 0;
   std::vector<double> latencies_;  // completion order
   std::vector<std::size_t> occ_hist_;
+  std::vector<BackendSlice> backends_;  // empty = no breakdown in ToJson()
   obs::Tracer* tracer_ = nullptr;
   obs::TraceTrack* track_ = nullptr;
 };

@@ -28,6 +28,7 @@
 #include "ipusim/session.h"
 #include "linalg/matrix.h"
 #include "nn/export.h"
+#include "serve/backend.h"
 #include "serve/gemm_lowering.h"
 #include "util/error.h"
 
@@ -87,17 +88,13 @@ class ModelPlan {
   double batchSeconds() const { return batch_seconds_; }
   ipu::GraphCounts counts() const { return session_->counts(); }
 
-  // Per-batch phase decomposition for the streaming pipeline: input link
-  // time, on-device compute time, output link time. A copy-path plan
-  // reports enabled = false with in_s = out_s = 0 and compute_s =
-  // batchSeconds(), which makes the serving scheduler's pipelined dispatch
-  // reproduce the unpipelined event times exactly.
-  struct StreamProfile {
-    bool enabled = false;
-    double in_s = 0.0;
-    double compute_s = 0.0;
-    double out_s = 0.0;
-  };
+  // Per-batch phase decomposition for the streaming pipeline (the shared
+  // serve::StreamProfile from backend.h; the nested name survives for
+  // existing callers). A copy-path plan reports enabled = false with
+  // in_s = out_s = 0 and compute_s = batchSeconds(), which makes the
+  // serving scheduler's pipelined dispatch reproduce the unpipelined event
+  // times exactly.
+  using StreamProfile = serve::StreamProfile;
   const StreamProfile& streamProfile() const { return stream_profile_; }
 
   // The shared compile artifact and its save path (checkpointing; the

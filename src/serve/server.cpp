@@ -36,20 +36,20 @@ struct EventLater {
 // any recorded time.
 class Simulation {
  public:
-  Simulation(ReplicaPool& pool, const ServerConfig& cfg,
+  Simulation(ExecutionBackend& backend, const ServerConfig& cfg,
              std::size_t total_requests, const Matrix* inputs)
-      : pool_(pool),
+      : backend_(backend),
         cfg_(cfg),
         queue_(cfg.queue_capacity),
         batcher_(cfg.batch),
         metrics_(cfg.batch.max_batch),
-        profile_(pool.plan().streamProfile()),
+        profile_(backend.streamProfile()),
         depth_(profile_.enabled ? 2 : 1),
         inputs_(inputs),
         total_(total_requests),
-        replicas_(pool.size()),
-        schedule_(pool.size()) {
-    for (std::size_t r = 0; r < pool.size(); ++r) free_.insert(r);
+        replicas_(backend.replicas()),
+        schedule_(backend.replicas()) {
+    for (std::size_t r = 0; r < backend.replicas(); ++r) free_.insert(r);
     if (cfg.tracer != nullptr) {
       // One ingress lane (admissions, queue waits, batch formation) plus a
       // track per replica (device runs, per-request device spans). All
@@ -57,8 +57,8 @@ class Simulation {
       const std::string pname =
           cfg.trace_label.empty() ? "serve" : cfg.trace_label;
       ingress_ = &cfg.tracer->track(cfg.trace_pid, 0, pname, "ingress");
-      replica_tracks_.reserve(pool.size());
-      for (std::size_t r = 0; r < pool.size(); ++r) {
+      replica_tracks_.reserve(backend.replicas());
+      for (std::size_t r = 0; r < backend.replicas(); ++r) {
         replica_tracks_.push_back(&cfg.tracer->track(
             cfg.trace_pid, 1 + r, pname, "replica " + std::to_string(r)));
       }
@@ -246,11 +246,11 @@ class Simulation {
   // composition is fixed by the DES, so results are independent of
   // host_threads.
   void ReplayNumerics(ServeResult& result) {
-    if (inputs_ == nullptr || !pool_.plan().options().execute) return;
-    const nn::ForwardSpec& spec = pool_.plan().spec();
+    if (inputs_ == nullptr || !backend_.canExecute()) return;
+    const nn::ForwardSpec& spec = backend_.spec();
     result.logits = Matrix(total_, spec.classes);
     ParallelForWith(
-        cfg_.host_threads, 0, pool_.size(),
+        cfg_.host_threads, 0, backend_.replicas(),
         [&](std::size_t begin, std::size_t end) {
           for (std::size_t r = begin; r < end; ++r) {
             for (const std::vector<Request>& batch : schedule_[r]) {
@@ -259,7 +259,7 @@ class Simulation {
                 auto src = inputs_->row(batch[i].row);
                 std::copy(src.begin(), src.end(), in.row(i).begin());
               }
-              Matrix out = pool_.plan().RunBatch(pool_.engine(r), in);
+              Matrix out = backend_.ExecuteBatch(r, in);
               for (std::size_t i = 0; i < batch.size(); ++i) {
                 auto dst = result.logits.row(batch[i].id);
                 std::copy(out.row(i).begin(), out.row(i).end(), dst.begin());
@@ -279,12 +279,12 @@ class Simulation {
     std::deque<InFlight> fifo;
   };
 
-  ReplicaPool& pool_;
+  ExecutionBackend& backend_;
   const ServerConfig& cfg_;
   BoundedMpmcQueue<Request> queue_;
   MicroBatcher batcher_;
   ServeMetrics metrics_;
-  const ModelPlan::StreamProfile profile_;
+  const StreamProfile profile_;
   const std::size_t depth_;  // in-flight batches per replica (2 = streaming)
   const Matrix* inputs_;
   const std::size_t total_;
@@ -306,15 +306,24 @@ class Simulation {
 
 }  // namespace
 
+Server::Server(ExecutionBackend& backend, ServerConfig config)
+    : backend_(&backend), config_(config) {
+  REPRO_REQUIRE(config.queue_capacity > 0, "queue capacity must be positive");
+  REPRO_REQUIRE(backend.replicas() > 0,
+                "serving backend has no replicas to dispatch to");
+}
+
 Server::Server(ReplicaPool& pool, ServerConfig config)
-    : pool_(&pool), config_(config) {
+    : owned_(std::make_unique<IpuBackend>(pool.plan(), &pool)),
+      backend_(owned_.get()),
+      config_(config) {
   REPRO_REQUIRE(config.queue_capacity > 0, "queue capacity must be positive");
 }
 
 ServeResult Server::RunOpenLoop(const OpenLoopLoad& load,
                                 const Matrix* inputs) {
   REPRO_REQUIRE(load.qps > 0.0, "open-loop rate must be positive");
-  Simulation sim(*pool_, config_, load.requests, inputs);
+  Simulation sim(*backend_, config_, load.requests, inputs);
   Rng rng(load.seed);
   double t = 0.0;
   for (std::size_t i = 0; i < load.requests; ++i) {
@@ -331,7 +340,7 @@ ServeResult Server::RunClosedLoop(const ClosedLoopLoad& load,
                 "closed-loop clients (%zu) exceed the queue bound (%zu): the "
                 "backpressure contract caps outstanding work at the queue",
                 load.clients, config_.queue_capacity);
-  Simulation sim(*pool_, config_, load.requests, inputs);
+  Simulation sim(*backend_, config_, load.requests, inputs);
   const std::size_t initial = std::min(load.clients, load.requests);
   for (std::size_t c = 0; c < initial; ++c) sim.AddArrival(0.0);
   return sim.Run(/*closed_loop=*/true, load.think_s);

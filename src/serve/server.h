@@ -26,7 +26,10 @@
 
 #include <string>
 
+#include <memory>
+
 #include "linalg/matrix.h"
+#include "serve/backend.h"
 #include "serve/batcher.h"
 #include "serve/metrics.h"
 #include "serve/replica_pool.h"
@@ -80,6 +83,11 @@ struct ServeResult {
 
 class Server {
  public:
+  // Serve any ExecutionBackend (not owned; must outlive the server).
+  Server(ExecutionBackend& backend, ServerConfig config);
+
+  // IPU convenience: wraps the pool in an owned IpuBackend. Identical
+  // scheduling, metrics and trace bytes to the backend ctor.
   Server(ReplicaPool& pool, ServerConfig config);
 
   // `inputs` supplies request features (request i runs row i % inputs.rows());
@@ -90,7 +98,8 @@ class Server {
                             const Matrix* inputs = nullptr);
 
  private:
-  ReplicaPool* pool_;
+  std::unique_ptr<IpuBackend> owned_;  // pool ctor only
+  ExecutionBackend* backend_;
   ServerConfig config_;
 };
 

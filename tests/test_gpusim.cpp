@@ -233,5 +233,103 @@ TEST(LayerCost, LowRankCheapOnGpu) {
   EXPECT_LT(lr, lin);
 }
 
+// ---------------------------------------------------------------------------
+// Serving-backend support: the GpuBackend roofline pricing leans on these
+// invariants (monotone costs, loud degenerate shapes, consistent skinny
+// batches, and the widest-vs-slowest kernel split behind its capacity).
+
+TEST(LayerCost, ForwardCostMonotoneInN) {
+  for (bool tc : {false, true}) {
+    double lin = 0, bf = 0, pf = 0;
+    for (std::size_t n : {128, 256, 512, 1024, 2048, 4096}) {
+      const double l = LinearForward(kArch, 32, n, n, tc).seconds;
+      const double b = ButterflyForward(kArch, 32, n, tc).seconds;
+      const double p = PixelflyForward(kArch, 32, n, 16, 16, 24, tc).seconds;
+      EXPECT_GE(l, lin) << "linear n=" << n << " tc=" << tc;
+      EXPECT_GE(b, bf) << "butterfly n=" << n << " tc=" << tc;
+      EXPECT_GE(p, pf) << "pixelfly n=" << n << " tc=" << tc;
+      lin = l;
+      bf = b;
+      pf = p;
+    }
+  }
+}
+
+TEST(LayerCost, ForwardCostMonotoneInBatch) {
+  for (bool tc : {false, true}) {
+    double lin = 0, bf = 0, pf = 0;
+    for (std::size_t batch : {1, 2, 8, 32, 128}) {
+      const double l = LinearForward(kArch, batch, 1024, 1024, tc).seconds;
+      const double b = ButterflyForward(kArch, batch, 1024, tc).seconds;
+      const double p =
+          PixelflyForward(kArch, batch, 1024, 16, 16, 24, tc).seconds;
+      EXPECT_GE(l, lin) << "linear batch=" << batch << " tc=" << tc;
+      EXPECT_GE(b, bf) << "butterfly batch=" << batch << " tc=" << tc;
+      EXPECT_GE(p, pf) << "pixelfly batch=" << batch << " tc=" << tc;
+      lin = l;
+      bf = b;
+      pf = p;
+    }
+  }
+}
+
+TEST(LayerCostDeathTest, ZeroDimensionsAreFatal) {
+  EXPECT_DEATH(LinearForward(kArch, 0, 128, 128, false), "must be positive");
+  EXPECT_DEATH(LinearForward(kArch, 32, 0, 128, false), "must be positive");
+  EXPECT_DEATH(ButterflyForward(kArch, 32, 0, false), "must be positive");
+  EXPECT_DEATH(PixelflyForward(kArch, 0, 1024, 16, 16, 24, false),
+               "must be positive");
+  EXPECT_DEATH(FastfoodForward(kArch, 32, 0, false), "must be positive");
+  EXPECT_DEATH(CirculantForward(kArch, 0, 1024, false), "must be positive");
+  EXPECT_DEATH(LowRankForward(kArch, 32, 128, 128, 0, false),
+               "must be positive");
+  EXPECT_DEATH(EstimateSpmm(kArch, SparseFormat::kCsr, 0, 128, 1, 100),
+               "zero dimension");
+}
+
+TEST(SpmmModel, SkinnyDenseOperandDampsEfficiency) {
+  // Serving batches (n < 64 columns) starve the gather pipeline; the model
+  // damps achieved efficiency by sqrt(n/64) so a batch-1 SpMM stays
+  // consistent with the GEMM path instead of pricing a lone column at full
+  // calibrated throughput.
+  const std::size_t m = 8192, nnz = m * m / 100;
+  auto body_eff = [&](std::size_t n) {
+    auto e = EstimateSpmm(kArch, SparseFormat::kCsr, m, m, n, nnz);
+    return e.flops / (e.seconds - kArch.launch_overhead_sec);
+  };
+  EXPECT_LT(body_eff(1), 0.25 * body_eff(64));
+  // No damping at or beyond the calibrated width.
+  EXPECT_NEAR(body_eff(128) / body_eff(64), 1.0, 0.05);
+}
+
+TEST(LayerCost, TracksWidestAndSlowestKernelSeparately) {
+  // Butterfly at the serving shape: the batched 2x2 stage launches n/2 = 512
+  // blocks -- the widest kernel, which is what caps serving concurrency --
+  // while the slowest kernel separately bounds latency.
+  auto bf = ButterflyForward(kArch, 32, 1024, false);
+  EXPECT_GE(bf.max_kernel_blocks, 512u);
+  EXPECT_GT(bf.max_kernel_seconds, 0.0);
+  EXPECT_LE(bf.max_kernel_seconds, bf.seconds);
+  // The dense layer at the same shape spans far fewer blocks, so several
+  // dense batches can share the device where one butterfly batch owns it.
+  auto lin = LinearForward(kArch, 32, 1024, 1024, false);
+  EXPECT_LT(lin.max_kernel_blocks, bf.max_kernel_blocks);
+}
+
+TEST(LayerCost, GoldenCrossoverScan) {
+  // Fig. 6 (left): scan powers of two for the smallest n where the
+  // butterfly forward beats the dense layer outright on the GPU. The paper
+  // puts the break-even near N = 2^11.
+  std::size_t crossover = 0;
+  for (std::size_t n = 256; n <= 16384; n *= 2) {
+    if (ButterflyForward(kArch, n, n, false).seconds <
+        LinearForward(kArch, n, n, n, false).seconds) {
+      crossover = n;
+      break;
+    }
+  }
+  EXPECT_EQ(crossover, 2048u);
+}
+
 }  // namespace
 }  // namespace repro::gpu
